@@ -1,0 +1,462 @@
+// Repository-level benchmarks: one bench per evaluation table/figure.
+//
+//	BenchmarkExp1_*  retrieval strategies x access patterns (§6.3.2)
+//	BenchmarkExp2_*  IN-list buffer size sweep (§6.3.3)
+//	BenchmarkExp3_*  chunk size sweep (§6.3.4)
+//	BenchmarkExp4_*  BISTAB application queries (§6.4.5)
+//	BenchmarkExp5_*  collection consolidation (§5.3.2)
+//	BenchmarkExp6_*  client/server workflow round trips (chapter 7)
+//	BenchmarkAblation* design-choice ablations (join ordering, SPD, AAPR)
+//
+// cmd/ssdm-bench prints the same experiments as formatted tables at
+// larger scale; these benches make the numbers reproducible via
+// `go test -bench . -benchmem`.
+package scisparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"scisparql/internal/bistab"
+	"scisparql/internal/core"
+	"scisparql/internal/loader"
+	"scisparql/internal/minibench"
+	"scisparql/internal/rdf"
+	"scisparql/internal/relstore"
+	"scisparql/internal/server"
+	"scisparql/internal/ssdmclient"
+	"scisparql/internal/storage"
+	"scisparql/internal/storage/filestore"
+	"scisparql/internal/storage/relbackend"
+)
+
+// benchRTT simulates the per-SQL-statement round trip; kept small so
+// the full suite stays fast while preserving the strategy crossovers.
+const benchRTT = 50 * time.Microsecond
+
+// benchBandwidth simulates the result-transfer rate of the relational
+// back-end (bytes/second).
+const benchBandwidth = int64(200) << 20
+
+func benchWorkload() minibench.Workload {
+	return minibench.Workload{NumArrays: 2, Rows: 128, Cols: 128, ChunkBytes: 4096, Seed: 1}
+}
+
+type benchConfig struct {
+	name    string
+	backend storage.Backend
+	rdb     *relstore.Database
+}
+
+func benchConfigs(b *testing.B) []benchConfig {
+	b.Helper()
+	out := []benchConfig{
+		{name: "RESIDENT"},
+		{name: "MEMORY", backend: storage.NewMemory()},
+	}
+	fs, err := filestore.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	out = append(out, benchConfig{name: "FILE", backend: fs})
+	for _, strat := range []relbackend.Strategy{
+		relbackend.StrategySingle, relbackend.StrategyBuffered, relbackend.StrategySPD,
+	} {
+		rdb := relstore.NewDatabase()
+		rb, err := relbackend.New(rdb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb.Strategy = strat
+		rb.Aggregable = false
+		out = append(out, benchConfig{name: strat.String(), backend: rb, rdb: rdb})
+	}
+	return out
+}
+
+// BenchmarkExp1 regenerates the retrieval-strategy comparison: every
+// (configuration, pattern) cell is a sub-benchmark.
+func BenchmarkExp1(b *testing.B) {
+	w := benchWorkload()
+	for _, cfg := range benchConfigs(b) {
+		db, err := minibench.Build(w, cfg.backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cfg.rdb != nil {
+			cfg.rdb.RoundTripDelay = benchRTT
+			cfg.rdb.Bandwidth = benchBandwidth
+		}
+		for _, p := range minibench.AllPatterns {
+			b.Run(cfg.name+"/"+p.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					loader.DropProxyCaches(db.Dataset.Default)
+					if _, err := minibench.Run(db, p, w, 4, 1, int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if cfg.rdb != nil {
+					st := cfg.rdb.StatsSnapshot()
+					b.ReportMetric(float64(st.Statements)/float64(b.N), "stmts/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExp2 regenerates the buffer-size sweep for the buffered
+// IN-list strategy under scattered access.
+func BenchmarkExp2(b *testing.B) {
+	w := benchWorkload()
+	for _, buf := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("buffer%d", buf), func(b *testing.B) {
+			rdb := relstore.NewDatabase()
+			rb, err := relbackend.New(rdb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rb.Strategy = relbackend.StrategyBuffered
+			rb.BufferSize = buf
+			rb.Aggregable = false
+			db, err := minibench.Build(w, rb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rdb.RoundTripDelay = benchRTT
+			rdb.Bandwidth = benchBandwidth
+			rdb.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loader.DropProxyCaches(db.Dataset.Default)
+				if _, err := minibench.Run(db, minibench.PatternRandom, w, 64, 1, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := rdb.StatsSnapshot()
+			b.ReportMetric(float64(st.Statements)/float64(b.N), "stmts/op")
+		})
+	}
+}
+
+// BenchmarkExp3 regenerates the chunk-size sweep on the SPD strategy.
+func BenchmarkExp3(b *testing.B) {
+	for _, chunkB := range []int{512, 4096, 32768} {
+		for _, p := range []minibench.Pattern{minibench.PatternFull, minibench.PatternElement} {
+			b.Run(fmt.Sprintf("chunk%d/%s", chunkB, p), func(b *testing.B) {
+				w := benchWorkload()
+				w.ChunkBytes = chunkB
+				rdb := relstore.NewDatabase()
+				rb, err := relbackend.New(rdb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rb.Strategy = relbackend.StrategySPD
+				rb.Aggregable = false
+				db, err := minibench.Build(w, rb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rdb.RoundTripDelay = benchRTT
+				rdb.Bandwidth = benchBandwidth
+				rdb.ResetStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					loader.DropProxyCaches(db.Dataset.Default)
+					if _, err := minibench.Run(db, p, w, 0, 1, int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st := rdb.StatsSnapshot()
+				b.ReportMetric(float64(st.BytesReturned)/float64(b.N), "bytes/op")
+			})
+		}
+	}
+}
+
+// BenchmarkExp4 regenerates the BISTAB application-query timings per
+// storage configuration.
+func BenchmarkExp4(b *testing.B) {
+	cfg := bistab.Config{Cases: 4, Realizations: 2, Steps: 1024, ChunkBytes: 4096, Seed: 7}
+	backends := []struct {
+		name string
+		make func() storage.Backend
+	}{
+		{"RESIDENT", func() storage.Backend { return nil }},
+		{"FILE", func() storage.Backend {
+			fs, err := filestore.New(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return fs
+		}},
+		{"SQL-SPD", func() storage.Backend {
+			rdb := relstore.NewDatabase()
+			rb, err := relbackend.New(rdb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rb.Strategy = relbackend.StrategySPD
+			rdb.RoundTripDelay = benchRTT
+			rdb.Bandwidth = benchBandwidth
+			return rb
+		}},
+	}
+	for _, be := range backends {
+		db, err := bistab.Generate(cfg, be.make())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range bistab.Queries(cfg) {
+			b.Run(be.name+"/"+q.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					loader.DropProxyCaches(db.Dataset.Default)
+					if _, err := db.Query(q.Text); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExp5 regenerates the consolidation comparison: loading a
+// collection-heavy document with consolidation on/off, and element
+// access on the resulting graphs.
+func BenchmarkExp5(b *testing.B) {
+	doc := benchCollectionDoc(8, 16)
+	for _, consolidate := range []bool{true, false} {
+		name := "consolidated"
+		if !consolidate {
+			name = "raw"
+		}
+		b.Run("load/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.ConsolidateCollections = consolidate
+				db := core.OpenWith(opts)
+				if err := db.LoadTurtle(doc, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("element/"+name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.ConsolidateCollections = consolidate
+			db := core.OpenWith(opts)
+			if err := db.LoadTurtle(doc, ""); err != nil {
+				b.Fatal(err)
+			}
+			var q string
+			if consolidate {
+				q = `PREFIX ex: <http://ex/> SELECT (?a[2,1] AS ?v) WHERE { ex:m1 ex:data ?a }`
+			} else {
+				q = `PREFIX ex: <http://ex/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?v WHERE { ex:m1 ex:data ?l . ?l rdf:rest ?r1 . ?r1 rdf:first ?row . ?row rdf:first ?v }`
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchCollectionDoc(n, side int) string {
+	rng := rand.New(rand.NewSource(3))
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 1; i <= n; i++ {
+		doc += fmt.Sprintf("ex:m%d ex:data (", i)
+		for r := 0; r < side; r++ {
+			doc += "("
+			for c := 0; c < side; c++ {
+				if c > 0 {
+					doc += " "
+				}
+				doc += fmt.Sprintf("%d", rng.Intn(1000))
+			}
+			doc += ")"
+		}
+		doc += ") .\n"
+	}
+	return doc
+}
+
+// BenchmarkExp6 regenerates the client/server workflow costs: array
+// publication round trips and metadata queries returning slices.
+func BenchmarkExp6(b *testing.B) {
+	db := core.Open()
+	db.AttachBackend(storage.NewMemory())
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := ssdmclient.Connect(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	a, err := NewFloatArray(data, len(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("publish", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subj := rdf.IRI(fmt.Sprintf("http://ex/run%d", i))
+			if err := cl.AddArrayTriple(subj, "http://ex/signal", a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, err := cl.Update(`PREFIX ex: <http://ex/> INSERT DATA { ex:run0 ex:tag "x" }`); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("query-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := cl.Query(`PREFIX ex: <http://ex/>
+SELECT (?s[1:16] AS ?head) WHERE { ex:run0 ex:tag "x" ; ex:signal ?s }`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJoinOrder compares the cost-based join ordering
+// against textual order on a selective BISTAB metadata join.
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	cfg := bistab.Config{Cases: 16, Realizations: 8, Steps: 64, ChunkBytes: 4096, Seed: 7}
+	db, err := bistab.Generate(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pairs of tasks in the same parameter case: the textual order runs
+	// a cross product before joining, the cost-based order stays
+	// connected through bi:case.
+	q := fmt.Sprintf(`PREFIX bi: <%s>
+SELECT ?a ?b WHERE {
+  ?a bi:k_1 ?k1 .
+  ?b bi:k_4 ?k4 .
+  ?a bi:case ?c .
+  ?b bi:case ?c .
+}`, bistab.NS)
+	for _, disable := range []bool{false, true} {
+		name := "cost-based"
+		if disable {
+			name = "textual"
+		}
+		b.Run(name, func(b *testing.B) {
+			db.Engine.DisableJoinOrder = disable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	db.Engine.DisableJoinOrder = false
+}
+
+// BenchmarkAblationSPD compares per-chunk statements against
+// SPD-detected range statements for strided access.
+func BenchmarkAblationSPD(b *testing.B) {
+	w := benchWorkload()
+	for _, strat := range []relbackend.Strategy{relbackend.StrategySingle, relbackend.StrategySPD} {
+		b.Run(strat.String(), func(b *testing.B) {
+			rdb := relstore.NewDatabase()
+			rb, err := relbackend.New(rdb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rb.Strategy = strat
+			rb.Aggregable = false
+			db, err := minibench.Build(w, rb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rdb.RoundTripDelay = benchRTT
+			rdb.Bandwidth = benchBandwidth
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loader.DropProxyCaches(db.Dataset.Default)
+				if _, err := minibench.Run(db, minibench.PatternStride, w, 4, 1, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAAPR compares delegated (server-side) whole-array
+// aggregation against client-side chunk transfer.
+func BenchmarkAblationAAPR(b *testing.B) {
+	w := benchWorkload()
+	for _, delegated := range []bool{true, false} {
+		name := "delegated"
+		if !delegated {
+			name = "client-side"
+		}
+		b.Run(name, func(b *testing.B) {
+			rdb := relstore.NewDatabase()
+			rb, err := relbackend.New(rdb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rb.Strategy = relbackend.StrategySPD
+			rb.Aggregable = delegated
+			db, err := minibench.Build(w, rb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rdb.RoundTripDelay = benchRTT
+			rdb.Bandwidth = benchBandwidth
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loader.DropProxyCaches(db.Dataset.Default)
+				if _, err := minibench.Run(db, minibench.PatternFull, w, 0, 1, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreQuery measures the plain metadata query path (no
+// arrays) as an engine baseline.
+func BenchmarkCoreQuery(b *testing.B) {
+	db := core.Open()
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 0; i < 1000; i++ {
+		doc += fmt.Sprintf("ex:s%d a ex:Thing ; ex:val %d .\n", i, i%100)
+	}
+	if err := db.LoadTurtle(doc, ""); err != nil {
+		b.Fatal(err)
+	}
+	q := `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Thing ; ex:val 42 }`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != 10 {
+			b.Fatalf("rows %d", res.Len())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command ssdm-bench regenerates the evaluation tables of the paper /
+// dissertation:
+//
+//	-exp 1   retrieval-strategy comparison (§6.3.2)
+//	-exp 2   IN-list buffer size sweep (§6.3.3)
+//	-exp 3   chunk size sweep (§6.3.4)
+//	-exp 4   BISTAB application queries (§6.4.4–6.4.5)
+//	-exp 5   RDF collection consolidation (§5.3.2)
+//	-exp 6   client/server workflow round trips (chapter 7)
+//	-exp 7   BISTAB dataset scaling
+//	-exp a1  ablation: cost-based join ordering
+//	-exp a2  ablation: sequence pattern detection
+//	-exp a3  ablation: aggregate pushdown (AAPR)
+//	-exp all everything, in order
+//
+// Scale knobs: -rtt (simulated per-SQL-statement round trip), -iters,
+// -rows/-cols/-arrays (mini-benchmark), -cases/-realizations/-steps
+// (BISTAB).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scisparql/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: 1..6, a1..a3, or all")
+	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated SQL statement round trip")
+	iters := flag.Int("iters", 5, "timed iterations per cell")
+	rows := flag.Int("rows", 256, "mini-benchmark array rows")
+	cols := flag.Int("cols", 256, "mini-benchmark array cols")
+	arrays := flag.Int("arrays", 4, "mini-benchmark array count")
+	chunk := flag.Int("chunk", 8192, "chunk size in bytes")
+	cases := flag.Int("cases", 8, "BISTAB parameter cases")
+	realizations := flag.Int("realizations", 4, "BISTAB realizations per case")
+	steps := flag.Int("steps", 2048, "BISTAB trajectory length")
+	flag.Parse()
+
+	tmp, err := os.MkdirTemp("", "ssdm-bench")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	o := experiments.DefaultOptions(tmp)
+	o.RoundTripDelay = *rtt
+	o.Iters = *iters
+	o.Workload.Rows = *rows
+	o.Workload.Cols = *cols
+	o.Workload.NumArrays = *arrays
+	o.Workload.ChunkBytes = *chunk
+	o.Bistab.Cases = *cases
+	o.Bistab.Realizations = *realizations
+	o.Bistab.Steps = *steps
+	o.Bistab.ChunkBytes = *chunk
+
+	type entry struct {
+		id string
+		fn func() error
+	}
+	all := []entry{
+		{"1", func() error { return experiments.E1(os.Stdout, o) }},
+		{"2", func() error { return experiments.E2(os.Stdout, o) }},
+		{"3", func() error { return experiments.E3(os.Stdout, o) }},
+		{"4", func() error { return experiments.E4(os.Stdout, o) }},
+		{"5", func() error { return experiments.E5(os.Stdout, o) }},
+		{"6", func() error { return experiments.E6(os.Stdout, o) }},
+		{"7", func() error { return experiments.E7(os.Stdout, o) }},
+		{"a1", func() error { return experiments.A1(os.Stdout, o) }},
+		{"a2", func() error { return experiments.A2(os.Stdout, o) }},
+		{"a3", func() error { return experiments.A3(os.Stdout, o) }},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	for _, e := range all {
+		if want != "all" && want != e.id {
+			continue
+		}
+		matched = true
+		if err := e.fn(); err != nil {
+			fatalf("experiment %s: %v", e.id, err)
+		}
+		fmt.Println()
+	}
+	if !matched {
+		fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssdm-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

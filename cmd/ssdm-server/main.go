@@ -1,0 +1,108 @@
+// Command ssdm-server runs SSDM as a network service: the
+// client-server deployment mode of the system. Clients (including the
+// Go equivalent of the Matlab integration, internal/ssdmclient) speak
+// the JSON protocol of internal/protocol.
+//
+// Usage:
+//
+//	ssdm-server [-addr 127.0.0.1:7564] [-load data.ttl]...
+//	            [-store dir | -sql single|buffer|spd]
+//
+// -store attaches a binary-file array back-end rooted at dir; -sql
+// attaches a relational back-end (embedded) with the given retrieval
+// strategy. Without either, arrays are held resident.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"scisparql/internal/core"
+	"scisparql/internal/relstore"
+	"scisparql/internal/server"
+	"scisparql/internal/storage/filestore"
+	"scisparql/internal/storage/relbackend"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7564", "listen address")
+	image := flag.String("image", "", "snapshot image: restored at start, written at shutdown")
+	storeDir := flag.String("store", "", "attach a file array store rooted at this directory")
+	sqlStrat := flag.String("sql", "", "attach a relational array store: single, buffer or spd")
+	var loads []string
+	flag.Func("load", "Turtle file to load (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	db := core.Open()
+	switch {
+	case *storeDir != "" && *sqlStrat != "":
+		fatalf("choose one of -store and -sql")
+	case *storeDir != "":
+		fs, err := filestore.New(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		db.AttachBackend(fs)
+	case *sqlStrat != "":
+		rb, err := relbackend.New(relstore.NewDatabase())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		switch strings.ToLower(*sqlStrat) {
+		case "single":
+			rb.Strategy = relbackend.StrategySingle
+		case "buffer":
+			rb.Strategy = relbackend.StrategyBuffered
+		case "spd":
+			rb.Strategy = relbackend.StrategySPD
+		default:
+			fatalf("unknown strategy %q", *sqlStrat)
+		}
+		db.AttachBackend(rb)
+	}
+
+	if *image != "" {
+		if _, err := os.Stat(*image); err == nil {
+			if err := db.LoadSnapshot(*image); err != nil {
+				fatalf("image %s: %v", *image, err)
+			}
+		}
+	}
+	for _, path := range loads {
+		if err := db.LoadTurtleFile(path, ""); err != nil {
+			fatalf("load %s: %v", path, err)
+		}
+	}
+
+	srv := server.New(db)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ssdm-server listening on %s (%d triples loaded)\n",
+		bound, db.Dataset.Default.Size())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	srv.Close()
+	if *image != "" {
+		if err := db.SaveSnapshot(*image); err != nil {
+			fatalf("save image: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *image)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssdm-server: "+format+"\n", args...)
+	os.Exit(1)
+}

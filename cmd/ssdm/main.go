@@ -1,0 +1,226 @@
+// Command ssdm is the stand-alone Scientific SPARQL Database Manager:
+// it loads RDF-with-Arrays datasets (Turtle, with collection and Data
+// Cube consolidation) and evaluates SciSPARQL queries and updates,
+// either from -e/-f arguments or interactively.
+//
+// Usage:
+//
+//	ssdm [-load data.ttl]... [-e 'SELECT ...'] [-f script.sparql] [-i]
+//
+// With neither -e nor -f, ssdm reads statements from standard input;
+// statements are terminated by a line containing only ';;'.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scisparql/internal/core"
+	"scisparql/internal/engine"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+type loadList []string
+
+func (l *loadList) String() string { return strings.Join(*l, ",") }
+
+func (l *loadList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadList
+	exec := flag.String("e", "", "execute the given SciSPARQL statements and exit")
+	explain := flag.String("explain", "", "print the execution strategy for a query and exit")
+	file := flag.String("f", "", "execute statements from a file and exit")
+	interactive := flag.Bool("i", false, "interactive mode after -load/-e/-f")
+	loadImage := flag.String("image", "", "restore a snapshot image before anything else")
+	saveImage := flag.String("save-image", "", "write a snapshot image before exiting")
+	flag.Var(&loads, "load", "Turtle file to load (repeatable)")
+	flag.Parse()
+
+	db := core.Open()
+	if *loadImage != "" {
+		if err := db.LoadSnapshot(*loadImage); err != nil {
+			fatalf("image %s: %v", *loadImage, err)
+		}
+		fmt.Fprintf(os.Stderr, "restored %s (%d triples in default graph)\n",
+			*loadImage, db.Dataset.Default.Size())
+	}
+	for _, path := range loads {
+		if err := db.LoadTurtleFile(path, ""); err != nil {
+			fatalf("load %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s (%d triples in default graph)\n",
+			path, db.Dataset.Default.Size())
+	}
+
+	ran := false
+	if *explain != "" {
+		out, err := db.Explain(*explain)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		ran = true
+	}
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runStatements(db, string(src))
+		ran = true
+	}
+	if *exec != "" {
+		runStatements(db, *exec)
+		ran = true
+	}
+	if !ran || *interactive {
+		repl(db)
+	}
+	if *saveImage != "" {
+		if err := db.SaveSnapshot(*saveImage); err != nil {
+			fatalf("save image: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveImage)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssdm: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runStatements(db *core.SSDM, src string) {
+	stmts, err := sparql.ParseAll(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, st := range stmts {
+		switch v := st.(type) {
+		case *sparql.Query:
+			res, err := db.Engine.Query(v)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			printResults(res)
+		default:
+			n, err := execUpdate(db, st)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("ok (%d triples affected)\n", n)
+		}
+	}
+}
+
+func execUpdate(db *core.SSDM, st sparql.Statement) (int, error) {
+	if ld, ok := st.(*sparql.Load); ok {
+		return 0, db.LoadTurtleFile(strings.TrimPrefix(ld.Source, "file://"), ld.Graph)
+	}
+	return db.Engine.Update(st)
+}
+
+func printResults(res *engine.Results) {
+	switch res.Form {
+	case sparql.FormAsk:
+		fmt.Printf("%v\n", res.Bool)
+	case sparql.FormConstruct, sparql.FormDescribe:
+		fmt.Printf("graph with %d triples:\n", res.Graph.Size())
+		res.Graph.Triples(func(s, p, o rdf.Term) bool {
+			fmt.Printf("  %s %s %s .\n", s, p, o)
+			return true
+		})
+	default:
+		fmt.Println(strings.Join(varHeaders(res.Vars), "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, t := range row {
+				if t == nil {
+					cells[i] = "-"
+				} else {
+					cells[i] = t.String()
+				}
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", res.Len())
+	}
+}
+
+func varHeaders(vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = "?" + v
+	}
+	return out
+}
+
+func repl(db *core.SSDM) {
+	fmt.Fprintln(os.Stderr, "SciSPARQL SSDM. Terminate statements with ';;' on their own line; 'quit;;' exits.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for {
+		fmt.Fprint(os.Stderr, "sparql> ")
+		ok := false
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.TrimSpace(line) == ";;" {
+				ok = true
+				break
+			}
+			if strings.TrimSpace(line) == "quit;;" {
+				return
+			}
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+		if !ok && buf.Len() == 0 {
+			return // EOF
+		}
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if src == "" {
+			if !ok {
+				return
+			}
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", r)
+				}
+			}()
+			stmts, err := sparql.ParseAll(src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			for _, st := range stmts {
+				if q, isQ := st.(*sparql.Query); isQ {
+					res, err := db.Engine.Query(q)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "error: %v\n", err)
+						return
+					}
+					printResults(res)
+				} else if n, err := execUpdate(db, st); err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				} else {
+					fmt.Printf("ok (%d triples affected)\n", n)
+				}
+			}
+		}()
+		if !ok {
+			return
+		}
+	}
+}

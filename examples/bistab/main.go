@@ -1,0 +1,60 @@
+// BISTAB: the computational-biology scenario of the paper's real-life
+// evaluation. Stochastic simulations of a bistable chemical system are
+// described by RDF metadata (parameter case, rate constants,
+// realization number) while each trajectory is a 2xN array. The
+// example generates the dataset, stores the trajectories in an
+// embedded relational back-end (chunked BLOBs, SPD retrieval) and runs
+// the four application queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scisparql"
+	"scisparql/internal/bistab"
+)
+
+func main() {
+	cfg := bistab.DefaultConfig()
+	backend, err := scisparql.NewRelationalBackend(scisparql.StrategySPD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := bistab.Generate(cfg, backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BISTAB dataset: %d parameter cases x %d realizations, %d-step trajectories\n",
+		cfg.Cases, cfg.Realizations, cfg.Steps)
+	fmt.Printf("metadata graph: %d triples; trajectories externalized to %s\n\n",
+		db.Dataset.Default.Size(), backend.Name())
+
+	for _, q := range bistab.Queries(cfg) {
+		res, err := db.Query(q.Text)
+		if err != nil {
+			log.Fatalf("%s: %v", q.Name, err)
+		}
+		fmt.Printf("## %s -> %d rows\n", q.Name, res.Len())
+		limit := res.Len()
+		if limit > 4 {
+			limit = 4
+		}
+		for i := 0; i < limit; i++ {
+			for j, v := range res.Vars {
+				fmt.Printf("  ?%s=%v", v, res.Rows[i][j])
+			}
+			fmt.Println()
+		}
+		if res.Len() > limit {
+			fmt.Printf("  ... (%d more)\n", res.Len()-limit)
+		}
+		fmt.Println()
+	}
+
+	// The queries above pulled only the chunks they needed; show the
+	// relational store's counters as evidence of lazy retrieval.
+	st := backend.DB.StatsSnapshot()
+	fmt.Printf("relational back-end: %d SQL statements, %.1f MB transferred\n",
+		st.Statements, float64(st.BytesReturned)/(1<<20))
+}

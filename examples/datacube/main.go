@@ -1,0 +1,100 @@
+// Data Cube: statistical data published with the W3C RDF Data Cube
+// vocabulary is consolidated on load — the observations collapse into
+// one dense array per measure plus per-dimension index dictionaries —
+// after which array queries and the remaining metadata queries run
+// against a much smaller graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scisparql"
+)
+
+// A small population cube: 3 years x 4 regions.
+const cube = `
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/stats#> .
+
+ex:dsd a qb:DataStructureDefinition ;
+  qb:component [ qb:dimension ex:year ; qb:order 1 ] ,
+               [ qb:dimension ex:region ; qb:order 2 ] ,
+               [ qb:measure ex:population ] .
+
+ex:pop a qb:DataSet ; qb:structure ex:dsd .
+
+ex:o11 qb:dataSet ex:pop ; ex:year 2010 ; ex:region "east"  ; ex:population 120 .
+ex:o12 qb:dataSet ex:pop ; ex:year 2010 ; ex:region "north" ; ex:population 100 .
+ex:o13 qb:dataSet ex:pop ; ex:year 2010 ; ex:region "south" ; ex:population 200 .
+ex:o14 qb:dataSet ex:pop ; ex:year 2010 ; ex:region "west"  ; ex:population 140 .
+ex:o21 qb:dataSet ex:pop ; ex:year 2011 ; ex:region "east"  ; ex:population 125 .
+ex:o22 qb:dataSet ex:pop ; ex:year 2011 ; ex:region "north" ; ex:population 105 .
+ex:o23 qb:dataSet ex:pop ; ex:year 2011 ; ex:region "south" ; ex:population 210 .
+ex:o24 qb:dataSet ex:pop ; ex:year 2011 ; ex:region "west"  ; ex:population 150 .
+ex:o31 qb:dataSet ex:pop ; ex:year 2012 ; ex:region "east"  ; ex:population 130 .
+ex:o32 qb:dataSet ex:pop ; ex:year 2012 ; ex:region "north" ; ex:population 112 .
+ex:o33 qb:dataSet ex:pop ; ex:year 2012 ; ex:region "south" ; ex:population 220 .
+ex:o34 qb:dataSet ex:pop ; ex:year 2012 ; ex:region "west"  ; ex:population 155 .
+`
+
+func main() {
+	// Load twice to show the consolidation effect.
+	raw := scisparql.OpenWith(func() scisparql.Options {
+		o := scisparql.DefaultOptions()
+		o.ConsolidateDataCubes = false
+		return o
+	}())
+	if err := raw.LoadTurtle(cube, ""); err != nil {
+		log.Fatal(err)
+	}
+	db := scisparql.Open()
+	if err := db.LoadTurtle(cube, ""); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw Data Cube graph: %d triples\n", raw.Dataset.Default.Size())
+	fmt.Printf("consolidated graph:  %d triples\n\n", db.Dataset.Default.Size())
+
+	// The measure is now a 3x4 array on the dataset node; dimensions are
+	// 1-based in dictionary order (years ascending, regions sorted).
+	res, err := db.Query(`
+PREFIX ex: <http://example.org/stats#>
+SELECT (adims(?pop) AS ?shape)
+       (?pop[1,:] AS ?y2010)
+       (asum(?pop[3,:]) AS ?total2012)
+       (aavg(?pop[:,3]) AS ?southMean)
+WHERE { ex:pop ex:population ?pop }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shape:         ", res.Get(0, "shape"))
+	fmt.Println("2010 row:      ", res.Get(0, "y2010"))
+	fmt.Println("2012 total:    ", res.Get(0, "total2012"))
+	fmt.Println("south mean:    ", res.Get(0, "southMean"))
+
+	// The dimension dictionaries remain queryable metadata.
+	dims, err := db.Query(`
+PREFIX ex: <http://example.org/stats#>
+PREFIX qb: <http://purl.org/linked-data/cube#>
+PREFIX ssdm: <http://udbl.uu.se/ssdm#>
+SELECT ?dim ?order WHERE {
+  ex:pop ssdm:dimension ?d .
+  ?d qb:dimension ?dim ; qb:order ?order .
+} ORDER BY ?order`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndimensions:")
+	for i := 0; i < dims.Len(); i++ {
+		fmt.Printf("  %v (axis %v)\n", dims.Get(i, "dim"), dims.Get(i, "order"))
+	}
+
+	// Year-over-year growth via array arithmetic on slices.
+	growth, err := db.Query(`
+PREFIX ex: <http://example.org/stats#>
+SELECT (?pop[3,:] - ?pop[1,:] AS ?delta) WHERE { ex:pop ex:population ?pop }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npopulation change 2010 -> 2012 per region:", growth.Get(0, "delta"))
+}

@@ -1,0 +1,3 @@
+module scisparql
+
+go 1.24

@@ -1,0 +1,178 @@
+package scisparql
+
+// Whole-stack integration test: Turtle loading with consolidation,
+// externalization to the relational back-end, SciSPARQL with UDFs and
+// second-order functions, updates, snapshot round trip, and the
+// client/server path — one scenario across every module.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"scisparql/internal/core"
+	"scisparql/internal/rdf"
+	"scisparql/internal/server"
+	"scisparql/internal/ssdmclient"
+	"scisparql/internal/storage"
+)
+
+func TestEndToEndScenario(t *testing.T) {
+	db := Open()
+
+	// 1. Load a dataset with metadata + arrays-as-collections.
+	doc := `@prefix lab: <http://lab/> .` + "\n"
+	for i := 1; i <= 6; i++ {
+		doc += fmt.Sprintf(
+			"lab:run%d a lab:Run ; lab:temp %d ; lab:series (%d %d %d %d %d %d %d %d) .\n",
+			i, 290+i, i, i*2, i*3, i*4, i*5, i*6, i*7, i*8)
+	}
+	if err := db.LoadTurtle(doc, ""); err != nil {
+		t.Fatal(err)
+	}
+	if db.Dataset.Default.Size() != 6*3 {
+		t.Fatalf("graph size %d", db.Dataset.Default.Size())
+	}
+
+	// 2. Externalize arrays to a relational back-end with tiny chunks.
+	rb, err := NewRelationalBackend(StrategySPD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AttachBackend(rb)
+	db.Opts.ChunkBytes = 16 // 2 elements per chunk
+	if n, err := db.Externalize(); err != nil || n != 6 {
+		t.Fatalf("externalize: %d %v", n, err)
+	}
+
+	// 3. Define functions and run an analytical query combining
+	// metadata filters, array computation and grouping.
+	if _, err := db.Execute(`
+PREFIX lab: <http://lab/>
+DEFINE FUNCTION lab:norm(?x, ?peak) AS ?x / ?peak ;
+DEFINE AGGREGATE spread(?b) AS amax(?b) - amin(?b)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+PREFIX lab: <http://lab/>
+SELECT ?run (amax(?s) AS ?peak)
+       (asum(map(lab:norm(_, amax(?s)), ?s)) AS ?normSum)
+WHERE {
+  ?run a lab:Run ; lab:temp ?t ; lab:series ?s
+  FILTER (?t >= 293)
+} ORDER BY ?run`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 { // runs 3..6
+		t.Fatalf("rows %d", res.Len())
+	}
+	// Series of run3 is 3,6,...,24: peak 24, normalized sum = (3+6+...+24)/24 = 108/24 = 4.5.
+	if n, ok := rdf.Numeric(res.Get(0, "peak")); !ok || n.Float() != 24 {
+		t.Fatalf("peak %v", res.Get(0, "peak"))
+	}
+	if n, ok := rdf.Numeric(res.Get(0, "normSum")); !ok || n.Float() != 4.5 {
+		t.Fatalf("normSum %v", res.Get(0, "normSum"))
+	}
+
+	// 4. Aggregate with the user-defined aggregate.
+	res2, err := db.Query(`
+PREFIX lab: <http://lab/>
+SELECT (spread(?t) AS ?range) WHERE { ?run lab:temp ?t }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Get(0, "range") != Integer(5) {
+		t.Fatalf("%v", res2.Rows)
+	}
+
+	// 5. Update, then verify.
+	if _, err := db.Execute(`
+PREFIX lab: <http://lab/>
+DELETE { ?r lab:temp ?t } INSERT { ?r lab:temp 300 } WHERE { ?r lab:temp ?t FILTER (?t < 293) }`); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := db.Query(`PREFIX lab: <http://lab/> SELECT ?r WHERE { ?r lab:temp 300 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Len() != 2 {
+		t.Fatalf("%v", res3.Rows)
+	}
+
+	// 6. Snapshot and restore into a fresh instance sharing the
+	// back-end; results must be identical.
+	img := filepath.Join(t.TempDir(), "image")
+	if err := db.SaveSnapshot(img); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	db2.AttachBackend(rb)
+	if err := db2.LoadSnapshot(img); err != nil {
+		t.Fatal(err)
+	}
+	res4, err := db2.Query(`
+PREFIX lab: <http://lab/>
+SELECT (asum(?s) AS ?total) WHERE { lab:run5 lab:series ?s }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := rdf.Numeric(res4.Get(0, "total")); !ok || n.Float() != 5*36 {
+		t.Fatalf("%v", res4.Rows)
+	}
+}
+
+func TestConcurrentServerClients(t *testing.T) {
+	db := core.Open()
+	db.AttachBackend(storage.NewMemory())
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := func() (*ssdmclient.Result, error) {
+		cl, err := ssdmclient.Connect(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		return nil, cl.LoadTurtle(`@prefix ex: <http://ex/> . ex:s ex:v 1 , 2 , 3 .`, "")
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := ssdmclient.Connect(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 10; j++ {
+				res, err := cl.Query(`PREFIX ex: <http://ex/> SELECT (SUM(?v) AS ?s) WHERE { ex:s ex:v ?v }`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Get(0, "s") != rdf.Integer(6) {
+					errs <- fmt.Errorf("client %d: got %v", id, res.Rows)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

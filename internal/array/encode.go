@@ -1,0 +1,138 @@
+package array
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layouts are little-endian throughout: chunk payloads are bare
+// element sequences; whole-array serializations (network protocol,
+// file-store headers) carry a small descriptor followed by the
+// elements in row-major order.
+
+// DecodeElem reads one element from an 8-byte payload slice.
+func DecodeElem(b []byte, t ElemType) Number {
+	u := binary.LittleEndian.Uint64(b)
+	if t == Int {
+		return IntN(int64(u))
+	}
+	return FloatN(math.Float64frombits(u))
+}
+
+// EncodeElem writes one element into an 8-byte payload slice.
+func EncodeElem(b []byte, v Number, t ElemType) {
+	var u uint64
+	if t == Int {
+		u = uint64(v.Intval())
+	} else {
+		u = math.Float64bits(v.Float())
+	}
+	binary.LittleEndian.PutUint64(b, u)
+}
+
+// EncodeResident returns the raw element payload of a resident base
+// array in storage order.
+func EncodeResident(b *BaseArray) ([]byte, error) {
+	if !b.Resident() {
+		return nil, fmt.Errorf("array: cannot encode proxied base")
+	}
+	out := make([]byte, b.Size*ElemSize)
+	if b.Etype == Int {
+		for i, v := range b.I {
+			binary.LittleEndian.PutUint64(out[i*ElemSize:], uint64(v))
+		}
+	} else {
+		for i, v := range b.F {
+			binary.LittleEndian.PutUint64(out[i*ElemSize:], math.Float64bits(v))
+		}
+	}
+	return out, nil
+}
+
+// DecodeInto fills a resident base array's elements from a raw payload
+// starting at element position elemOff.
+func DecodeInto(b *BaseArray, elemOff int, payload []byte) error {
+	if !b.Resident() {
+		return fmt.Errorf("array: cannot decode into proxied base")
+	}
+	n := len(payload) / ElemSize
+	if elemOff+n > b.Size {
+		return fmt.Errorf("array: payload of %d elements at offset %d exceeds size %d", n, elemOff, b.Size)
+	}
+	for i := 0; i < n; i++ {
+		u := binary.LittleEndian.Uint64(payload[i*ElemSize:])
+		if b.Etype == Int {
+			b.I[elemOff+i] = int64(u)
+		} else {
+			b.F[elemOff+i] = math.Float64frombits(u)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the view (materializing it) as:
+//
+//	byte    element type
+//	uint16  number of dimensions
+//	int64   extent per dimension
+//	...     elements, row-major, little-endian
+func Marshal(a *Array) ([]byte, error) {
+	m, err := a.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	header := 1 + 2 + 8*len(m.Shape)
+	out := make([]byte, header+m.Count()*ElemSize)
+	out[0] = byte(m.Base.Etype)
+	binary.LittleEndian.PutUint16(out[1:], uint16(len(m.Shape)))
+	for d, s := range m.Shape {
+		binary.LittleEndian.PutUint64(out[3+8*d:], uint64(s))
+	}
+	payload, err := EncodeResident(m.Base)
+	if err != nil {
+		return nil, err
+	}
+	copy(out[header:], payload)
+	return out, nil
+}
+
+// Unmarshal reconstructs an array serialized by Marshal.
+func Unmarshal(b []byte) (*Array, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("array: truncated serialization (%d bytes)", len(b))
+	}
+	etype := ElemType(b[0])
+	if etype != Int && etype != Float {
+		return nil, fmt.Errorf("array: bad element type %d", b[0])
+	}
+	ndims := int(binary.LittleEndian.Uint16(b[1:]))
+	if ndims == 0 {
+		return nil, fmt.Errorf("array: zero-dimensional serialization")
+	}
+	header := 3 + 8*ndims
+	if len(b) < header {
+		return nil, fmt.Errorf("array: truncated shape in serialization")
+	}
+	shape := make([]int, ndims)
+	for d := range shape {
+		shape[d] = int(binary.LittleEndian.Uint64(b[3+8*d:]))
+	}
+	if err := validShape(shape); err != nil {
+		return nil, err
+	}
+	n := Prod(shape)
+	if len(b) != header+n*ElemSize {
+		return nil, fmt.Errorf("array: serialization is %d bytes, want %d", len(b), header+n*ElemSize)
+	}
+	var out *Array
+	if etype == Int {
+		out = NewInt(shape...)
+	} else {
+		out = NewFloat(shape...)
+	}
+	if err := DecodeInto(out.Base, 0, b[header:]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package array
+
+import (
+	"fmt"
+	"sync"
+
+	"scisparql/internal/spd"
+)
+
+// ChunkSource is the narrow interface an array proxy needs from a
+// storage back-end. It is a subset of the Array Storage Extensibility
+// Interface (§6.1): the back-end returns raw chunk payloads for the
+// requested chunk-number runs, and may optionally evaluate whole-array
+// aggregates server-side (the AAPR optimization).
+type ChunkSource interface {
+	// ReadChunks fetches the chunks identified by the runs. The result
+	// maps chunk number to its raw little-endian element payload. The
+	// final chunk of an array may be short.
+	ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error)
+
+	// AggregateWhole computes the aggregate state over all elements of
+	// the array inside the back-end. ok is false when the back-end does
+	// not support server-side aggregation, in which case the caller
+	// falls back to fetching chunks.
+	AggregateWhole(arrayID int64) (st *AggState, ok bool, err error)
+}
+
+// Proxy stands in for the elements of an externally stored array
+// (dissertation §5.2, §6.1). Elements are fetched lazily in chunks of
+// ChunkElems elements; fetched chunks are kept in a bounded FIFO cache.
+type Proxy struct {
+	Source     ChunkSource
+	ArrayID    int64
+	ChunkElems int
+	CacheCap   int // maximum cached chunks; 0 means unlimited
+
+	mu    sync.Mutex
+	cache map[int][]byte
+	fifo  []int
+}
+
+// NewProxy creates a proxy for array arrayID on the given source with
+// the given chunk size in elements.
+func NewProxy(src ChunkSource, arrayID int64, chunkElems int) *Proxy {
+	if chunkElems <= 0 {
+		panic(fmt.Sprintf("array: invalid chunk size %d", chunkElems))
+	}
+	return &Proxy{Source: src, ArrayID: arrayID, ChunkElems: chunkElems}
+}
+
+// CachedChunks reports how many chunks are currently cached.
+func (p *Proxy) CachedChunks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// DropCache discards all cached chunks.
+func (p *Proxy) DropCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache = nil
+	p.fifo = nil
+}
+
+func (p *Proxy) elementAt(lin int, etype ElemType) (Number, error) {
+	chunkNo := lin / p.ChunkElems
+	data, err := p.chunk(chunkNo)
+	if err != nil {
+		return Number{}, err
+	}
+	off := (lin % p.ChunkElems) * ElemSize
+	if off+ElemSize > len(data) {
+		return Number{}, fmt.Errorf("array: element %d beyond end of chunk %d (len %d)", lin, chunkNo, len(data))
+	}
+	return DecodeElem(data[off:off+ElemSize], etype), nil
+}
+
+// chunk returns the payload of one chunk, fetching it if absent.
+func (p *Proxy) chunk(chunkNo int) ([]byte, error) {
+	p.mu.Lock()
+	if data, ok := p.cache[chunkNo]; ok {
+		p.mu.Unlock()
+		return data, nil
+	}
+	p.mu.Unlock()
+	got, err := p.Source.ReadChunks(p.ArrayID, []spd.Run{{Start: chunkNo, Stride: 1, Count: 1}})
+	if err != nil {
+		return nil, err
+	}
+	data, ok := got[chunkNo]
+	if !ok {
+		return nil, fmt.Errorf("array: back-end did not return chunk %d of array %d", chunkNo, p.ArrayID)
+	}
+	p.insert(chunkNo, data)
+	return data, nil
+}
+
+func (p *Proxy) insert(chunkNo int, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cache == nil {
+		p.cache = make(map[int][]byte)
+	}
+	if _, ok := p.cache[chunkNo]; ok {
+		return
+	}
+	if p.CacheCap > 0 {
+		for len(p.cache) >= p.CacheCap && len(p.fifo) > 0 {
+			evict := p.fifo[0]
+			p.fifo = p.fifo[1:]
+			delete(p.cache, evict)
+		}
+	}
+	p.cache[chunkNo] = data
+	p.fifo = append(p.fifo, chunkNo)
+}
+
+// fetchMissing retrieves the listed chunk numbers that are not already
+// cached, detecting sequence patterns so the back-end receives compact
+// run descriptions rather than per-chunk requests.
+func (p *Proxy) fetchMissing(chunkNos []int) error {
+	p.mu.Lock()
+	missing := chunkNos[:0]
+	for _, c := range chunkNos {
+		if _, ok := p.cache[c]; !ok {
+			missing = append(missing, c)
+		}
+	}
+	p.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	runs := spd.Detect(missing)
+	got, err := p.Source.ReadChunks(p.ArrayID, runs)
+	if err != nil {
+		return err
+	}
+	for c, data := range got {
+		p.insert(c, data)
+	}
+	return nil
+}
+
+func (p *Proxy) aggregateWhole() (*AggState, bool, error) {
+	return p.Source.AggregateWhole(p.ArrayID)
+}
+
+// PrefetchChunks fetches the given chunk numbers (duplicates and
+// already-cached chunks are skipped) in one batched back-end
+// interaction. It is the entry point for resolving bags of array
+// proxies accumulated across query solutions (§6.2.4).
+func (p *Proxy) PrefetchChunks(chunks []int) error {
+	return p.fetchMissing(spd.Normalize(append([]int(nil), chunks...)))
+}
+
+// Prefetch resolves, in one batched back-end interaction, every chunk
+// the view will touch. It is the single-array form of the APR batching
+// described in §6.2.4; bags of proxies accumulated across query
+// solutions are batched at the engine level.
+func (a *Array) Prefetch() error {
+	p := a.Base.Proxy
+	if p == nil {
+		return nil
+	}
+	chunks := a.TouchedChunks(p.ChunkElems)
+	return p.fetchMissing(chunks)
+}
+
+// TouchedChunks returns the sorted, deduplicated chunk numbers covered
+// by the view, for the given chunk size in elements.
+func (a *Array) TouchedChunks(chunkElems int) []int {
+	seen := make(map[int]struct{})
+	idx := make([]int, len(a.Shape))
+	n := a.Count()
+	for i := 0; i < n; i++ {
+		lin := a.Offset
+		for d, x := range idx {
+			lin += x * a.Strides[d]
+		}
+		seen[lin/chunkElems] = struct{}{}
+		incIndex(idx, a.Shape)
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return spd.Normalize(out)
+}

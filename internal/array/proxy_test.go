@@ -1,0 +1,236 @@
+package array
+
+import (
+	"fmt"
+	"testing"
+
+	"scisparql/internal/spd"
+)
+
+// fakeSource serves chunks of a synthetic float array whose element i
+// has value i, and records every ReadChunks call.
+type fakeSource struct {
+	nelems     int
+	chunkElems int
+	calls      [][]spd.Run
+	aggCapable bool
+}
+
+func (s *fakeSource) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
+	s.calls = append(s.calls, runs)
+	out := make(map[int][]byte)
+	for _, c := range spd.Expand(runs) {
+		lo := c * s.chunkElems
+		if lo >= s.nelems {
+			return nil, fmt.Errorf("chunk %d out of range", c)
+		}
+		hi := lo + s.chunkElems
+		if hi > s.nelems {
+			hi = s.nelems
+		}
+		buf := make([]byte, (hi-lo)*ElemSize)
+		for i := lo; i < hi; i++ {
+			EncodeElem(buf[(i-lo)*ElemSize:], FloatN(float64(i)), Float)
+		}
+		out[c] = buf
+	}
+	return out, nil
+}
+
+func (s *fakeSource) AggregateWhole(arrayID int64) (*AggState, bool, error) {
+	if !s.aggCapable {
+		return nil, false, nil
+	}
+	st := NewAggState()
+	for i := 0; i < s.nelems; i++ {
+		st.Add(FloatN(float64(i)))
+	}
+	return st, true, nil
+}
+
+func newProxied(t *testing.T, nelems, chunkElems int, shape ...int) (*Array, *fakeSource) {
+	t.Helper()
+	src := &fakeSource{nelems: nelems, chunkElems: chunkElems}
+	a, err := NewProxied(NewProxy(src, 1, chunkElems), Float, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, src
+}
+
+func TestProxyElementAccess(t *testing.T) {
+	a, src := newProxied(t, 100, 10, 10, 10)
+	v, err := a.At(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 37 {
+		t.Fatalf("got %v, want 37", v)
+	}
+	if len(src.calls) != 1 {
+		t.Fatalf("expected 1 fetch, got %d", len(src.calls))
+	}
+	// Same chunk again: served from cache.
+	if _, err := a.At(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.calls) != 1 {
+		t.Fatalf("cache miss: %d fetches", len(src.calls))
+	}
+}
+
+func TestProxyPrefetchBatchesChunks(t *testing.T) {
+	a, src := newProxied(t, 1000, 10, 1000)
+	v, err := a.Deref([]Range{Span(0, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.At(499); got.Float() != 499 {
+		t.Fatalf("got %v", got)
+	}
+	if len(src.calls) != 1 {
+		t.Fatalf("expected single batched fetch, got %d", len(src.calls))
+	}
+	// The 50 needed chunks are contiguous: SPD should compress them to
+	// one run.
+	if len(src.calls[0]) != 1 {
+		t.Fatalf("expected 1 run, got %v", src.calls[0])
+	}
+	if src.calls[0][0] != (spd.Run{Start: 0, Stride: 1, Count: 50}) {
+		t.Fatalf("got run %+v", src.calls[0][0])
+	}
+}
+
+func TestProxyStridedAccessDetected(t *testing.T) {
+	a, src := newProxied(t, 1000, 10, 1000)
+	// Every 30th element touches every 3rd chunk.
+	v, err := a.Deref([]Range{SpanStep(0, 1000, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := v.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < 1000; i += 30 {
+		want += float64(i)
+	}
+	if sum.Float() != want {
+		t.Fatalf("sum %v, want %v", sum, want)
+	}
+	if len(src.calls) != 1 {
+		t.Fatalf("expected 1 batched call, got %d", len(src.calls))
+	}
+	runs := src.calls[0]
+	if len(runs) != 1 || runs[0].Stride != 3 {
+		t.Fatalf("expected single stride-3 run, got %v", runs)
+	}
+}
+
+func TestProxyAAPRDelegation(t *testing.T) {
+	a, src := newProxied(t, 100, 10, 100)
+	src.aggCapable = true
+	sum, err := a.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Float() != 4950 {
+		t.Fatalf("sum %v", sum)
+	}
+	if len(src.calls) != 0 {
+		t.Fatal("AAPR should not transfer chunks")
+	}
+}
+
+func TestProxyAggregateFallback(t *testing.T) {
+	a, src := newProxied(t, 100, 10, 100)
+	sum, err := a.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Float() != 4950 {
+		t.Fatalf("sum %v", sum)
+	}
+	if len(src.calls) == 0 {
+		t.Fatal("fallback should fetch chunks")
+	}
+}
+
+func TestProxyViewAggregateNotDelegated(t *testing.T) {
+	a, src := newProxied(t, 100, 10, 100)
+	src.aggCapable = true
+	v, _ := a.Deref([]Range{Span(0, 10)})
+	sum, err := v.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Float() != 45 {
+		t.Fatalf("sum %v", sum)
+	}
+	if len(src.calls) == 0 {
+		t.Fatal("partial view must fetch chunks, not delegate")
+	}
+}
+
+func TestProxyCacheEviction(t *testing.T) {
+	src := &fakeSource{nelems: 100, chunkElems: 10}
+	p := NewProxy(src, 1, 10)
+	p.CacheCap = 2
+	a, err := NewProxied(p, Float, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i += 10 {
+		if _, err := a.At(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.CachedChunks(); got > 2 {
+		t.Fatalf("cache holds %d chunks, cap is 2", got)
+	}
+	p.DropCache()
+	if p.CachedChunks() != 0 {
+		t.Fatal("DropCache did not clear")
+	}
+}
+
+func TestProxyShortFinalChunk(t *testing.T) {
+	// 95 elements with chunk size 10: final chunk has 5 elements.
+	a, _ := newProxied(t, 95, 10, 95)
+	v, err := a.At(94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 94 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTouchedChunks(t *testing.T) {
+	a := NewFloat(100)
+	v, _ := a.Deref([]Range{SpanStep(0, 100, 25)}) // elements 0,25,50,75
+	got := v.TouchedChunks(10)
+	want := []int{0, 2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewProxyPanicsOnBadChunkSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProxy(nil, 1, 0)
+}

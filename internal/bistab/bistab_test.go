@@ -1,0 +1,142 @@
+package bistab
+
+import (
+	"testing"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/storage"
+)
+
+func tinyConfig() Config {
+	return Config{Cases: 3, Realizations: 2, Steps: 128, ChunkBytes: 256, Seed: 7}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := tinyConfig()
+	db, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per task: type, case, 4 params, realization, result = 8 triples;
+	// plus one type triple per case.
+	want := cfg.Tasks()*8 + cfg.Cases
+	if db.Dataset.Default.Size() != want {
+		t.Fatalf("size %d, want %d", db.Dataset.Default.Size(), want)
+	}
+}
+
+func TestQ1MetadataOnly(t *testing.T) {
+	db, err := Generate(tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(Q1(0)) // threshold 0: every task matches
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != tinyConfig().Tasks() {
+		t.Fatalf("rows %d, want %d", res.Len(), tinyConfig().Tasks())
+	}
+}
+
+func TestQ2SliceRetrieval(t *testing.T) {
+	db, err := Generate(tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(Q2(0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no rows")
+	}
+	head, ok := res.Get(0, "head").(rdf.Array)
+	if !ok || head.A.Count() != 10 {
+		t.Fatalf("%v", res.Rows[0])
+	}
+}
+
+func TestQ3ArrayFilter(t *testing.T) {
+	db, err := Generate(tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := db.Query(Q3(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := db.Query(Q3(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != tinyConfig().Tasks() {
+		t.Fatalf("all %d", all.Len())
+	}
+	if some.Len() != 0 {
+		t.Fatalf("impossible threshold matched %d", some.Len())
+	}
+}
+
+func TestQ4GroupsPerCase(t *testing.T) {
+	cfg := tinyConfig()
+	db, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(Q4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != cfg.Cases {
+		t.Fatalf("groups %d, want %d", res.Len(), cfg.Cases)
+	}
+	if res.Get(0, "n") != rdf.Integer(int64(cfg.Realizations)) {
+		t.Fatalf("%v", res.Rows[0])
+	}
+}
+
+func TestExternalizedMatchesResident(t *testing.T) {
+	cfg := tinyConfig()
+	dbRes, err := Generate(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbExt, err := Generate(cfg, storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries(cfg) {
+		r1, err := dbRes.Query(q.Text)
+		if err != nil {
+			t.Fatalf("%s resident: %v", q.Name, err)
+		}
+		r2, err := dbExt.Query(q.Text)
+		if err != nil {
+			t.Fatalf("%s external: %v", q.Name, err)
+		}
+		if r1.Len() != r2.Len() {
+			t.Fatalf("%s: %d vs %d rows", q.Name, r1.Len(), r2.Len())
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	cfg := tinyConfig()
+	db1, _ := Generate(cfg, nil)
+	db2, _ := Generate(cfg, nil)
+	q := Q4()
+	r1, err := db1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i][1] != r2.Rows[i][1] {
+			t.Fatalf("row %d differs: %v vs %v", i, r1.Rows[i], r2.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+	"scisparql/internal/storage"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := Open()
+	db.SetPrefix("ex", "http://ex/")
+	err := db.LoadTurtle(`@prefix ex: <http://ex/> .
+ex:s ex:name "alice" ; ex:age 30 ; ex:m ((1 2) (3 4)) .`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadTurtle(`@prefix ex: <http://ex/> . ex:n ex:v 7 .`, "http://ex/g1"); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "image.ssdm.ttl")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh instance.
+	db2 := Open()
+	if err := db2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Dataset.Default.Size() != db.Dataset.Default.Size() {
+		t.Fatalf("default graph %d vs %d", db2.Dataset.Default.Size(), db.Dataset.Default.Size())
+	}
+	res, err := db2.Query(`PREFIX ex: <http://ex/> SELECT (?m[2,2] AS ?v) WHERE { ex:s ex:m ?m }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := rdf.Numeric(res.Get(0, "v")); !ok || n.Intval() != 4 {
+		t.Fatalf("%v", res.Rows)
+	}
+	res2, err := db2.Query(`SELECT ?v WHERE { GRAPH <http://ex/g1> { ?s ?p ?v } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 1 || res2.Rows[0][0] != rdf.Integer(7) {
+		t.Fatalf("%v", res2.Rows)
+	}
+}
+
+func TestSnapshotWithProxiedArrays(t *testing.T) {
+	mem := storage.NewMemory()
+	db := Open()
+	db.AttachBackend(mem)
+	a, _ := array.FromFloats([]float64{5, 6, 7, 8}, 4)
+	if err := db.AddArrayTriple(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/d"), a); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "image")
+	if err := db.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// Restore against the same back-end: the proxy re-links.
+	db2 := Open()
+	db2.AttachBackend(mem)
+	if err := db2.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query(`PREFIX ex: <http://ex/> SELECT (asum(?a) AS ?s) WHERE { ex:s ex:d ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := rdf.Numeric(res.Get(0, "s")); !ok || n.Float() != 26 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	db := Open()
+	if err := db.LoadSnapshot("/nonexistent/path"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	os.WriteFile(bad, []byte("not a snapshot"), 0o644)
+	if err := db.LoadSnapshot(bad); err == nil {
+		t.Fatal("bad header should fail")
+	}
+	bad2 := filepath.Join(t.TempDir(), "bad2")
+	os.WriteFile(bad2, []byte(snapshotHeader+"\n<http://x> <http://y> 1 .\n"), 0o644)
+	if err := db.LoadSnapshot(bad2); err == nil {
+		t.Fatal("content before section should fail")
+	}
+}

@@ -1,0 +1,299 @@
+// Package core implements the Scientific SPARQL Database Manager
+// (SSDM) — the paper's primary contribution assembled: an
+// RDF-with-Arrays dataset, the SciSPARQL query processor, the data
+// loaders, and attachments to array storage back-ends through the
+// Array Storage Extensibility Interface (dissertation chapter 5).
+//
+// SSDM can run stand-alone (this package), as a server
+// (internal/server) or be driven from numeric workflows through the
+// client API (internal/ssdmclient), mirroring the deployment modes of
+// §5.1.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"scisparql/internal/array"
+	"scisparql/internal/engine"
+	"scisparql/internal/loader"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+	"scisparql/internal/storage"
+	"scisparql/internal/turtle"
+)
+
+// Options configure an SSDM instance.
+type Options struct {
+	// ConsolidateCollections enables rewriting nested numeric RDF
+	// collections into arrays at load time (§5.3.2). Default on.
+	ConsolidateCollections bool
+	// ConsolidateDataCubes enables RDF Data Cube consolidation at load
+	// time (§5.3.3). Default on.
+	ConsolidateDataCubes bool
+	// ChunkBytes is the chunk size used when arrays are stored to a
+	// back-end. Defaults to storage.DefaultChunkBytes.
+	ChunkBytes int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{
+		ConsolidateCollections: true,
+		ConsolidateDataCubes:   true,
+		ChunkBytes:             storage.DefaultChunkBytes,
+	}
+}
+
+// SSDM is a Scientific SPARQL Database Manager instance.
+type SSDM struct {
+	mu      sync.Mutex
+	Dataset *rdf.Dataset
+	Engine  *engine.Engine
+	Opts    Options
+
+	backend storage.Backend // attached array store (nil = resident only)
+
+	// Prefixes collected from loaded documents, used when serializing.
+	Prefixes map[string]string
+}
+
+// Open creates an SSDM instance with default options.
+func Open() *SSDM {
+	return OpenWith(DefaultOptions())
+}
+
+// OpenWith creates an SSDM instance with explicit options.
+func OpenWith(opts Options) *SSDM {
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = storage.DefaultChunkBytes
+	}
+	ds := rdf.NewDataset()
+	return &SSDM{
+		Dataset:  ds,
+		Engine:   engine.New(ds),
+		Opts:     opts,
+		Prefixes: map[string]string{},
+	}
+}
+
+// AttachBackend connects an array storage back-end; arrays stored via
+// StoreArray and Externalize go there, and file links resolve against
+// it.
+func (s *SSDM) AttachBackend(b storage.Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backend = b
+}
+
+// Backend returns the attached back-end (nil when resident-only).
+func (s *SSDM) Backend() storage.Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend
+}
+
+// LoadTurtle loads a Turtle document into a graph ("" = default) and
+// runs the configured consolidations.
+func (s *SSDM) LoadTurtle(src string, graph rdf.IRI) error {
+	g := s.targetGraph(graph)
+	if err := turtle.ParseString(src, g); err != nil {
+		return err
+	}
+	return s.postLoad(g)
+}
+
+// LoadTurtleReader is LoadTurtle over an io.Reader.
+func (s *SSDM) LoadTurtleReader(r io.Reader, graph rdf.IRI) error {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return s.LoadTurtle(string(b), graph)
+}
+
+// LoadTurtleFile loads a Turtle file from disk.
+func (s *SSDM) LoadTurtleFile(path string, graph rdf.IRI) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return s.LoadTurtle(string(b), graph)
+}
+
+func (s *SSDM) targetGraph(graph rdf.IRI) *rdf.Graph {
+	if graph == "" {
+		return s.Dataset.Default
+	}
+	return s.Dataset.Named(graph, true)
+}
+
+func (s *SSDM) postLoad(g *rdf.Graph) error {
+	if s.Opts.ConsolidateCollections {
+		if _, err := loader.ConsolidateCollections(g); err != nil {
+			return err
+		}
+	}
+	if s.Opts.ConsolidateDataCubes {
+		if _, err := loader.ConsolidateDataCube(g); err != nil {
+			return err
+		}
+	}
+	if b := s.Backend(); b != nil {
+		if _, err := loader.ResolveFileLinks(g, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query parses and executes a single SciSPARQL query.
+func (s *SSDM) Query(src string) (*engine.Results, error) {
+	return s.Engine.QueryString(src)
+}
+
+// Explain renders the execution strategy for a query (join order with
+// fan-out estimates, filter placement) without running it.
+func (s *SSDM) Explain(src string) (string, error) {
+	return s.Engine.ExplainString(src)
+}
+
+// Prepared is a parsed query that can be executed repeatedly with
+// different parameter bindings — the programmatic counterpart of
+// SciSPARQL's parameterized views (§4.2).
+type Prepared struct {
+	ssdm *SSDM
+	q    *sparql.Query
+}
+
+// Prepare parses a SELECT query once for repeated execution.
+func (s *SSDM) Prepare(src string) (*Prepared, error) {
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{ssdm: s, q: q}, nil
+}
+
+// Exec runs the prepared query with the given variables pre-bound
+// (nil for none).
+func (p *Prepared) Exec(params map[string]rdf.Term) (*engine.Results, error) {
+	initial := engine.Binding{}
+	for k, v := range params {
+		initial[k] = v
+	}
+	return p.ssdm.Engine.QueryWith(p.q, initial)
+}
+
+// Execute runs a sequence of SciSPARQL statements (queries and
+// updates, ';'-separated) and returns the results of the queries.
+func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
+	stmts, err := sparql.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*engine.Results
+	for _, st := range stmts {
+		switch v := st.(type) {
+		case *sparql.Query:
+			res, err := s.Engine.Query(v)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, res)
+		case *sparql.Load:
+			if err := s.execLoad(v); err != nil {
+				return out, err
+			}
+		default:
+			if _, err := s.Engine.Update(st); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Update runs a single update statement and reports affected triples.
+func (s *SSDM) Update(src string) (int, error) {
+	st, err := sparql.ParseStatement(src)
+	if err != nil {
+		return 0, err
+	}
+	if ld, ok := st.(*sparql.Load); ok {
+		return 0, s.execLoad(ld)
+	}
+	return s.Engine.Update(st)
+}
+
+// execLoad handles LOAD <source> [INTO GRAPH g]: sources are local
+// Turtle files (an SSDM deployment decides its own file access
+// policy, so this lives in the manager, not the engine).
+func (s *SSDM) execLoad(v *sparql.Load) error {
+	src := strings.TrimPrefix(v.Source, "file://")
+	return s.LoadTurtleFile(src, v.Graph)
+}
+
+// StoreArray writes an array to the attached back-end and returns its
+// ID.
+func (s *SSDM) StoreArray(a *array.Array) (int64, error) {
+	b := s.Backend()
+	if b == nil {
+		return 0, fmt.Errorf("ssdm: no storage back-end attached")
+	}
+	return b.Store(a, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+}
+
+// AddArrayTriple attaches an array value to (s, p) in the default
+// graph: resident when no back-end is attached, externalized
+// otherwise.
+func (s *SSDM) AddArrayTriple(subj rdf.Term, prop rdf.IRI, a *array.Array) error {
+	b := s.Backend()
+	if b == nil {
+		s.Dataset.Default.Add(subj, prop, rdf.NewArray(a))
+		return nil
+	}
+	id, err := b.Store(a, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+	if err != nil {
+		return err
+	}
+	return loader.LinkArray(s.Dataset.Default, subj, prop, b, id)
+}
+
+// Externalize moves every resident array in the default graph to the
+// attached back-end (the back-end scenario of chapter 6).
+func (s *SSDM) Externalize() (int, error) {
+	b := s.Backend()
+	if b == nil {
+		return 0, fmt.Errorf("ssdm: no storage back-end attached")
+	}
+	return loader.ExternalizeArrays(s.Dataset.Default, b, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+}
+
+// WriteTurtle serializes a graph ("" = default) as Turtle.
+func (s *SSDM) WriteTurtle(w io.Writer, graph rdf.IRI) error {
+	g := s.targetGraph(graph)
+	return turtle.Write(w, g, s.Prefixes)
+}
+
+// RegisterForeign exposes a Go function to SciSPARQL queries (§4.4).
+func (s *SSDM) RegisterForeign(name string, minArgs, maxArgs int, fn engine.ForeignFunc) {
+	s.Engine.Funcs.RegisterForeign(name, minArgs, maxArgs, fn)
+}
+
+// RegisterForeignCost is RegisterForeign with a declared per-call cost
+// estimate for the optimizer (§4.4): among filters applicable at the
+// same plan position, cheaper ones evaluate first.
+func (s *SSDM) RegisterForeignCost(name string, minArgs, maxArgs int, cost float64, fn engine.ForeignFunc) {
+	s.Engine.Funcs.RegisterForeignCost(name, minArgs, maxArgs, cost, fn)
+}
+
+// SetPrefix declares a namespace prefix used when serializing output.
+func (s *SSDM) SetPrefix(name, ns string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Prefixes[name] = ns
+}

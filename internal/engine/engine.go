@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Binding is one query solution: a mapping from variable names to RDF
+// terms. Absent variables are unbound.
+type Binding map[string]rdf.Term
+
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Engine executes SciSPARQL queries and updates over a dataset.
+type Engine struct {
+	Dataset *rdf.Dataset
+	Funcs   *Registry
+
+	// DisableJoinOrder turns off cost-based reordering of triple
+	// patterns (the ablation knob for experiment A1).
+	DisableJoinOrder bool
+
+	// MaxPathSteps bounds transitive property-path expansion as a
+	// safety net against pathological graphs. 0 means no limit.
+	MaxPathSteps int
+}
+
+// New creates an engine over a dataset with the standard function
+// library registered.
+func New(ds *rdf.Dataset) *Engine {
+	e := &Engine{Dataset: ds, Funcs: NewRegistry()}
+	registerStdlib(e.Funcs)
+	return e
+}
+
+// ForeignFunc is the Go signature of a foreign function (§4.4):
+// existing computational libraries are interfaced by wrapping entry
+// points in this form and registering them.
+type ForeignFunc func(args []rdf.Term) (rdf.Term, error)
+
+// Function describes a callable: exactly one of Builtin, ExprBody,
+// QueryBody or Foreign is set.
+type Function struct {
+	Name   string
+	Params []string // for ExprBody/QueryBody
+
+	MinArgs int
+	MaxArgs int // -1 = variadic
+
+	Builtin   func(c *evalCtx, args []rdf.Term) (rdf.Term, error)
+	ExprBody  sparql.Expression
+	QueryBody *sparql.Query
+	Foreign   ForeignFunc
+
+	// Cost is the optimizer's per-call cost estimate, as foreign
+	// functions may declare (§4.4). It is advisory.
+	Cost float64
+}
+
+// UserAggregate is a DEFINE AGGREGATE definition: an expression over a
+// parameter bound to the 1-D array of the group's values.
+type UserAggregate struct {
+	Name  string
+	Param string
+	Expr  sparql.Expression
+}
+
+// Registry holds user-defined functions, foreign functions and user
+// aggregates.
+type Registry struct {
+	mu   sync.RWMutex
+	fns  map[string]*Function
+	aggs map[string]*UserAggregate
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fns: map[string]*Function{}, aggs: map[string]*UserAggregate{}}
+}
+
+// Register installs a function under its name (replacing any previous
+// definition, as re-running a DEFINE does in SSDM).
+func (r *Registry) Register(f *Function) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[f.Name] = f
+}
+
+// RegisterForeign wraps a Go function as a SciSPARQL foreign function.
+func (r *Registry) RegisterForeign(name string, minArgs, maxArgs int, fn ForeignFunc) {
+	r.Register(&Function{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Foreign: fn})
+}
+
+// RegisterForeignCost additionally declares a per-call cost estimate
+// (§4.4): the optimizer evaluates expensive filters after cheap ones
+// when both are applicable at the same plan position.
+func (r *Registry) RegisterForeignCost(name string, minArgs, maxArgs int, cost float64, fn ForeignFunc) {
+	r.Register(&Function{Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Cost: cost, Foreign: fn})
+}
+
+// RegisterAggregate installs a user aggregate.
+func (r *Registry) RegisterAggregate(a *UserAggregate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aggs[a.Name] = a
+}
+
+// Lookup finds a function by name.
+func (r *Registry) Lookup(name string) (*Function, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.fns[name]
+	return f, ok
+}
+
+// LookupAggregate finds a user aggregate by name.
+func (r *Registry) LookupAggregate(name string) (*UserAggregate, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.aggs[name]
+	return a, ok
+}
+
+// Names lists registered function names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalCtx carries the evaluation environment of one query: engine,
+// dataset view and the active graph.
+type evalCtx struct {
+	eng   *Engine
+	graph *rdf.Graph
+	depth int // functional-view recursion guard
+
+	// named restricts which named graphs GRAPH clauses may range over
+	// (the FROM NAMED dataset clause, §3.3.4); nil means all.
+	named map[rdf.IRI]bool
+}
+
+const maxCallDepth = 64
+
+func (c *evalCtx) child() (*evalCtx, error) {
+	if c.depth+1 > maxCallDepth {
+		return nil, errf("function call nesting exceeds %d (recursive view?)", maxCallDepth)
+	}
+	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named}, nil
+}
+
+// Results is a solution table: ordered column names plus rows aligned
+// with them. Unbound cells are nil.
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term
+
+	// Bool is the ASK verdict when the query was an ASK.
+	Bool bool
+	// Graph is the constructed graph for CONSTRUCT/DESCRIBE.
+	Graph *rdf.Graph
+	// Form echoes the query form.
+	Form sparql.Form
+}
+
+// Len returns the number of solution rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Get returns the value of a named column in row i (nil when unbound
+// or absent).
+func (r *Results) Get(i int, name string) rdf.Term {
+	for j, v := range r.Vars {
+		if v == name {
+			return r.Rows[i][j]
+		}
+	}
+	return nil
+}
+
+// String renders a compact table for diagnostics.
+func (r *Results) String() string {
+	if r.Form == sparql.FormAsk {
+		return fmt.Sprintf("ASK -> %v", r.Bool)
+	}
+	s := fmt.Sprintf("%v (%d rows)", r.Vars, len(r.Rows))
+	return s
+}

@@ -1,0 +1,703 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Query executes a parsed query over the engine's dataset.
+func (e *Engine) Query(q *sparql.Query) (*Results, error) {
+	ctx := &evalCtx{eng: e, graph: e.activeGraph(q)}
+	if len(q.FromNamed) > 0 {
+		ctx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
+		for _, n := range q.FromNamed {
+			ctx.named[n] = true
+		}
+	}
+	switch q.Form {
+	case sparql.FormSelect:
+		return e.execSelect(ctx, q, Binding{})
+	case sparql.FormAsk:
+		return e.execAsk(ctx, q)
+	case sparql.FormConstruct:
+		return e.execConstruct(ctx, q)
+	case sparql.FormDescribe:
+		return e.execDescribe(ctx, q)
+	default:
+		return nil, fmt.Errorf("engine: unknown query form")
+	}
+}
+
+// QueryString parses and executes a query.
+func (e *Engine) QueryString(src string) (*Results, error) {
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(q)
+}
+
+// QueryWith executes a SELECT query with variables pre-bound — the
+// execution path of parameterized views and prepared statements.
+func (e *Engine) QueryWith(q *sparql.Query, initial Binding) (*Results, error) {
+	if q.Form != sparql.FormSelect {
+		return nil, fmt.Errorf("engine: parameterized execution requires a SELECT query")
+	}
+	ctx := &evalCtx{eng: e, graph: e.activeGraph(q)}
+	if len(q.FromNamed) > 0 {
+		ctx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
+		for _, n := range q.FromNamed {
+			ctx.named[n] = true
+		}
+	}
+	return e.execSelect(ctx, q, initial)
+}
+
+// activeGraph resolves the FROM clause: no FROM uses the default
+// graph; one FROM uses that named graph; several FROMs build a merged
+// view (materialized — acceptable at the metadata scale SSDM's graphs
+// live at, since arrays are not copied, only referenced).
+func (e *Engine) activeGraph(q *sparql.Query) *rdf.Graph {
+	if len(q.From) == 0 {
+		return e.Dataset.Default
+	}
+	if len(q.From) == 1 {
+		if g := e.Dataset.Named(q.From[0], false); g != nil {
+			return g
+		}
+		return rdf.NewGraph()
+	}
+	merged := rdf.NewGraph()
+	for _, name := range q.From {
+		if g := e.Dataset.Named(name, false); g != nil {
+			g.Triples(func(s, p, o rdf.Term) bool {
+				merged.Add(s, p, o)
+				return true
+			})
+		}
+	}
+	return merged
+}
+
+// whereSolutions enumerates the WHERE solutions (a single empty
+// binding when the query has no WHERE clause).
+func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, yield func(Binding) error) error {
+	if q.Where == nil {
+		return yield(initial)
+	}
+	return c.evalGroup(q.Where, initial, yield)
+}
+
+// execSelect runs the SELECT pipeline: WHERE -> grouping/aggregation
+// -> HAVING -> projection -> ORDER BY -> DISTINCT -> OFFSET/LIMIT
+// (§3.5, §3.7).
+func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Results, error) {
+	grouped := len(q.GroupBy) > 0
+	if !grouped {
+		for _, it := range q.Items {
+			if it.Expr != nil && e.hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+		for _, h := range q.Having {
+			if e.hasAggregate(h) {
+				grouped = true
+			}
+		}
+	}
+
+	var solutions []Binding
+	if grouped {
+		// Work on a copy: aggregate rewriting must not mutate the parsed
+		// query, which may be re-executed (functional views, prepared
+		// statements).
+		qc := *q
+		qc.Items = append([]sparql.SelectItem(nil), q.Items...)
+		qc.Having = append([]sparql.Expression(nil), q.Having...)
+		qc.OrderBy = append([]sparql.OrderCond(nil), q.OrderBy...)
+		q = &qc
+		var err error
+		solutions, err = e.aggregateSolutions(ctx, q, initial)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// LIMIT pushdown: without ordering, grouping or DISTINCT, the
+		// solution stream can stop as soon as OFFSET+LIMIT solutions
+		// exist.
+		stopAt := -1
+		if q.Limit >= 0 && len(q.OrderBy) == 0 && !q.Distinct && len(q.Having) == 0 {
+			stopAt = q.Offset + q.Limit
+		}
+		err := ctx.whereSolutions(q, initial, func(b Binding) error {
+			solutions = append(solutions, b)
+			if stopAt >= 0 && len(solutions) >= stopAt {
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && err != errStop {
+			return nil, err
+		}
+		// Ungrouped HAVING behaves as a final filter.
+		for _, h := range q.Having {
+			kept := solutions[:0]
+			for _, b := range solutions {
+				if ok, err := ctx.evalBool(h, b); err == nil && ok {
+					kept = append(kept, b)
+				}
+			}
+			solutions = kept
+		}
+	}
+
+	// Projection list.
+	var vars []string
+	var exprs []sparql.Expression // nil = plain var copy
+	if q.Star || len(q.Items) == 0 {
+		seen := map[string]bool{}
+		for _, b := range solutions {
+			for v := range b {
+				if !seen[v] && !strings.Contains(v, ":") && !strings.HasPrefix(v, "#") {
+					seen[v] = true
+					vars = append(vars, v)
+				}
+			}
+		}
+		sort.Strings(vars)
+		exprs = make([]sparql.Expression, len(vars))
+	} else {
+		for _, it := range q.Items {
+			vars = append(vars, it.Var)
+			exprs = append(exprs, it.Expr)
+		}
+	}
+
+	// Batched APR (§6.2.4): when projection expressions dereference
+	// proxied arrays, gather the chunks every solution will touch and
+	// resolve each proxy's bag in one back-end interaction before
+	// evaluating. Without this, scattered element accesses degenerate to
+	// one retrieval per element.
+	batch := false
+	for _, e := range exprs {
+		if containsSubscript(e) {
+			batch = true
+			break
+		}
+	}
+	if batch {
+		pending := map[*array.Proxy][]int{}
+		for _, b := range solutions {
+			for _, e := range exprs {
+				ctx.collectSubscriptChunks(e, b, pending)
+			}
+		}
+		for p, chunks := range pending {
+			if err := p.PrefetchChunks(chunks); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Evaluate projections, keeping the full binding for ORDER BY.
+	type outRow struct {
+		cells []rdf.Term
+		bind  Binding
+	}
+	rows := make([]outRow, 0, len(solutions))
+	for _, b := range solutions {
+		cells := make([]rdf.Term, len(vars))
+		extended := b
+		for i, name := range vars {
+			if exprs[i] == nil {
+				cells[i] = b[name]
+				continue
+			}
+			v, err := ctx.eval(exprs[i], b)
+			if err != nil {
+				if _, isExpr := err.(*exprError); !isExpr {
+					return nil, err
+				}
+				v = nil // expression error -> unbound (§3.6)
+			}
+			cells[i] = v
+			if v != nil {
+				if extended == nil {
+					extended = b
+				}
+				extended = extended.clone()
+				extended[name] = v
+			}
+		}
+		rows = append(rows, outRow{cells: cells, bind: extended})
+	}
+
+	// ORDER BY over the extended bindings (aliases visible).
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, oc := range q.OrderBy {
+				vi, ei := ctx.eval(oc.Expr, rows[i].bind)
+				vj, ej := ctx.eval(oc.Expr, rows[j].bind)
+				if ei != nil && ej != nil {
+					continue
+				}
+				if ei != nil {
+					return !oc.Desc // errors/unbound sort first ascending
+				}
+				if ej != nil {
+					return oc.Desc
+				}
+				cmp, err := Compare(vi, vj, false)
+				if err != nil || cmp == 0 {
+					continue
+				}
+				if oc.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+
+	res := &Results{Vars: vars, Form: sparql.FormSelect}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if q.Distinct {
+			key := rowKey(r.cells)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		res.Rows = append(res.Rows, r.cells)
+	}
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func rowKey(cells []rdf.Term) string {
+	var sb strings.Builder
+	for _, c := range cells {
+		if c == nil {
+			sb.WriteString("\x00U")
+		} else {
+			sb.WriteString(c.Key())
+		}
+		sb.WriteByte('\x01')
+	}
+	return sb.String()
+}
+
+func (e *Engine) execAsk(ctx *evalCtx, q *sparql.Query) (*Results, error) {
+	found := false
+	err := ctx.whereSolutions(q, Binding{}, func(Binding) error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+	return &Results{Form: sparql.FormAsk, Bool: found}, nil
+}
+
+func (e *Engine) execConstruct(ctx *evalCtx, q *sparql.Query) (*Results, error) {
+	out := rdf.NewGraph()
+	err := ctx.whereSolutions(q, Binding{}, func(b Binding) error {
+		instantiateTemplate(out, q.ConstructTemplate, b)
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+	return &Results{Form: sparql.FormConstruct, Graph: out}, nil
+}
+
+// instantiateTemplate adds the template's triples under a solution;
+// template blank nodes become fresh nodes per solution, and triples
+// with unbound components are skipped.
+func instantiateTemplate(g *rdf.Graph, tpl []sparql.TriplePattern, b Binding) {
+	blanks := map[string]rdf.Blank{}
+	resolve := func(n sparql.Node) rdf.Term {
+		if n.IsVar() {
+			return b[n.Var]
+		}
+		if bl, ok := n.Term.(rdf.Blank); ok {
+			fresh, ok2 := blanks[string(bl)]
+			if !ok2 {
+				fresh = g.NewBlank()
+				blanks[string(bl)] = fresh
+			}
+			return fresh
+		}
+		return n.Term
+	}
+	for _, tp := range tpl {
+		s := resolve(tp.S)
+		o := resolve(tp.O)
+		var p rdf.Term
+		switch pv := tp.Path.(type) {
+		case sparql.PathIRI:
+			p = pv.IRI
+		case sparql.PathVar:
+			p = b[pv.Name]
+		}
+		if s == nil || p == nil || o == nil {
+			continue
+		}
+		if pi, ok := p.(rdf.IRI); ok {
+			g.Add(s, pi, o)
+		}
+	}
+}
+
+func (e *Engine) execDescribe(ctx *evalCtx, q *sparql.Query) (*Results, error) {
+	out := rdf.NewGraph()
+	describe := func(t rdf.Term) {
+		ctx.graph.MatchTerms(t, nil, nil, func(s, p, o rdf.Term) bool {
+			out.Add(s, p, o)
+			return true
+		})
+	}
+	targets := map[string]rdf.Term{}
+	for _, de := range q.DescribeTerms {
+		switch v := de.(type) {
+		case sparql.ELit:
+			targets[v.Term.Key()] = v.Term
+		case sparql.EVar:
+			err := ctx.whereSolutions(q, Binding{}, func(b Binding) error {
+				if t, ok := b[v.Name]; ok {
+					targets[t.Key()] = t
+				}
+				return nil
+			})
+			if err != nil && err != errStop {
+				return nil, err
+			}
+		}
+	}
+	for _, t := range targets {
+		describe(t)
+	}
+	return &Results{Form: sparql.FormDescribe, Graph: out}, nil
+}
+
+// --- aggregation (§3.5) ---
+
+// hasAggregate extends sparql.HasAggregate with user-defined
+// aggregates (DEFINE AGGREGATE names applied as calls).
+func (e *Engine) hasAggregate(x sparql.Expression) bool {
+	if sparql.HasAggregate(x) {
+		return true
+	}
+	found := false
+	var walk func(sparql.Expression)
+	walk = func(ex sparql.Expression) {
+		if found || ex == nil {
+			return
+		}
+		switch v := ex.(type) {
+		case sparql.ECall:
+			if _, ok := e.Funcs.LookupAggregate(v.Name); ok {
+				found = true
+				return
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case sparql.EBin:
+			walk(v.L)
+			walk(v.R)
+		case sparql.EUn:
+			walk(v.E)
+		case sparql.EIn:
+			walk(v.E)
+			for _, a := range v.List {
+				walk(a)
+			}
+		case sparql.ESubscript:
+			walk(v.Base)
+		}
+	}
+	walk(x)
+	return found
+}
+
+// aggSpec is one aggregate register discovered in the query.
+type aggSpec struct {
+	std  *sparql.EAgg
+	user *UserAggregate
+	arg  sparql.Expression
+	dist bool
+	sep  string
+}
+
+// aggState accumulates one register within one group.
+type aggState struct {
+	n      int64
+	sum    *array.AggState
+	sample rdf.Term
+	concat []string
+	seen   map[string]bool
+	values []array.Number // user aggregates
+	errors bool
+}
+
+// rewriteAggs replaces aggregate subtrees with references to register
+// variables ("#aggN"), returning the rewritten expression.
+func (e *Engine) rewriteAggs(x sparql.Expression, specs *[]aggSpec) sparql.Expression {
+	switch v := x.(type) {
+	case sparql.EAgg:
+		idx := len(*specs)
+		sp := aggSpec{std: &v, arg: v.Arg, dist: v.Distinct, sep: v.Separator}
+		*specs = append(*specs, sp)
+		return sparql.EVar{Name: fmt.Sprintf("#agg%d", idx)}
+	case sparql.ECall:
+		if ua, ok := e.Funcs.LookupAggregate(v.Name); ok && len(v.Args) == 1 {
+			idx := len(*specs)
+			*specs = append(*specs, aggSpec{user: ua, arg: v.Args[0]})
+			return sparql.EVar{Name: fmt.Sprintf("#agg%d", idx)}
+		}
+		args := make([]sparql.Expression, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = e.rewriteAggs(a, specs)
+		}
+		return sparql.ECall{Name: v.Name, Args: args}
+	case sparql.EBin:
+		return sparql.EBin{Op: v.Op, L: e.rewriteAggs(v.L, specs), R: e.rewriteAggs(v.R, specs)}
+	case sparql.EUn:
+		return sparql.EUn{Op: v.Op, E: e.rewriteAggs(v.E, specs)}
+	case sparql.EIn:
+		out := sparql.EIn{Not: v.Not, E: e.rewriteAggs(v.E, specs)}
+		for _, a := range v.List {
+			out.List = append(out.List, e.rewriteAggs(a, specs))
+		}
+		return out
+	case sparql.ESubscript:
+		out := sparql.ESubscript{Base: e.rewriteAggs(v.Base, specs)}
+		out.Subs = v.Subs
+		return out
+	default:
+		return x
+	}
+}
+
+// aggregateSolutions evaluates WHERE, groups solutions, computes
+// aggregate registers and returns one binding per group carrying the
+// GROUP BY variables plus register values; q.Items and q.Having are
+// rewritten in place to reference the registers.
+func (e *Engine) aggregateSolutions(ctx *evalCtx, q *sparql.Query, initial Binding) ([]Binding, error) {
+	var specs []aggSpec
+	for i := range q.Items {
+		if q.Items[i].Expr != nil {
+			q.Items[i].Expr = e.rewriteAggs(q.Items[i].Expr, &specs)
+		}
+	}
+	for i := range q.Having {
+		q.Having[i] = e.rewriteAggs(q.Having[i], &specs)
+	}
+	for i := range q.OrderBy {
+		q.OrderBy[i].Expr = e.rewriteAggs(q.OrderBy[i].Expr, &specs)
+	}
+
+	type group struct {
+		rep    Binding
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+
+	err := ctx.whereSolutions(q, initial, func(b Binding) error {
+		// Group key.
+		var kb strings.Builder
+		keyVals := make([]rdf.Term, len(q.GroupBy))
+		for i, ge := range q.GroupBy {
+			v, err := ctx.eval(ge, b)
+			if err != nil {
+				v = nil
+			}
+			keyVals[i] = v
+			if v == nil {
+				kb.WriteString("\x00U")
+			} else {
+				kb.WriteString(v.Key())
+			}
+			kb.WriteByte('\x01')
+		}
+		key := kb.String()
+		gr, ok := groups[key]
+		if !ok {
+			rep := Binding{}
+			for i, ge := range q.GroupBy {
+				if ev, isVar := ge.(sparql.EVar); isVar && keyVals[i] != nil {
+					rep[ev.Name] = keyVals[i]
+				}
+			}
+			gr = &group{rep: rep, states: make([]*aggState, len(specs))}
+			for i := range gr.states {
+				gr.states[i] = &aggState{sum: array.NewAggState()}
+			}
+			groups[key] = gr
+			orderKeys = append(orderKeys, key)
+		}
+		// Fold each register.
+		for i, sp := range specs {
+			st := gr.states[i]
+			if sp.std != nil && sp.arg == nil { // COUNT(*)
+				st.n++
+				continue
+			}
+			v, err := ctx.eval(sp.arg, b)
+			if err != nil || v == nil {
+				continue // per SPARQL, errors are ignored by aggregates
+			}
+			if sp.dist {
+				if st.seen == nil {
+					st.seen = map[string]bool{}
+				}
+				if st.seen[v.Key()] {
+					continue
+				}
+				st.seen[v.Key()] = true
+			}
+			st.n++
+			if st.sample == nil {
+				st.sample = v
+			}
+			if sp.user != nil {
+				if n, ok := rdf.Numeric(v); ok {
+					st.values = append(st.values, n)
+				}
+				continue
+			}
+			switch sp.std.Func {
+			case "SUM", "AVG", "MIN", "MAX":
+				if n, ok := rdf.Numeric(v); ok {
+					st.sum.Add(n)
+				} else {
+					st.errors = true
+				}
+			case "GROUP_CONCAT":
+				if s, ok := v.(rdf.String); ok {
+					st.concat = append(st.concat, s.Val)
+				} else {
+					st.concat = append(st.concat, strings.Trim(v.String(), `"`))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, err
+	}
+
+	// With aggregates but no GROUP BY and no solutions, SPARQL yields a
+	// single group over the empty solution set.
+	if len(groups) == 0 && len(q.GroupBy) == 0 {
+		gr := &group{rep: Binding{}, states: make([]*aggState, len(specs))}
+		for i := range gr.states {
+			gr.states[i] = &aggState{sum: array.NewAggState()}
+		}
+		groups[""] = gr
+		orderKeys = append(orderKeys, "")
+	}
+
+	var out []Binding
+	for _, key := range orderKeys {
+		gr := groups[key]
+		b := gr.rep.clone()
+		for i, sp := range specs {
+			v, err := e.finishAgg(ctx, sp, gr.states[i])
+			if err != nil {
+				continue // register left unbound
+			}
+			b[fmt.Sprintf("#agg%d", i)] = v
+		}
+		// HAVING (§3.5).
+		keep := true
+		for _, h := range q.Having {
+			ok, err := ctx.evalBool(h, b)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) finishAgg(ctx *evalCtx, sp aggSpec, st *aggState) (rdf.Term, error) {
+	if sp.user != nil {
+		if len(st.values) == 0 {
+			return nil, errf("empty group for user aggregate")
+		}
+		vec, err := array.Vector(st.values...)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		child, err := ctx.child()
+		if err != nil {
+			return nil, err
+		}
+		return child.eval(sp.user.Expr, Binding{sp.user.Param: rdf.NewArray(vec)})
+	}
+	switch sp.std.Func {
+	case "COUNT":
+		return rdf.Integer(st.n), nil
+	case "SAMPLE":
+		if st.sample == nil {
+			return nil, errf("empty group")
+		}
+		return st.sample, nil
+	case "GROUP_CONCAT":
+		sep := sp.sep
+		if sep == "" {
+			sep = " "
+		}
+		return rdf.String{Val: strings.Join(st.concat, sep)}, nil
+	case "SUM", "AVG", "MIN", "MAX":
+		if st.errors {
+			return nil, errf("non-numeric value in %s", sp.std.Func)
+		}
+		var op array.AggOp
+		switch sp.std.Func {
+		case "SUM":
+			op = array.AggSum
+		case "AVG":
+			op = array.AggAvg
+		case "MIN":
+			op = array.AggMin
+		case "MAX":
+			op = array.AggMax
+		}
+		if sp.std.Func == "SUM" && st.sum.Count == 0 {
+			return rdf.Integer(0), nil
+		}
+		n, err := st.sum.Result(op)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		return rdf.FromNumber(n), nil
+	default:
+		return nil, errf("unknown aggregate %s", sp.std.Func)
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Update executes a data-modifying or defining statement. LOAD is not
+// handled here — file access policy belongs to the database manager
+// (package core), which dispatches it before delegating.
+func (e *Engine) Update(st sparql.Statement) (int, error) {
+	switch v := st.(type) {
+	case *sparql.InsertData:
+		return e.insertData(v)
+	case *sparql.DeleteData:
+		return e.deleteData(v)
+	case *sparql.Modify:
+		return e.modify(v)
+	case *sparql.Clear:
+		return e.clear(v)
+	case *sparql.DefineFunction:
+		return 0, e.defineFunction(v)
+	case *sparql.DefineAggregate:
+		e.Funcs.RegisterAggregate(&UserAggregate{Name: v.Name, Param: v.Param, Expr: v.Expr})
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("engine: unsupported update %T", st)
+	}
+}
+
+func (e *Engine) targetGraph(name rdf.IRI) *rdf.Graph {
+	if name == "" {
+		return e.Dataset.Default
+	}
+	return e.Dataset.Named(name, true)
+}
+
+// groundTriple instantiates a template triple against a binding,
+// renaming template blank nodes through the supplied map.
+func groundTriple(g *rdf.Graph, tp sparql.TriplePattern, b Binding, blanks map[string]rdf.Blank) (s, p, o rdf.Term, ok bool) {
+	resolve := func(n sparql.Node) rdf.Term {
+		if n.IsVar() {
+			return b[n.Var]
+		}
+		if bl, isBlank := n.Term.(rdf.Blank); isBlank {
+			fresh, seen := blanks[string(bl)]
+			if !seen {
+				fresh = g.NewBlank()
+				blanks[string(bl)] = fresh
+			}
+			return fresh
+		}
+		return n.Term
+	}
+	s = resolve(tp.S)
+	o = resolve(tp.O)
+	switch pv := tp.Path.(type) {
+	case sparql.PathIRI:
+		p = pv.IRI
+	case sparql.PathVar:
+		p = b[pv.Name]
+	}
+	if s == nil || p == nil || o == nil {
+		return nil, nil, nil, false
+	}
+	if _, isIRI := p.(rdf.IRI); !isIRI {
+		return nil, nil, nil, false
+	}
+	return s, p, o, true
+}
+
+func (e *Engine) insertData(v *sparql.InsertData) (int, error) {
+	g := e.targetGraph(v.Graph)
+	blanks := map[string]rdf.Blank{}
+	n := 0
+	for _, tp := range v.Triples {
+		s, p, o, ok := groundTriple(g, tp, nil, blanks)
+		if !ok {
+			return n, fmt.Errorf("engine: non-ground triple in INSERT DATA")
+		}
+		if g.Add(s, p.(rdf.IRI), o) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (e *Engine) deleteData(v *sparql.DeleteData) (int, error) {
+	g := e.targetGraph(v.Graph)
+	n := 0
+	for _, tp := range v.Triples {
+		if tp.S.IsVar() || tp.O.IsVar() {
+			return n, fmt.Errorf("engine: non-ground triple in DELETE DATA")
+		}
+		pi, ok := tp.Path.(sparql.PathIRI)
+		if !ok {
+			return n, fmt.Errorf("engine: non-IRI predicate in DELETE DATA")
+		}
+		if _, isBlank := tp.S.Term.(rdf.Blank); isBlank {
+			return n, fmt.Errorf("engine: blank nodes not allowed in DELETE DATA")
+		}
+		if g.Delete(tp.S.Term, pi.IRI, tp.O.Term) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// modify implements DELETE/INSERT ... WHERE: solutions are fully
+// materialized first, then deletions and insertions are applied — the
+// standard SPARQL Update snapshot semantics.
+func (e *Engine) modify(v *sparql.Modify) (int, error) {
+	g := e.targetGraph(v.Graph)
+	ctx := &evalCtx{eng: e, graph: g}
+	var sols []Binding
+	if v.Where != nil {
+		err := ctx.evalGroup(v.Where, Binding{}, func(b Binding) error {
+			sols = append(sols, b)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		sols = []Binding{{}}
+	}
+	changed := 0
+	for _, b := range sols {
+		for _, tp := range v.DeleteTpl {
+			// Template blanks never match in DELETE templates (per spec
+			// they are illegal; we treat them as non-matching).
+			s, p, o, ok := groundTriple(g, tp, b, map[string]rdf.Blank{})
+			if !ok {
+				continue
+			}
+			if g.Delete(s, p.(rdf.IRI), o) {
+				changed++
+			}
+		}
+	}
+	for _, b := range sols {
+		blanks := map[string]rdf.Blank{}
+		for _, tp := range v.InsertTpl {
+			s, p, o, ok := groundTriple(g, tp, b, blanks)
+			if !ok {
+				continue
+			}
+			if g.Add(s, p.(rdf.IRI), o) {
+				changed++
+			}
+		}
+	}
+	return changed, nil
+}
+
+func (e *Engine) clear(v *sparql.Clear) (int, error) {
+	if v.Default {
+		n := e.Dataset.Default.Size()
+		*e.Dataset.Default = *rdf.NewGraph()
+		return n, nil
+	}
+	g := e.Dataset.Named(v.Graph, false)
+	if g == nil {
+		return 0, nil
+	}
+	n := g.Size()
+	e.Dataset.DropNamed(v.Graph)
+	return n, nil
+}
+
+// defineFunction installs a DEFINE FUNCTION as a parameterized view or
+// expression function (§4.2).
+func (e *Engine) defineFunction(v *sparql.DefineFunction) error {
+	f := &Function{
+		Name:    v.Name,
+		Params:  v.Params,
+		MinArgs: len(v.Params),
+		MaxArgs: len(v.Params),
+	}
+	switch {
+	case v.Expr != nil:
+		f.ExprBody = v.Expr
+	case v.Body != nil:
+		if len(v.Body.Items) != 1 {
+			return fmt.Errorf("engine: functional view %s must project exactly one variable", v.Name)
+		}
+		f.QueryBody = v.Body
+	default:
+		return fmt.Errorf("engine: empty DEFINE FUNCTION body")
+	}
+	e.Funcs.Register(f)
+	return nil
+}

@@ -1,0 +1,531 @@
+// Package experiments regenerates the evaluation of the dissertation
+// (chapter 6 and chapter 7): each exported function reproduces one
+// experiment's table, printing the same rows the text reports —
+// storage/retrieval-strategy comparison (E1), buffer-size sweep (E2),
+// chunk-size sweep (E3), the BISTAB application queries (E4),
+// collection-consolidation effect (E5), and the client/server workflow
+// round trips (E6) — plus the ablations A1 (cost-based join ordering)
+// and A2 (sequence pattern detection).
+//
+// Absolute durations depend on the machine and on the simulated
+// statement round-trip latency; the *shape* of each table (which
+// configuration wins, where crossovers fall) is the reproduction
+// target. cmd/ssdm-bench prints these tables; EXPERIMENTS.md records
+// paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"scisparql/internal/bistab"
+	"scisparql/internal/core"
+	"scisparql/internal/loader"
+	"scisparql/internal/minibench"
+	"scisparql/internal/relstore"
+	"scisparql/internal/storage"
+	"scisparql/internal/storage/filestore"
+	"scisparql/internal/storage/relbackend"
+)
+
+// Options tune the experiment scale.
+type Options struct {
+	// RoundTripDelay is the simulated per-statement latency of the
+	// relational back-end (the client/server round trip of a networked
+	// RDBMS). 0 disables the simulation.
+	RoundTripDelay time.Duration
+	// Bandwidth is the simulated result-transfer rate of the relational
+	// back-end in bytes/second; 0 disables the volume cost.
+	Bandwidth int64
+	// Iters is the number of timed queries per cell.
+	Iters int
+	// Workload scales the mini-benchmark dataset.
+	Workload minibench.Workload
+	// Bistab scales the application dataset.
+	Bistab bistab.Config
+	// TempDir hosts file back-ends.
+	TempDir string
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions(tempDir string) Options {
+	return Options{
+		RoundTripDelay: 200 * time.Microsecond,
+		Bandwidth:      100 << 20, // 100 MB/s
+		Iters:          5,
+		Workload:       minibench.DefaultWorkload(),
+		Bistab:         bistab.DefaultConfig(),
+		TempDir:        tempDir,
+	}
+}
+
+// Config is one storage configuration under test.
+type Config struct {
+	Name    string
+	Backend storage.Backend    // nil = resident
+	DB      *relstore.Database // non-nil for SQL configs
+	Store   *filestore.Store   // non-nil for the file config
+}
+
+// BuildConfigs constructs the storage configurations of Experiment 1.
+func BuildConfigs(o Options, bufferSize int) ([]Config, error) {
+	var out []Config
+	out = append(out, Config{Name: "RESIDENT"})
+	out = append(out, Config{Name: "MEMORY", Backend: storage.NewMemory()})
+
+	fs, err := filestore.New(o.TempDir + "/e1files")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Config{Name: "FILE", Backend: fs, Store: fs})
+
+	for _, strat := range []relbackend.Strategy{
+		relbackend.StrategySingle, relbackend.StrategyBuffered, relbackend.StrategySPD,
+	} {
+		db := relstore.NewDatabase()
+		rb, err := relbackend.New(db)
+		if err != nil {
+			return nil, err
+		}
+		rb.Strategy = strat
+		rb.BufferSize = bufferSize
+		rb.Aggregable = false // E1 measures retrieval, not AAPR
+		db.RoundTripDelay = 0 // loading is not timed with latency
+		out = append(out, Config{Name: strat.String(), Backend: rb, DB: db})
+	}
+	return out, nil
+}
+
+// timeQueries runs the pattern and reports mean duration per query.
+func timeQueries(db *core.SSDM, p minibench.Pattern, w minibench.Workload, param, iters int) (time.Duration, error) {
+	// Warm the parse/compile path once without timing.
+	loader.DropProxyCaches(db.Dataset.Default)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		loader.DropProxyCaches(db.Dataset.Default)
+		if _, err := minibench.Run(db, p, w, param, 1, int64(100+i)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// E1 — Comparing the Retrieval Strategies (§6.3.2): each access
+// pattern against each storage configuration; per cell the mean query
+// time and, for SQL configurations, statements issued and bytes
+// transferred.
+func E1(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 1: retrieval strategies (arrays %dx%d, chunk %d B, RTT %v)\n",
+		o.Workload.Rows, o.Workload.Cols, o.Workload.ChunkBytes, o.RoundTripDelay)
+	configs, err := BuildConfigs(o, 256)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pattern")
+	for _, c := range configs {
+		fmt.Fprintf(tw, "\t%s", c.Name)
+	}
+	fmt.Fprintf(tw, "\t(stmts single/buf/spd)\n")
+
+	dbs := make([]*core.SSDM, len(configs))
+	for i, c := range configs {
+		db, err := minibench.Build(o.Workload, c.Backend)
+		if err != nil {
+			return err
+		}
+		if c.DB != nil {
+			c.DB.RoundTripDelay = o.RoundTripDelay
+			c.DB.Bandwidth = o.Bandwidth
+		}
+		dbs[i] = db
+	}
+	for _, p := range minibench.AllPatterns {
+		fmt.Fprintf(tw, "%s", p)
+		var stmts []int64
+		for i, c := range configs {
+			var before relstore.Stats
+			if c.DB != nil {
+				before = c.DB.StatsSnapshot()
+			}
+			d, err := timeQueries(dbs[i], p, o.Workload, 4, o.Iters)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", c.Name, p, err)
+			}
+			fmt.Fprintf(tw, "\t%v", d.Round(10*time.Microsecond))
+			if c.DB != nil {
+				after := c.DB.StatsSnapshot()
+				stmts = append(stmts, (after.Statements-before.Statements)/int64(o.Iters))
+			}
+		}
+		fmt.Fprintf(tw, "\t%v\n", stmts)
+	}
+	return tw.Flush()
+}
+
+// E2 — Varying the Buffer Size (§6.3.3): the buffered IN-list strategy
+// under the scattered-random pattern as the buffer grows.
+func E2(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 2: IN-list buffer size sweep (pattern random, K=64, RTT %v)\n", o.RoundTripDelay)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "buffer\ttime/query\tstatements/query")
+	for _, buf := range []int{1, 4, 16, 64, 256} {
+		rdb := relstore.NewDatabase()
+		rb, err := relbackend.New(rdb)
+		if err != nil {
+			return err
+		}
+		rb.Strategy = relbackend.StrategyBuffered
+		rb.BufferSize = buf
+		rb.Aggregable = false
+		db, err := minibench.Build(o.Workload, rb)
+		if err != nil {
+			return err
+		}
+		rdb.RoundTripDelay = o.RoundTripDelay
+		rdb.Bandwidth = o.Bandwidth
+		rdb.ResetStats()
+		d, err := timeQueries(db, minibench.PatternRandom, o.Workload, 64, o.Iters)
+		if err != nil {
+			return err
+		}
+		st := rdb.StatsSnapshot()
+		fmt.Fprintf(tw, "%d\t%v\t%d\n", buf, d.Round(10*time.Microsecond), st.Statements/int64(o.Iters))
+	}
+	return tw.Flush()
+}
+
+// E3 — Varying the Chunk Size (§6.3.4): the SPD strategy across chunk
+// sizes for a sequential and a scattered pattern.
+func E3(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 3: chunk size sweep (SQL-SPD, RTT %v)\n", o.RoundTripDelay)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "chunkB\tfull time\tfull bytes\telement time\telement bytes")
+	for _, chunkB := range []int{512, 2048, 8192, 32768, 131072} {
+		wl := o.Workload
+		wl.ChunkBytes = chunkB
+		rdb := relstore.NewDatabase()
+		rb, err := relbackend.New(rdb)
+		if err != nil {
+			return err
+		}
+		rb.Strategy = relbackend.StrategySPD
+		rb.Aggregable = false
+		db, err := minibench.Build(wl, rb)
+		if err != nil {
+			return err
+		}
+		rdb.RoundTripDelay = o.RoundTripDelay
+		rdb.Bandwidth = o.Bandwidth
+
+		rdb.ResetStats()
+		dFull, err := timeQueries(db, minibench.PatternFull, wl, 0, o.Iters)
+		if err != nil {
+			return err
+		}
+		fullBytes := rdb.StatsSnapshot().BytesReturned / int64(o.Iters)
+
+		rdb.ResetStats()
+		dElem, err := timeQueries(db, minibench.PatternElement, wl, 0, o.Iters)
+		if err != nil {
+			return err
+		}
+		elemBytes := rdb.StatsSnapshot().BytesReturned / int64(o.Iters)
+
+		fmt.Fprintf(tw, "%d\t%v\t%d\t%v\t%d\n",
+			chunkB, dFull.Round(10*time.Microsecond), fullBytes,
+			dElem.Round(10*time.Microsecond), elemBytes)
+	}
+	return tw.Flush()
+}
+
+// E4 — BISTAB application queries (§6.4.4–6.4.5) across storage
+// configurations.
+func E4(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 4: BISTAB application queries (%d cases x %d realizations x %d steps)\n",
+		o.Bistab.Cases, o.Bistab.Realizations, o.Bistab.Steps)
+	fs, err := filestore.New(o.TempDir + "/e4files")
+	if err != nil {
+		return err
+	}
+	rdb := relstore.NewDatabase()
+	rb, err := relbackend.New(rdb)
+	if err != nil {
+		return err
+	}
+	rb.Strategy = relbackend.StrategySPD
+	configs := []Config{
+		{Name: "RESIDENT"},
+		{Name: "FILE", Backend: fs},
+		{Name: "SQL-SPD", Backend: rb, DB: rdb},
+	}
+	dbs := make([]*core.SSDM, len(configs))
+	for i, c := range configs {
+		db, err := bistab.Generate(o.Bistab, c.Backend)
+		if err != nil {
+			return err
+		}
+		dbs[i] = db
+	}
+	rdb.RoundTripDelay = o.RoundTripDelay
+	rdb.Bandwidth = o.Bandwidth
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tRESIDENT\tFILE\tSQL-SPD\trows")
+	for _, q := range bistab.Queries(o.Bistab) {
+		fmt.Fprintf(tw, "%s", q.Name)
+		rows := 0
+		for i := range configs {
+			loader.DropProxyCaches(dbs[i].Dataset.Default)
+			start := time.Now()
+			var res interface{ Len() int }
+			for it := 0; it < o.Iters; it++ {
+				loader.DropProxyCaches(dbs[i].Dataset.Default)
+				r, err := dbs[i].Query(q.Text)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", q.Name, configs[i].Name, err)
+				}
+				res = r
+			}
+			d := time.Since(start) / time.Duration(o.Iters)
+			rows = res.Len()
+			fmt.Fprintf(tw, "\t%v", d.Round(10*time.Microsecond))
+		}
+		fmt.Fprintf(tw, "\t%d\n", rows)
+	}
+	return tw.Flush()
+}
+
+// E5 — Collection consolidation (§5.3.2 / §2.3.5.1): graph size and
+// element-access query time with consolidation on vs off.
+func E5(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Experiment 5: RDF collection consolidation")
+	const n = 16
+	const side = 24
+	doc := buildCollectionDoc(n, side)
+
+	run := func(consolidate bool) (graphSize int, d time.Duration, err error) {
+		opts := core.DefaultOptions()
+		opts.ConsolidateCollections = consolidate
+		db := core.OpenWith(opts)
+		if err := db.LoadTurtle(doc, ""); err != nil {
+			return 0, 0, err
+		}
+		// Element access: with consolidation, one array deref; without,
+		// the rdf:rest chain walk the dissertation shows (§2.3.5.1).
+		var q string
+		if consolidate {
+			q = fmt.Sprintf(`PREFIX ex: <http://ex/>
+SELECT (?a[2,1] AS ?v) WHERE { ex:m1 ex:data ?a }`)
+		} else {
+			q = `PREFIX ex: <http://ex/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?v WHERE { ex:m1 ex:data ?l . ?l rdf:rest ?r1 . ?r1 rdf:first ?row . ?row rdf:first ?v }`
+		}
+		start := time.Now()
+		for i := 0; i < o.Iters*10; i++ {
+			res, err := db.Query(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Len() != 1 {
+				return 0, 0, fmt.Errorf("E5: %d rows", res.Len())
+			}
+		}
+		return db.Dataset.Default.Size(), time.Since(start) / time.Duration(o.Iters*10), nil
+	}
+	rawSize, rawD, err := run(false)
+	if err != nil {
+		return err
+	}
+	conSize, conD, err := run(true)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tgraph triples\telement access")
+	fmt.Fprintf(tw, "collections (raw)\t%d\t%v\n", rawSize, rawD.Round(time.Microsecond))
+	fmt.Fprintf(tw, "consolidated arrays\t%d\t%v\n", conSize, conD.Round(time.Microsecond))
+	return tw.Flush()
+}
+
+func buildCollectionDoc(n, side int) string {
+	rng := rand.New(rand.NewSource(3))
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 1; i <= n; i++ {
+		doc += fmt.Sprintf("ex:m%d ex:data (", i)
+		for r := 0; r < side; r++ {
+			doc += "("
+			for c := 0; c < side; c++ {
+				if c > 0 {
+					doc += " "
+				}
+				doc += fmt.Sprintf("%d", rng.Intn(1000))
+			}
+			doc += ")"
+			if r < side-1 {
+				doc += " "
+			}
+		}
+		doc += ") .\n"
+	}
+	return doc
+}
+
+// E6Stats reports what a client/server workflow round trip costs.
+type E6Stats struct {
+	StoredArrays int
+	QueryTime    time.Duration
+	StoreTime    time.Duration
+	Rows         int
+}
+
+// E6 is implemented in workflow.go (it needs the server and client).
+
+// E7 — dataset scaling: the BISTAB queries as the number of parameter
+// cases grows. Metadata-only queries should scale with the matching
+// row count; array-bound queries with the total trajectory volume.
+func E7(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Experiment 7: BISTAB dataset scaling (resident arrays)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cases\ttasks\tQ1\tQ3\tQ4")
+	for _, cases := range []int{4, 8, 16, 32} {
+		cfg := o.Bistab
+		cfg.Cases = cases
+		db, err := bistab.Generate(cfg, nil)
+		if err != nil {
+			return err
+		}
+		times := make([]time.Duration, 3)
+		for qi, q := range []string{bistab.Q1(30), bistab.Q3(100), bistab.Q4()} {
+			start := time.Now()
+			for i := 0; i < o.Iters; i++ {
+				if _, err := db.Query(q); err != nil {
+					return err
+				}
+			}
+			times[qi] = time.Since(start) / time.Duration(o.Iters)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\t%v\n", cases, cfg.Tasks(),
+			times[0].Round(10*time.Microsecond),
+			times[1].Round(10*time.Microsecond),
+			times[2].Round(10*time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// A1 — ablation: cost-based join ordering on vs off, on a
+// multi-pattern metadata query over the BISTAB dataset.
+func A1(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "Ablation A1: cost-based join ordering")
+	db, err := bistab.Generate(o.Bistab, nil)
+	if err != nil {
+		return err
+	}
+	// Pairs of tasks in the same parameter case. The textual order
+	// enumerates ?a and ?b independently first — a cross product —
+	// while the cost-based order keeps the join connected through
+	// bi:case.
+	q := fmt.Sprintf(`PREFIX bi: <%s>
+SELECT ?a ?b WHERE {
+  ?a bi:k_1 ?k1 .
+  ?b bi:k_4 ?k4 .
+  ?a bi:case ?c .
+  ?b bi:case ?c .
+}`, bistab.NS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "join ordering\ttime/query")
+	for _, disable := range []bool{false, true} {
+		db.Engine.DisableJoinOrder = disable
+		start := time.Now()
+		for i := 0; i < o.Iters*4; i++ {
+			if _, err := db.Query(q); err != nil {
+				return err
+			}
+		}
+		d := time.Since(start) / time.Duration(o.Iters*4)
+		name := "cost-based"
+		if disable {
+			name = "textual order"
+		}
+		fmt.Fprintf(tw, "%s\t%v\n", name, d.Round(10*time.Microsecond))
+	}
+	db.Engine.DisableJoinOrder = false
+	return tw.Flush()
+}
+
+// A2 — ablation: SPD range formulation vs naive per-chunk statements
+// for a strided access, as the stride grows.
+func A2(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Ablation A2: sequence pattern detection (RTT %v)\n", o.RoundTripDelay)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stride\tSQL-SINGLE\tSQL-SPD\tstmts single\tstmts spd")
+	for _, stride := range []int{2, 4, 8} {
+		var times []time.Duration
+		var stmts []int64
+		for _, strat := range []relbackend.Strategy{relbackend.StrategySingle, relbackend.StrategySPD} {
+			rdb := relstore.NewDatabase()
+			rb, err := relbackend.New(rdb)
+			if err != nil {
+				return err
+			}
+			rb.Strategy = strat
+			rb.Aggregable = false
+			db, err := minibench.Build(o.Workload, rb)
+			if err != nil {
+				return err
+			}
+			rdb.RoundTripDelay = o.RoundTripDelay
+			rdb.Bandwidth = o.Bandwidth
+			rdb.ResetStats()
+			d, err := timeQueries(db, minibench.PatternStride, o.Workload, stride, o.Iters)
+			if err != nil {
+				return err
+			}
+			times = append(times, d)
+			stmts = append(stmts, rdb.StatsSnapshot().Statements/int64(o.Iters))
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%d\t%d\n", stride,
+			times[0].Round(10*time.Microsecond), times[1].Round(10*time.Microsecond),
+			stmts[0], stmts[1])
+	}
+	return tw.Flush()
+}
+
+// A3 — ablation: AAPR (server-side aggregation) on vs off for
+// whole-array aggregates on the relational back-end.
+func A3(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Ablation A3: aggregate pushdown (AAPR) (RTT %v)\n", o.RoundTripDelay)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "AAPR\ttime/query\tbytes/query")
+	for _, aggregable := range []bool{true, false} {
+		rdb := relstore.NewDatabase()
+		rb, err := relbackend.New(rdb)
+		if err != nil {
+			return err
+		}
+		rb.Strategy = relbackend.StrategySPD
+		rb.Aggregable = aggregable
+		db, err := minibench.Build(o.Workload, rb)
+		if err != nil {
+			return err
+		}
+		rdb.RoundTripDelay = o.RoundTripDelay
+		rdb.Bandwidth = o.Bandwidth
+		rdb.ResetStats()
+		d, err := timeQueries(db, minibench.PatternFull, o.Workload, 0, o.Iters)
+		if err != nil {
+			return err
+		}
+		st := rdb.StatsSnapshot()
+		name := "delegated"
+		if !aggregable {
+			name = "client-side"
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d\n", name, d.Round(10*time.Microsecond), st.BytesReturned/int64(o.Iters))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scisparql/internal/bistab"
+	"scisparql/internal/minibench"
+)
+
+// tinyOptions keeps experiment smoke tests fast.
+func tinyOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		RoundTripDelay: 0,
+		Iters:          1,
+		Workload:       minibench.Workload{NumArrays: 2, Rows: 16, Cols: 16, ChunkBytes: 256, Seed: 1},
+		Bistab:         bistab.Config{Cases: 2, Realizations: 2, Steps: 64, ChunkBytes: 256, Seed: 7},
+		TempDir:        t.TempDir(),
+	}
+}
+
+func TestE1Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := E1(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"RESIDENT", "SQL-SPD", "full", "column"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := E2(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "buffer") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := E3(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "chunkB") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestE4Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := E4(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, q := range []string{"Q1", "Q2", "Q3", "Q4"} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("missing %s in:\n%s", q, out)
+		}
+	}
+}
+
+func TestE5ShowsConsolidationShrink(t *testing.T) {
+	var sb strings.Builder
+	if err := E5(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "consolidated arrays") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := E6(&sb, tinyOptions(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "publish") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	o := tinyOptions(t)
+	var sb strings.Builder
+	if err := A1(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := A2(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := A3(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cost-based", "SQL-SPD", "delegated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestStrategyCrossoverShape verifies the headline result of the
+// retrieval-strategy comparison holds on this substrate: with a
+// per-statement round trip, SPD issues far fewer statements than the
+// single-chunk strategy for sequential access, and is correspondingly
+// faster.
+func TestStrategyCrossoverShape(t *testing.T) {
+	o := tinyOptions(t)
+	o.RoundTripDelay = 200 * time.Microsecond
+	o.Iters = 2
+
+	configs, err := BuildConfigs(o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var durSingle, durSPD time.Duration
+	for _, c := range configs {
+		if c.Name != "SQL-SINGLE" && c.Name != "SQL-SPD" {
+			continue
+		}
+		db, err := minibench.Build(o.Workload, c.Backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.DB.RoundTripDelay = o.RoundTripDelay
+		c.DB.Bandwidth = o.Bandwidth
+		d, err := timeQueries(db, minibench.PatternFull, o.Workload, 0, o.Iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name == "SQL-SINGLE" {
+			durSingle = d
+		} else {
+			durSPD = d
+		}
+	}
+	if durSPD >= durSingle {
+		t.Fatalf("SPD (%v) should beat SINGLE (%v) on sequential access", durSPD, durSingle)
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	var sb strings.Builder
+	o := tinyOptions(t)
+	if err := E7(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cases") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

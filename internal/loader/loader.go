@@ -1,0 +1,530 @@
+// Package loader implements SSDM's data loaders (dissertation §5.3):
+// consolidation of nested RDF collections into resident numeric
+// arrays, consolidation of RDF Data Cube datasets, and resolution of
+// file links to proxied arrays in external storage.
+//
+// Consolidation rewrites the graph in place: the 13-triple encoding of
+// a 2x2 matrix (§2.3.5.1) collapses to a single triple whose value is
+// an array term, drastically shrinking the graph and making the data
+// available to SciSPARQL's array operations.
+package loader
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+	"scisparql/internal/storage"
+)
+
+// triple is a collected (s,p,o) for deferred deletion.
+type triple struct{ s, p, o rdf.Term }
+
+// ConsolidateCollections finds triples whose object is the head of a
+// well-formed nested numeric RDF collection, replaces the object with
+// a consolidated array term and removes the list-cell triples
+// (§5.3.2). It returns the number of arrays consolidated.
+func ConsolidateCollections(g *rdf.Graph) (int, error) {
+	// Gather candidate (s,p,head) triples: object has rdf:first and the
+	// predicate is not itself a list predicate.
+	var candidates []triple
+	g.Triples(func(s, p, o rdf.Term) bool {
+		if p == rdf.RDFFirst || p == rdf.RDFRest {
+			return true
+		}
+		if hasFirst(g, o) {
+			candidates = append(candidates, triple{s, p, o})
+		}
+		return true
+	})
+	consolidated := 0
+	for _, cand := range candidates {
+		arr, cells, ok := parseNumericList(g, cand.o)
+		if !ok {
+			continue
+		}
+		pi, isIRI := cand.p.(rdf.IRI)
+		if !isIRI {
+			continue
+		}
+		g.Delete(cand.s, pi, cand.o)
+		g.Add(cand.s, pi, rdf.NewArray(arr))
+		for _, c := range cells {
+			g.Delete(c.s, c.p, c.o)
+		}
+		consolidated++
+	}
+	return consolidated, nil
+}
+
+func hasFirst(g *rdf.Graph, node rdf.Term) bool {
+	found := false
+	g.MatchTerms(node, rdf.RDFFirst, nil, func(_, _, _ rdf.Term) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// listShape is the recursive value of a parsed collection: either a
+// scalar or a nested slice.
+type listVal struct {
+	scalar *array.Number
+	sub    []listVal
+}
+
+// parseNumericList walks an rdf:first/rdf:rest chain (recursively for
+// nested lists) and, if every leaf is numeric and the nesting is
+// rectangular, produces the consolidated array plus the cell triples
+// to delete.
+func parseNumericList(g *rdf.Graph, head rdf.Term) (*array.Array, []triple, bool) {
+	val, cells, ok := parseListVal(g, head, 0)
+	if !ok || val.sub == nil {
+		return nil, nil, false
+	}
+	shape, ok := shapeOf(listVal{sub: val.sub})
+	if !ok || len(shape) == 0 {
+		return nil, nil, false
+	}
+	allInt := true
+	var flat []array.Number
+	var flatten func(v listVal) bool
+	flatten = func(v listVal) bool {
+		if v.scalar != nil {
+			if v.scalar.T != array.Int {
+				allInt = false
+			}
+			flat = append(flat, *v.scalar)
+			return true
+		}
+		for _, s := range v.sub {
+			if !flatten(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if !flatten(listVal{sub: val.sub}) {
+		return nil, nil, false
+	}
+	var arr *array.Array
+	var err error
+	if allInt {
+		data := make([]int64, len(flat))
+		for i, n := range flat {
+			data[i] = n.I
+		}
+		arr, err = array.FromInts(data, shape...)
+	} else {
+		data := make([]float64, len(flat))
+		for i, n := range flat {
+			data[i] = n.Float()
+		}
+		arr, err = array.FromFloats(data, shape...)
+	}
+	if err != nil {
+		return nil, nil, false
+	}
+	return arr, cells, true
+}
+
+const maxListDepth = 16
+
+func parseListVal(g *rdf.Graph, node rdf.Term, depth int) (listVal, []triple, bool) {
+	if depth > maxListDepth {
+		return listVal{}, nil, false
+	}
+	var items []listVal
+	var cells []triple
+	cur := node
+	for {
+		if cur == rdf.RDFNil {
+			break
+		}
+		var first rdf.Term
+		nFirst := 0
+		g.MatchTerms(cur, rdf.RDFFirst, nil, func(_, _, o rdf.Term) bool {
+			first = o
+			nFirst++
+			return true
+		})
+		var rest rdf.Term
+		nRest := 0
+		g.MatchTerms(cur, rdf.RDFRest, nil, func(_, _, o rdf.Term) bool {
+			rest = o
+			nRest++
+			return true
+		})
+		if nFirst != 1 || nRest != 1 {
+			return listVal{}, nil, false
+		}
+		cells = append(cells, triple{cur, rdf.RDFFirst, first}, triple{cur, rdf.RDFRest, rest})
+
+		if n, ok := rdf.Numeric(first); ok {
+			if _, isBool := first.(rdf.Boolean); isBool {
+				return listVal{}, nil, false
+			}
+			items = append(items, listVal{scalar: &n})
+		} else if hasFirst(g, first) {
+			sub, subCells, ok := parseListVal(g, first, depth+1)
+			if !ok {
+				return listVal{}, nil, false
+			}
+			items = append(items, listVal{sub: sub.sub})
+			cells = append(cells, subCells...)
+		} else {
+			return listVal{}, nil, false
+		}
+		cur = rest
+	}
+	if len(items) == 0 {
+		return listVal{}, nil, false
+	}
+	return listVal{sub: items}, cells, true
+}
+
+// shapeOf checks rectangularity and returns the nested shape.
+func shapeOf(v listVal) ([]int, bool) {
+	if v.scalar != nil {
+		return nil, true
+	}
+	n := len(v.sub)
+	first, ok := shapeOf(v.sub[0])
+	if !ok {
+		return nil, false
+	}
+	for _, s := range v.sub[1:] {
+		sh, ok := shapeOf(s)
+		if !ok || !array.ShapeEqual(sh, first) {
+			return nil, false
+		}
+	}
+	return append([]int{n}, first...), true
+}
+
+// --- file links (§5.3.1) ---
+
+// ResolveFileLinks replaces typed literals "N"^^ssdm:fileLink (N being
+// an array ID in the given back-end) with proxied array terms, so that
+// externally stored arrays join the graph without their data being
+// read (the mediator scenario of chapter 6). It returns the number of
+// links resolved.
+func ResolveFileLinks(g *rdf.Graph, backend storage.Backend) (int, error) {
+	var links []triple
+	g.Triples(func(s, p, o rdf.Term) bool {
+		if t, ok := o.(rdf.Typed); ok && t.Datatype == rdf.SSDMFileLink {
+			links = append(links, triple{s, p, o})
+		}
+		return true
+	})
+	resolved := 0
+	for _, l := range links {
+		lex := l.o.(rdf.Typed).Lexical
+		id, err := strconv.ParseInt(lex, 10, 64)
+		if err != nil {
+			return resolved, fmt.Errorf("loader: bad file link %q", lex)
+		}
+		a, err := backend.Open(id)
+		if err != nil {
+			return resolved, fmt.Errorf("loader: file link %q: %w", lex, err)
+		}
+		pi := l.p.(rdf.IRI)
+		g.Delete(l.s, pi, l.o)
+		g.Add(l.s, pi, rdf.NewArray(a))
+		resolved++
+	}
+	return resolved, nil
+}
+
+// LinkArray attaches an externally stored array to the graph as a
+// proxied value of (s, p).
+func LinkArray(g *rdf.Graph, s rdf.Term, p rdf.IRI, backend storage.Backend, id int64) error {
+	a, err := backend.Open(id)
+	if err != nil {
+		return err
+	}
+	g.Add(s, p, rdf.NewArray(a))
+	return nil
+}
+
+// --- externalization (the back-end scenario of chapter 6) ---
+
+// ExternalizeArrays moves every resident array value in the graph to
+// the given storage back-end, replacing the terms with proxied views.
+// It returns the number of arrays moved.
+func ExternalizeArrays(g *rdf.Graph, backend storage.Backend, chunkElems int) (int, error) {
+	var victims []triple
+	g.Triples(func(s, p, o rdf.Term) bool {
+		if at, ok := o.(rdf.Array); ok && at.A.Base.Resident() {
+			victims = append(victims, triple{s, p, o})
+		}
+		return true
+	})
+	moved := 0
+	for _, v := range victims {
+		at := v.o.(rdf.Array)
+		id, err := backend.Store(at.A, chunkElems)
+		if err != nil {
+			return moved, err
+		}
+		proxied, err := backend.Open(id)
+		if err != nil {
+			return moved, err
+		}
+		pi := v.p.(rdf.IRI)
+		g.Delete(v.s, pi, v.o)
+		g.Add(v.s, pi, rdf.NewArray(proxied))
+		moved++
+	}
+	return moved, nil
+}
+
+// DropProxyCaches discards the chunk caches of every proxied array in
+// the graph, so that benchmark iterations measure cold reads.
+func DropProxyCaches(g *rdf.Graph) int {
+	n := 0
+	g.Triples(func(_, _, o rdf.Term) bool {
+		if at, ok := o.(rdf.Array); ok && at.A.Base.Proxy != nil {
+			at.A.Base.Proxy.DropCache()
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// --- RDF Data Cube consolidation (§5.3.3) ---
+
+// ConsolidateDataCube consolidates every qb:DataSet in the graph: the
+// observations are replaced by one dense array per measure attached
+// directly to the dataset node, plus per-dimension index dictionaries:
+//
+//	?ds <measureIRI>  [array]            (one per measure)
+//	?ds ssdm:dimension [ qb:dimension <dimIRI> ;
+//	                     qb:order N ;
+//	                     ssdm:index [dictionary array or collection] ]
+//
+// It returns the number of datasets consolidated.
+func ConsolidateDataCube(g *rdf.Graph) (int, error) {
+	datasets := map[string]rdf.Term{}
+	g.MatchTerms(nil, rdf.QBDataSetProp, nil, func(_, _, ds rdf.Term) bool {
+		datasets[ds.Key()] = ds
+		return true
+	})
+	n := 0
+	for _, ds := range datasets {
+		ok, err := consolidateOneCube(g, ds)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func consolidateOneCube(g *rdf.Graph, ds rdf.Term) (bool, error) {
+	dims, measures := cubeStructure(g, ds)
+	if len(dims) == 0 || len(measures) == 0 {
+		return false, nil
+	}
+	// Collect observations.
+	var obs []rdf.Term
+	g.MatchTerms(nil, rdf.QBDataSetProp, ds, func(o, _, _ rdf.Term) bool {
+		obs = append(obs, o)
+		return true
+	})
+	if len(obs) == 0 {
+		return false, nil
+	}
+	// Dimension dictionaries: distinct values per dimension, sorted by
+	// key for determinism (numeric dimensions sort numerically).
+	dicts := make([][]rdf.Term, len(dims))
+	index := make([]map[string]int, len(dims))
+	for d, dimIRI := range dims {
+		seen := map[string]rdf.Term{}
+		for _, o := range obs {
+			g.MatchTerms(o, dimIRI, nil, func(_, _, v rdf.Term) bool {
+				seen[v.Key()] = v
+				return true
+			})
+		}
+		vals := make([]rdf.Term, 0, len(seen))
+		for _, v := range seen {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool {
+			ni, iok := rdf.Numeric(vals[i])
+			nj, jok := rdf.Numeric(vals[j])
+			if iok && jok {
+				return ni.Float() < nj.Float()
+			}
+			return vals[i].Key() < vals[j].Key()
+		})
+		dicts[d] = vals
+		index[d] = map[string]int{}
+		for i, v := range vals {
+			index[d][v.Key()] = i
+		}
+	}
+	shape := make([]int, len(dims))
+	for d := range dims {
+		shape[d] = len(dicts[d])
+		if shape[d] == 0 {
+			return false, nil
+		}
+	}
+	// One dense float array per measure.
+	arrays := make([]*array.Array, len(measures))
+	for m := range measures {
+		arrays[m] = array.NewFloat(shape...)
+	}
+	for _, o := range obs {
+		idx := make([]int, len(dims))
+		ok := true
+		for d, dimIRI := range dims {
+			found := false
+			g.MatchTerms(o, dimIRI, nil, func(_, _, v rdf.Term) bool {
+				if i, has := index[d][v.Key()]; has {
+					idx[d] = i
+					found = true
+				}
+				return false
+			})
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for m, measIRI := range measures {
+			g.MatchTerms(o, measIRI, nil, func(_, _, v rdf.Term) bool {
+				if num, isNum := rdf.Numeric(v); isNum {
+					arrays[m].SetAt(num, idx...)
+				}
+				return false
+			})
+		}
+	}
+	// Remove observation triples.
+	for _, o := range obs {
+		var cell []triple
+		g.MatchTerms(o, nil, nil, func(s, p, v rdf.Term) bool {
+			cell = append(cell, triple{s, p, v})
+			return true
+		})
+		for _, c := range cell {
+			g.Delete(c.s, c.p.(rdf.IRI), c.o)
+		}
+	}
+	// Attach consolidated arrays and dimension dictionaries.
+	for m, measIRI := range measures {
+		g.Add(ds, measIRI, rdf.NewArray(arrays[m]))
+	}
+	for d, dimIRI := range dims {
+		bn := g.NewBlank()
+		g.Add(ds, rdf.SSDMDimension, bn)
+		g.Add(bn, rdf.QBDimensionProp, dimIRI)
+		g.Add(bn, rdf.QBOrderProp, rdf.Integer(int64(d+1)))
+		if dict, ok := numericDict(dicts[d]); ok {
+			g.Add(bn, rdf.SSDMIndex, rdf.NewArray(dict))
+		} else {
+			// Non-numeric dictionary: keep the values as an ordered RDF
+			// collection.
+			head := buildCollection(g, dicts[d])
+			g.Add(bn, rdf.SSDMIndex, head)
+		}
+	}
+	return true, nil
+}
+
+// cubeStructure finds the dimension and measure properties of a
+// dataset through qb:structure/qb:component, ordered by qb:order when
+// present.
+func cubeStructure(g *rdf.Graph, ds rdf.Term) (dims, measures []rdf.IRI) {
+	type comp struct {
+		iri   rdf.IRI
+		order int
+		isDim bool
+	}
+	var comps []comp
+	g.MatchTerms(ds, rdf.QBStructure, nil, func(_, _, dsd rdf.Term) bool {
+		g.MatchTerms(dsd, rdf.QBComponent, nil, func(_, _, c rdf.Term) bool {
+			entry := comp{order: 1 << 20}
+			g.MatchTerms(c, rdf.QBDimensionProp, nil, func(_, _, p rdf.Term) bool {
+				if iri, ok := p.(rdf.IRI); ok {
+					entry.iri, entry.isDim = iri, true
+				}
+				return false
+			})
+			if entry.iri == "" {
+				g.MatchTerms(c, rdf.QBMeasureProp, nil, func(_, _, p rdf.Term) bool {
+					if iri, ok := p.(rdf.IRI); ok {
+						entry.iri = iri
+					}
+					return false
+				})
+			}
+			g.MatchTerms(c, rdf.QBOrderProp, nil, func(_, _, v rdf.Term) bool {
+				if n, ok := rdf.Numeric(v); ok {
+					entry.order = int(n.Intval())
+				}
+				return false
+			})
+			if entry.iri != "" {
+				comps = append(comps, entry)
+			}
+			return true
+		})
+		return true
+	})
+	sort.SliceStable(comps, func(i, j int) bool { return comps[i].order < comps[j].order })
+	for _, c := range comps {
+		if c.isDim {
+			dims = append(dims, c.iri)
+		} else {
+			measures = append(measures, c.iri)
+		}
+	}
+	return dims, measures
+}
+
+func numericDict(vals []rdf.Term) (*array.Array, bool) {
+	nums := make([]array.Number, len(vals))
+	for i, v := range vals {
+		n, ok := rdf.Numeric(v)
+		if !ok {
+			return nil, false
+		}
+		nums[i] = n
+	}
+	a, err := array.Vector(nums...)
+	if err != nil {
+		return nil, false
+	}
+	return a, true
+}
+
+func buildCollection(g *rdf.Graph, vals []rdf.Term) rdf.Term {
+	if len(vals) == 0 {
+		return rdf.RDFNil
+	}
+	head := rdf.Term(g.NewBlank())
+	cur := head
+	for i, v := range vals {
+		g.Add(cur, rdf.RDFFirst, v)
+		if i == len(vals)-1 {
+			g.Add(cur, rdf.RDFRest, rdf.RDFNil)
+		} else {
+			next := g.NewBlank()
+			g.Add(cur, rdf.RDFRest, next)
+			cur = next
+		}
+	}
+	return head
+}

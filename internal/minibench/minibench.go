@@ -1,0 +1,202 @@
+// Package minibench is the array-query mini-benchmark of dissertation
+// §6.3: a dataset generator producing RDF-with-Arrays graphs whose
+// array values live in a configurable storage back-end, and a query
+// generator (§6.3.1) emitting SciSPARQL queries for the typical array
+// access patterns — including the best and worst cases for each
+// storage choice:
+//
+//	PatternFull      — whole-array aggregate (sequential, every chunk)
+//	PatternElement   — one random element (single chunk)
+//	PatternRandom    — K random elements (scattered chunks)
+//	PatternStride    — strided slice (regular chunk progression; the
+//	                   SPD's home turf)
+//	PatternSlice     — contiguous slice (range queries win)
+//	PatternRow       — one row of a matrix (contiguous in row-major)
+//	PatternColumn    — one column of a matrix (maximally strided)
+//
+// Experiments 1–3 (§6.3.2–6.3.4) are parameter sweeps over this
+// workload; cmd/ssdm-bench and the repository-level benchmarks drive
+// it.
+package minibench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scisparql/internal/array"
+	"scisparql/internal/core"
+	"scisparql/internal/rdf"
+	"scisparql/internal/storage"
+)
+
+// NS is the namespace of the generated dataset.
+const NS = "http://udbl.uu.se/minibench#"
+
+// Pattern identifies an access pattern of the query generator.
+type Pattern uint8
+
+const (
+	PatternFull Pattern = iota
+	PatternElement
+	PatternRandom
+	PatternStride
+	PatternSlice
+	PatternRow
+	PatternColumn
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternFull:
+		return "full"
+	case PatternElement:
+		return "element"
+	case PatternRandom:
+		return "random"
+	case PatternStride:
+		return "stride"
+	case PatternSlice:
+		return "slice"
+	case PatternRow:
+		return "row"
+	case PatternColumn:
+		return "column"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// AllPatterns lists the generator's patterns in report order.
+var AllPatterns = []Pattern{
+	PatternFull, PatternElement, PatternRandom,
+	PatternStride, PatternSlice, PatternRow, PatternColumn,
+}
+
+// Workload describes the generated dataset.
+type Workload struct {
+	NumArrays  int   // number of stored arrays
+	Rows, Cols int   // matrix shape of each array
+	ChunkBytes int   // chunk size when externalized
+	Seed       int64 // deterministic data
+}
+
+// DefaultWorkload is the baseline configuration of the experiments.
+func DefaultWorkload() Workload {
+	return Workload{NumArrays: 4, Rows: 256, Cols: 256, ChunkBytes: 8 * 1024, Seed: 1}
+}
+
+// Elements returns elements per array.
+func (w Workload) Elements() int { return w.Rows * w.Cols }
+
+// Build creates an SSDM instance holding the workload's arrays. With a
+// nil backend the arrays stay resident (the MEMORY configuration);
+// otherwise they are externalized with the workload's chunk size.
+func Build(w Workload, backend storage.Backend) (*core.SSDM, error) {
+	db := core.Open()
+	db.Opts.ChunkBytes = w.ChunkBytes
+	rng := rand.New(rand.NewSource(w.Seed))
+	g := db.Dataset.Default
+	for i := 1; i <= w.NumArrays; i++ {
+		data := make([]float64, w.Elements())
+		for j := range data {
+			data[j] = rng.Float64() * 100
+		}
+		a, err := array.FromFloats(data, w.Rows, w.Cols)
+		if err != nil {
+			return nil, err
+		}
+		subj := iri(fmt.Sprintf("array%d", i))
+		g.Add(subj, iri("id"), intTerm(int64(i)))
+		g.Add(subj, iri("data"), arrTerm(a))
+	}
+	if backend != nil {
+		db.AttachBackend(backend)
+		if _, err := db.Externalize(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Query emits a SciSPARQL query exercising the pattern against array
+// arrayID. rng drives the random positions; param means: K for
+// PatternRandom, the stride for PatternStride, the slice fraction
+// denominator for PatternSlice (1/param of the array).
+func Query(p Pattern, arrayID int, w Workload, param int, rng *rand.Rand) string {
+	deref := func(expr string) string {
+		return fmt.Sprintf(
+			"PREFIX mb: <%s>\nSELECT (%s AS ?v) WHERE { ?s mb:id %d ; mb:data ?a }",
+			NS, expr, arrayID)
+	}
+	switch p {
+	case PatternFull:
+		return deref("asum(?a)")
+	case PatternElement:
+		r := rng.Intn(w.Rows) + 1
+		c := rng.Intn(w.Cols) + 1
+		return deref(fmt.Sprintf("?a[%d,%d]", r, c))
+	case PatternRandom:
+		k := param
+		if k <= 0 {
+			k = 16
+		}
+		expr := ""
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				expr += " + "
+			}
+			expr += fmt.Sprintf("?a[%d,%d]", rng.Intn(w.Rows)+1, rng.Intn(w.Cols)+1)
+		}
+		return deref(expr)
+	case PatternStride:
+		s := param
+		if s <= 1 {
+			s = 4
+		}
+		return deref(fmt.Sprintf("asum(?a[1:%d:%d,:])", s, w.Rows))
+	case PatternSlice:
+		frac := param
+		if frac <= 1 {
+			frac = 4
+		}
+		hi := w.Rows / frac
+		if hi < 1 {
+			hi = 1
+		}
+		return deref(fmt.Sprintf("asum(?a[1:%d,:])", hi))
+	case PatternRow:
+		r := rng.Intn(w.Rows) + 1
+		return deref(fmt.Sprintf("asum(?a[%d,:])", r))
+	case PatternColumn:
+		c := rng.Intn(w.Cols) + 1
+		return deref(fmt.Sprintf("asum(?a[:,%d])", c))
+	default:
+		return deref("asum(?a)")
+	}
+}
+
+// Run executes `iters` queries of the pattern round-robin across the
+// workload's arrays, returning the number of queries executed.
+func Run(db *core.SSDM, p Pattern, w Workload, param, iters int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	done := 0
+	for i := 0; i < iters; i++ {
+		id := (i % w.NumArrays) + 1
+		q := Query(p, id, w, param, rng)
+		res, err := db.Query(q)
+		if err != nil {
+			return done, fmt.Errorf("minibench: %s query failed: %w", p, err)
+		}
+		if res.Len() != 1 {
+			return done, fmt.Errorf("minibench: %s query returned %d rows", p, res.Len())
+		}
+		done++
+	}
+	return done, nil
+}
+
+func iri(local string) rdf.IRI { return rdf.IRI(NS + local) }
+
+func intTerm(v int64) rdf.Term { return rdf.Integer(v) }
+
+func arrTerm(a *array.Array) rdf.Term { return rdf.NewArray(a) }

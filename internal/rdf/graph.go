@@ -1,0 +1,391 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dictionary-encoded term identifier, local to one Graph's
+// dictionary. 0 is the invalid / wildcard ID.
+type ID uint32
+
+// Triple is a dictionary-encoded (subject, property, value) triple.
+type Triple struct {
+	S, P, O ID
+}
+
+// Graph is an in-memory RDF-with-Arrays triple store. Terms are
+// interned into a dictionary and triples are held in three hash-based
+// index permutations (SPO, POS, OSP) plus a PSO permutation maintained
+// for optimizer statistics — the arrangement mirrors the indexing of
+// main-memory RDF stores discussed in §2.2.3.
+//
+// A Graph is safe for concurrent readers; mutations must not run
+// concurrently with reads or other mutations.
+type Graph struct {
+	mu    sync.Mutex
+	terms []Term
+	byKey map[string]ID
+
+	spo map[ID]map[ID]map[ID]struct{}
+	pos map[ID]map[ID]map[ID]struct{}
+	osp map[ID]map[ID]map[ID]struct{}
+	pso map[ID]map[ID]map[ID]struct{}
+
+	size    int
+	blankNo int
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		byKey: make(map[string]ID),
+		spo:   make(map[ID]map[ID]map[ID]struct{}),
+		pos:   make(map[ID]map[ID]map[ID]struct{}),
+		osp:   make(map[ID]map[ID]map[ID]struct{}),
+		pso:   make(map[ID]map[ID]map[ID]struct{}),
+	}
+}
+
+// Size returns the number of triples.
+func (g *Graph) Size() int { return g.size }
+
+// Intern maps a term to its dictionary ID, assigning a fresh one when
+// the term is new.
+func (g *Graph) Intern(t Term) ID {
+	key := t.Key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id, ok := g.byKey[key]; ok {
+		return id
+	}
+	g.terms = append(g.terms, t)
+	id := ID(len(g.terms))
+	g.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID of a term if it is already interned.
+func (g *Graph) Lookup(t Term) (ID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id, ok := g.byKey[t.Key()]
+	return id, ok
+}
+
+// TermOf returns the term for a dictionary ID.
+func (g *Graph) TermOf(id ID) Term {
+	if id == 0 || int(id) > len(g.terms) {
+		panic(fmt.Sprintf("rdf: invalid term ID %d", id))
+	}
+	return g.terms[id-1]
+}
+
+// NewBlank allocates a blank node unique within this graph.
+func (g *Graph) NewBlank() Blank {
+	g.mu.Lock()
+	g.blankNo++
+	n := g.blankNo
+	g.mu.Unlock()
+	return Blank(fmt.Sprintf("g%d", n))
+}
+
+func put(idx map[ID]map[ID]map[ID]struct{}, a, b, c ID) bool {
+	m1, ok := idx[a]
+	if !ok {
+		m1 = make(map[ID]map[ID]struct{})
+		idx[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[ID]struct{})
+		m1[b] = m2
+	}
+	if _, exists := m2[c]; exists {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func del(idx map[ID]map[ID]map[ID]struct{}, a, b, c ID) bool {
+	m1, ok := idx[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m2[c]; !exists {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+// Add inserts a triple of terms; it returns false when the triple was
+// already present.
+func (g *Graph) Add(s, p, o Term) bool {
+	return g.AddIDs(g.Intern(s), g.Intern(p), g.Intern(o))
+}
+
+// AddIDs inserts a triple of already-interned IDs.
+func (g *Graph) AddIDs(s, p, o ID) bool {
+	if !put(g.spo, s, p, o) {
+		return false
+	}
+	put(g.pos, p, o, s)
+	put(g.osp, o, s, p)
+	put(g.pso, p, s, o)
+	g.size++
+	return true
+}
+
+// Delete removes a triple; it returns false when it was absent.
+func (g *Graph) Delete(s, p, o Term) bool {
+	si, ok := g.Lookup(s)
+	if !ok {
+		return false
+	}
+	pi, ok := g.Lookup(p)
+	if !ok {
+		return false
+	}
+	oi, ok := g.Lookup(o)
+	if !ok {
+		return false
+	}
+	return g.DeleteIDs(si, pi, oi)
+}
+
+// DeleteIDs removes a triple of interned IDs.
+func (g *Graph) DeleteIDs(s, p, o ID) bool {
+	if !del(g.spo, s, p, o) {
+		return false
+	}
+	del(g.pos, p, o, s)
+	del(g.osp, o, s, p)
+	del(g.pso, p, s, o)
+	g.size--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(s, p, o Term) bool {
+	si, ok := g.Lookup(s)
+	if !ok {
+		return false
+	}
+	pi, ok := g.Lookup(p)
+	if !ok {
+		return false
+	}
+	oi, ok := g.Lookup(o)
+	if !ok {
+		return false
+	}
+	if m2, ok := g.spo[si][pi]; ok {
+		_, exists := m2[oi]
+		return exists
+	}
+	return false
+}
+
+// Match enumerates triples matching a pattern where ID 0 is a
+// wildcard. The callback returns false to stop early. The index
+// permutation is chosen from the bound positions.
+func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if m2, ok := g.spo[s][p]; ok {
+			if _, exists := m2[o]; exists {
+				yield(Triple{s, p, o})
+			}
+		}
+	case s != 0 && p != 0:
+		for oi := range g.spo[s][p] {
+			if !yield(Triple{s, p, oi}) {
+				return
+			}
+		}
+	case p != 0 && o != 0:
+		for si := range g.pos[p][o] {
+			if !yield(Triple{si, p, o}) {
+				return
+			}
+		}
+	case s != 0 && o != 0:
+		for pi := range g.osp[o][s] {
+			if !yield(Triple{s, pi, o}) {
+				return
+			}
+		}
+	case s != 0:
+		for pi, objs := range g.spo[s] {
+			for oi := range objs {
+				if !yield(Triple{s, pi, oi}) {
+					return
+				}
+			}
+		}
+	case p != 0:
+		for si, objs := range g.pso[p] {
+			for oi := range objs {
+				if !yield(Triple{si, p, oi}) {
+					return
+				}
+			}
+		}
+	case o != 0:
+		for si, preds := range g.osp[o] {
+			for pi := range preds {
+				if !yield(Triple{si, pi, o}) {
+					return
+				}
+			}
+		}
+	default:
+		for si, preds := range g.spo {
+			for pi, objs := range preds {
+				for oi := range objs {
+					if !yield(Triple{si, pi, oi}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchTerms is Match with term-valued pattern positions; nil is a
+// wildcard. Unknown terms match nothing.
+func (g *Graph) MatchTerms(s, p, o Term, yield func(s, p, o Term) bool) {
+	var si, pi, oi ID
+	var ok bool
+	if s != nil {
+		if si, ok = g.Lookup(s); !ok {
+			return
+		}
+	}
+	if p != nil {
+		if pi, ok = g.Lookup(p); !ok {
+			return
+		}
+	}
+	if o != nil {
+		if oi, ok = g.Lookup(o); !ok {
+			return
+		}
+	}
+	g.Match(si, pi, oi, func(t Triple) bool {
+		return yield(g.TermOf(t.S), g.TermOf(t.P), g.TermOf(t.O))
+	})
+}
+
+// CountMatch returns the number of triples matching a pattern without
+// enumerating terms; it backs the optimizer's cardinality estimates.
+func (g *Graph) CountMatch(s, p, o ID) int {
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if m2, ok := g.spo[s][p]; ok {
+			if _, exists := m2[o]; exists {
+				return 1
+			}
+		}
+		return 0
+	case s != 0 && p != 0:
+		return len(g.spo[s][p])
+	case p != 0 && o != 0:
+		return len(g.pos[p][o])
+	case s != 0 && o != 0:
+		return len(g.osp[o][s])
+	case s != 0:
+		n := 0
+		for _, objs := range g.spo[s] {
+			n += len(objs)
+		}
+		return n
+	case p != 0:
+		n := 0
+		for _, objs := range g.pso[p] {
+			n += len(objs)
+		}
+		return n
+	case o != 0:
+		n := 0
+		for _, preds := range g.osp[o] {
+			n += len(preds)
+		}
+		return n
+	default:
+		return g.size
+	}
+}
+
+// PredStats returns, for a predicate, the triple count and the numbers
+// of distinct subjects and objects — the histogram-style statistics the
+// cost-based optimizer uses (dissertation §5.4, cf. RDF-3X's indexes
+// doubling as histograms, §2.3.1).
+func (g *Graph) PredStats(p ID) (count, distinctS, distinctO int) {
+	for _, objs := range g.pso[p] {
+		count += len(objs)
+	}
+	return count, len(g.pso[p]), len(g.pos[p])
+}
+
+// Triples enumerates all triples in unspecified order.
+func (g *Graph) Triples(yield func(s, p, o Term) bool) {
+	g.Match(0, 0, 0, func(t Triple) bool {
+		return yield(g.TermOf(t.S), g.TermOf(t.P), g.TermOf(t.O))
+	})
+}
+
+// Dataset is a collection of graphs: one default graph and any number
+// of named graphs (dissertation §3.3.4).
+type Dataset struct {
+	mu      sync.Mutex
+	Default *Graph
+	named   map[IRI]*Graph
+}
+
+// NewDataset creates a dataset with an empty default graph.
+func NewDataset() *Dataset {
+	return &Dataset{Default: NewGraph(), named: make(map[IRI]*Graph)}
+}
+
+// Named returns the named graph, creating it when create is true.
+func (d *Dataset) Named(name IRI, create bool) *Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	g, ok := d.named[name]
+	if !ok && create {
+		g = NewGraph()
+		d.named[name] = g
+	}
+	return g
+}
+
+// DropNamed removes a named graph.
+func (d *Dataset) DropNamed(name IRI) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.named, name)
+}
+
+// GraphNames lists the names of all named graphs.
+func (d *Dataset) GraphNames() []IRI {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]IRI, 0, len(d.named))
+	for n := range d.named {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package relstore
+
+// An in-memory B+tree used as the clustered primary-key index of a
+// table: interior nodes route on composite keys, leaves hold the rows
+// and are linked for ordered range scans.
+
+const btreeOrder = 32 // max children per interior node
+
+type bnode struct {
+	keys [][]Value
+	// interior
+	children []*bnode
+	// leaf
+	rows [][]Value
+	next *bnode
+	leaf bool
+}
+
+type btree struct {
+	root   *bnode
+	height int
+	size   int
+}
+
+func newBtree() *btree {
+	return &btree{root: &bnode{leaf: true}, height: 1}
+}
+
+// search returns the leaf that may contain key and the insert position
+// within it.
+func (t *btree) search(key []Value) (*bnode, int) {
+	n := t.root
+	for !n.leaf {
+		i := upperBound(n.keys, key)
+		n = n.children[i]
+	}
+	return n, lowerBound(n.keys, key)
+}
+
+// lowerBound finds the first index with keys[i] >= key.
+func lowerBound(keys [][]Value, key []Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound finds the first index with keys[i] > key.
+func upperBound(keys [][]Value, key []Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// get returns the row stored under key, or nil.
+func (t *btree) get(key []Value) []Value {
+	leaf, i := t.search(key)
+	if i < len(leaf.keys) && CompareKeys(leaf.keys[i], key) == 0 {
+		return leaf.rows[i]
+	}
+	return nil
+}
+
+// put inserts or replaces the row under key. It reports whether a new
+// entry was created.
+func (t *btree) put(key []Value, row []Value) bool {
+	inserted, splitKey, sibling := t.insert(t.root, key, row)
+	if sibling != nil {
+		newRoot := &bnode{
+			keys:     [][]Value{splitKey},
+			children: []*bnode{t.root, sibling},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *btree) insert(n *bnode, key []Value, row []Value) (inserted bool, splitKey []Value, sibling *bnode) {
+	if n.leaf {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && CompareKeys(n.keys[i], key) == 0 {
+			n.rows[i] = row
+			return false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.rows = append(n.rows, nil)
+		copy(n.rows[i+1:], n.rows[i:])
+		n.rows[i] = row
+		if len(n.keys) >= btreeOrder {
+			sk, sib := t.splitLeaf(n)
+			return true, sk, sib
+		}
+		return true, nil, nil
+	}
+	i := upperBound(n.keys, key)
+	inserted, childKey, childSib := t.insert(n.children[i], key, row)
+	if childSib != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = childKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = childSib
+		if len(n.children) > btreeOrder {
+			sk, sib := t.splitInterior(n)
+			return inserted, sk, sib
+		}
+	}
+	return inserted, nil, nil
+}
+
+func (t *btree) splitLeaf(n *bnode) ([]Value, *bnode) {
+	mid := len(n.keys) / 2
+	sib := &bnode{
+		leaf: true,
+		keys: append([][]Value(nil), n.keys[mid:]...),
+		rows: append([][]Value(nil), n.rows[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.rows = n.rows[:mid]
+	n.next = sib
+	return sib.keys[0], sib
+}
+
+func (t *btree) splitInterior(n *bnode) ([]Value, *bnode) {
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	sib := &bnode{
+		keys:     append([][]Value(nil), n.keys[mid+1:]...),
+		children: append([]*bnode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return up, sib
+}
+
+// delete removes the entry under key; it reports whether it existed.
+// Underflow is tolerated (nodes may become sparse) — acceptable for a
+// store whose delete workload is light.
+func (t *btree) delete(key []Value) bool {
+	leaf, i := t.search(key)
+	if i >= len(leaf.keys) || CompareKeys(leaf.keys[i], key) != 0 {
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.rows = append(leaf.rows[:i], leaf.rows[i+1:]...)
+	t.size--
+	return true
+}
+
+// scanRange visits rows with lo <= key <= hi in key order. A nil lo
+// starts at the beginning; a nil hi runs to the end. The callback
+// returns false to stop.
+func (t *btree) scanRange(lo, hi []Value, yield func(key, row []Value) bool) {
+	var leaf *bnode
+	var i int
+	if lo == nil {
+		leaf = t.root
+		for !leaf.leaf {
+			leaf = leaf.children[0]
+		}
+		i = 0
+	} else {
+		leaf, i = t.search(lo)
+	}
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			if hi != nil && CompareKeys(leaf.keys[i], hi) > 0 {
+				return
+			}
+			if !yield(leaf.keys[i], leaf.rows[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}
+
+// scanPrefix visits rows whose key starts with the given prefix.
+func (t *btree) scanPrefix(prefix []Value, yield func(key, row []Value) bool) {
+	leaf, i := t.search(prefix)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			k := leaf.keys[i]
+			if len(k) < len(prefix) || CompareKeys(k[:len(prefix)], prefix) != 0 {
+				return
+			}
+			if !yield(k, leaf.rows[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}

@@ -1,0 +1,612 @@
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The SQL subset understood by the store. It covers exactly the
+// statement shapes SSDM's relational back-end formulates during array
+// proxy resolution and triple storage (§6.2.3):
+//
+//	CREATE TABLE t (c1 INT, c2 BLOB, ..., PRIMARY KEY (c1, c2))
+//	INSERT INTO t VALUES (?, ?, ...)
+//	SELECT c1, c2 FROM t WHERE c1 = ? AND c2 IN (?, ?) ...
+//	SELECT SUM(c2), COUNT(*) FROM t WHERE ...
+//	SELECT ... WHERE c BETWEEN ? AND ? AND MOD(c - ?, ?) = 0
+//	DELETE FROM t WHERE ...
+//
+// with optional ORDER BY <col> [ASC|DESC] and LIMIT <n>.
+
+type stmtKind uint8
+
+const (
+	stmtCreate stmtKind = iota
+	stmtInsert
+	stmtSelect
+	stmtDelete
+)
+
+type colDef struct {
+	name string
+	typ  Type
+}
+
+type expr struct {
+	param int // >= 0: positional parameter index; -1: literal
+	lit   Value
+}
+
+type predKind uint8
+
+const (
+	predCmp predKind = iota
+	predIn
+	predBetween
+	predMod // MOD(col - a, b) = c
+)
+
+type pred struct {
+	kind predKind
+	col  string
+	op   string // for predCmp: = < <= > >= <>
+	args []expr
+}
+
+type selCol struct {
+	agg  string // "", COUNT, SUM, MIN, MAX, AVG
+	col  string // "*" for COUNT(*)
+	star bool   // bare *
+}
+
+type statement struct {
+	kind    stmtKind
+	table   string
+	cols    []colDef // CREATE
+	pk      []string // CREATE
+	vals    []expr   // INSERT
+	selCols []selCol // SELECT
+	where   []pred
+	orderBy string
+	desc    bool
+	limit   int // -1 = none
+	nparams int
+}
+
+// --- tokenizer ---
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+}
+
+type sqlTokKind uint8
+
+const (
+	sqlEOF sqlTokKind = iota
+	sqlIdent
+	sqlNumber
+	sqlString
+	sqlParam
+	sqlPunct
+)
+
+func sqlTokenize(src string) ([]sqlToken, error) {
+	var toks []sqlToken
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '?':
+			toks = append(toks, sqlToken{sqlParam, "?"})
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) {
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("relstore: unterminated string literal")
+			}
+			toks = append(toks, sqlToken{sqlString, sb.String()})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i + 1
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, sqlToken{sqlNumber, src[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, sqlToken{sqlIdent, src[i:j]})
+			i = j
+		case strings.ContainsRune("(),=*-", c):
+			toks = append(toks, sqlToken{sqlPunct, string(c)})
+			i++
+		case c == '<':
+			if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, sqlToken{sqlPunct, src[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, sqlToken{sqlPunct, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, sqlToken{sqlPunct, ">="})
+				i += 2
+			} else {
+				toks = append(toks, sqlToken{sqlPunct, ">"})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("relstore: unexpected character %q in SQL", c)
+		}
+	}
+	toks = append(toks, sqlToken{sqlEOF, ""})
+	return toks, nil
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks    []sqlToken
+	pos     int
+	nparams int
+}
+
+func (p *sqlParser) cur() sqlToken  { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == sqlIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("relstore: expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != sqlPunct || t.text != s {
+		return fmt.Errorf("relstore: expected %q, found %q", s, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != sqlIdent {
+		return "", fmt.Errorf("relstore: expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return strings.ToLower(t.text), nil
+}
+
+func parseSQL(src string) (*statement, error) {
+	toks, err := sqlTokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	var st *statement
+	switch {
+	case p.acceptKeyword("CREATE"):
+		st, err = p.parseCreate()
+	case p.acceptKeyword("INSERT"):
+		st, err = p.parseInsert()
+	case p.acceptKeyword("SELECT"):
+		st, err = p.parseSelect()
+	case p.acceptKeyword("DELETE"):
+		st, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("relstore: unsupported statement starting with %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != sqlEOF {
+		return nil, fmt.Errorf("relstore: trailing input %q", p.cur().text)
+	}
+	st.nparams = p.nparams
+	return st, nil
+}
+
+func (p *sqlParser) parseCreate() (*statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &statement{kind: stmtCreate, table: name, limit: -1}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.pk = append(st.pk, col)
+				if p.cur().kind == sqlPunct && p.cur().text == "," {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var typ Type
+			switch strings.ToUpper(tname) {
+			case "INT", "INTEGER", "BIGINT":
+				typ = TInt
+			case "FLOAT", "DOUBLE", "REAL":
+				typ = TFloat
+			case "TEXT", "VARCHAR", "CHAR":
+				typ = TText
+			case "BLOB", "BYTEA":
+				typ = TBlob
+			default:
+				return nil, fmt.Errorf("relstore: unknown column type %q", tname)
+			}
+			st.cols = append(st.cols, colDef{name: col, typ: typ})
+		}
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseInsert() (*statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &statement{kind: stmtInsert, table: name, limit: -1}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.vals = append(st.vals, e)
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseExpr() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case sqlParam:
+		p.pos++
+		e := expr{param: p.nparams}
+		p.nparams++
+		return e, nil
+	case sqlNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return expr{}, fmt.Errorf("relstore: bad number %q", t.text)
+			}
+			return expr{param: -1, lit: F64(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return expr{}, fmt.Errorf("relstore: bad integer %q", t.text)
+		}
+		return expr{param: -1, lit: I64(i)}, nil
+	case sqlString:
+		p.pos++
+		return expr{param: -1, lit: Text(t.text)}, nil
+	case sqlIdent:
+		if strings.EqualFold(t.text, "NULL") {
+			p.pos++
+			return expr{param: -1, lit: Null}, nil
+		}
+	}
+	return expr{}, fmt.Errorf("relstore: expected value, found %q", t.text)
+}
+
+func (p *sqlParser) parseSelect() (*statement, error) {
+	st := &statement{kind: stmtSelect, limit: -1}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == sqlPunct && t.text == "*":
+			p.pos++
+			st.selCols = append(st.selCols, selCol{star: true})
+		case t.kind == sqlIdent && isAggName(t.text) && p.toks[p.pos+1].kind == sqlPunct && p.toks[p.pos+1].text == "(":
+			agg := strings.ToUpper(t.text)
+			p.pos += 2
+			var col string
+			if p.cur().kind == sqlPunct && p.cur().text == "*" {
+				col = "*"
+				p.pos++
+			} else {
+				var err error
+				col, err = p.ident()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			st.selCols = append(st.selCols, selCol{agg: agg, col: col})
+		default:
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.selCols = append(st.selCols, selCol{col: col})
+		}
+		if p.cur().kind == sqlPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.table = name
+	if err := p.parseWhereTail(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func isAggName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	// Element-wise aggregates over BLOB chunk payloads — the
+	// "UDFs installed in the RDBMS" that make a relational back-end
+	// aggregation-capable (cf. the BLOB+UDF approach of §2.5). The F/I
+	// suffix selects the element interpretation (double / int64).
+	case "ELEMCNT", "ELEMSUMF", "ELEMSUMI", "ELEMMINF", "ELEMMINI", "ELEMMAXF", "ELEMMAXI":
+		return true
+	}
+	return false
+}
+
+func isElemAgg(s string) bool { return strings.HasPrefix(s, "ELEM") }
+
+func (p *sqlParser) parseDelete() (*statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &statement{kind: stmtDelete, table: name, limit: -1}
+	if err := p.parseWhereTail(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseWhereTail(st *statement) error {
+	if p.acceptKeyword("WHERE") {
+		for {
+			pr, err := p.parsePred()
+			if err != nil {
+				return err
+			}
+			st.where = append(st.where, pr)
+			if p.acceptKeyword("AND") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		st.orderBy = col
+		if p.acceptKeyword("DESC") {
+			st.desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != sqlNumber {
+			return fmt.Errorf("relstore: expected LIMIT count, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return fmt.Errorf("relstore: bad LIMIT %q", t.text)
+		}
+		p.pos++
+		st.limit = n
+	}
+	return nil
+}
+
+// parsePred parses one predicate of the WHERE conjunction.
+func (p *sqlParser) parsePred() (pred, error) {
+	// MOD(col - e, e) = e
+	if p.isKeyword("MOD") {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return pred{}, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return pred{}, err
+		}
+		if err := p.expectPunct("-"); err != nil {
+			return pred{}, err
+		}
+		sub, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return pred{}, err
+		}
+		div, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return pred{}, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return pred{}, err
+		}
+		rem, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		return pred{kind: predMod, col: col, args: []expr{sub, div, rem}}, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return pred{}, err
+	}
+	switch {
+	case p.isKeyword("IN"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return pred{}, err
+		}
+		var args []expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return pred{}, err
+			}
+			args = append(args, e)
+			if p.cur().kind == sqlPunct && p.cur().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return pred{}, err
+		}
+		return pred{kind: predIn, col: col, args: args}, nil
+	case p.isKeyword("BETWEEN"):
+		p.pos++
+		lo, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return pred{}, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		return pred{kind: predBetween, col: col, args: []expr{lo, hi}}, nil
+	default:
+		t := p.cur()
+		if t.kind != sqlPunct || !isCmpOp(t.text) {
+			return pred{}, fmt.Errorf("relstore: expected comparison operator, found %q", t.text)
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return pred{}, err
+		}
+		return pred{kind: predCmp, col: col, op: t.text, args: []expr{e}}, nil
+	}
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "<", "<=", ">", ">=", "<>":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+// Package relstore is an embedded relational data manager: typed
+// tables with a clustered B+tree primary-key index and a small SQL
+// dialect (CREATE TABLE / INSERT / SELECT / DELETE with =, IN, BETWEEN
+// and MOD predicates, ORDER BY, LIMIT, and the aggregates COUNT, SUM,
+// MIN, MAX, AVG).
+//
+// It stands in for the SQL-compliant RDBMS back-ends (accessed over
+// JDBC in the dissertation, §6.2) that SSDM uses to store RDF triples
+// and array chunks. The relational back-end of SSDM talks to it only
+// through SQL text plus positional parameters, exactly as it would to
+// an external server, and the store keeps per-statement counters and a
+// configurable simulated round-trip latency so that the retrieval-
+// strategy experiments (§6.3) reproduce the communication-cost effects
+// the paper measures.
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is a column type.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TFloat
+	TText
+	TBlob
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "DOUBLE"
+	case TText:
+		return "TEXT"
+	case TBlob:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a single cell value. The zero Value is NULL.
+type Value struct {
+	kind  Type
+	null  bool
+	i     int64
+	f     float64
+	s     string
+	b     []byte
+	isSet bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{null: true}
+
+// I64 makes an integer value.
+func I64(v int64) Value { return Value{kind: TInt, i: v, isSet: true} }
+
+// F64 makes a float value.
+func F64(v float64) Value { return Value{kind: TFloat, f: v, isSet: true} }
+
+// Text makes a string value.
+func Text(v string) Value { return Value{kind: TText, s: v, isSet: true} }
+
+// Blob makes a byte-string value. The slice is not copied.
+func Blob(v []byte) Value { return Value{kind: TBlob, b: v, isSet: true} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.null || !v.isSet }
+
+// Kind returns the value's type (meaningless for NULL).
+func (v Value) Kind() Type { return v.kind }
+
+// Int returns the value as int64 (floats truncate).
+func (v Value) Int() int64 {
+	if v.kind == TFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// Float returns the value as float64.
+func (v Value) Float() float64 {
+	if v.kind == TInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.s }
+
+// Bytes returns the blob payload.
+func (v Value) Bytes() []byte { return v.b }
+
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.kind {
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TText:
+		return strconv.Quote(v.s)
+	case TBlob:
+		return fmt.Sprintf("x'%d bytes'", len(v.b))
+	default:
+		return "?"
+	}
+}
+
+// numeric reports whether the value participates in numeric comparison.
+func (v Value) numeric() bool { return v.kind == TInt || v.kind == TFloat }
+
+// Compare orders two values: NULL < numbers < text < blob; numbers
+// compare numerically across int/float.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.numeric() && b.numeric() {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	ra, rb := rank(a.kind), rank(b.kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case TText:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	case TBlob:
+		return compareBytes(a.b, b.b)
+	}
+	return 0
+}
+
+func rank(t Type) int {
+	switch t {
+	case TInt, TFloat:
+		return 0
+	case TText:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareKeys orders composite keys lexicographically.
+func CompareKeys(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SizeOf estimates the transfer size of a value in bytes, used by the
+// store's traffic counters.
+func SizeOf(v Value) int {
+	if v.IsNull() {
+		return 1
+	}
+	switch v.kind {
+	case TInt, TFloat:
+		return 8
+	case TText:
+		return len(v.s)
+	case TBlob:
+		return len(v.b)
+	default:
+		return 1
+	}
+}

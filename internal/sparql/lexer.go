@@ -1,0 +1,348 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIRI
+	tPName
+	tVar
+	tBlank
+	tString
+	tInt
+	tDec
+	tDbl
+	tLang
+	tWord  // bare identifier: keywords, builtin names, a/true/false
+	tPunct // structural characters and operators
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isWord reports a case-insensitive keyword match.
+func (t tok) isWord(kw string) bool {
+	return t.kind == tWord && strings.EqualFold(t.text, kw)
+}
+
+func (t tok) isPunct(s string) bool {
+	return t.kind == tPunct && t.text == s
+}
+
+type sLexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newSLexer(src string) *sLexer { return &sLexer{src: src, line: 1, col: 1} }
+
+func (l *sLexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("sciSPARQL: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *sLexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos+off:])
+	return r
+}
+
+func (l *sLexer) peek() rune { return l.peekAt(0) }
+
+func (l *sLexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *sLexer) skipSpace() {
+	for {
+		r := l.peek()
+		if r == '#' {
+			for r != '\n' && r != -1 {
+				r = l.advance()
+			}
+			continue
+		}
+		if r == -1 || !unicode.IsSpace(r) {
+			return
+		}
+		l.advance()
+	}
+}
+
+func isNameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// looksLikeIRI decides whether '<' at the current position opens an
+// IRIREF: a '>' must appear before any whitespace, quote or second '<'.
+func (l *sLexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		c := l.src[i]
+		switch {
+		case c == '>':
+			return true
+		case c == '<' || c == '"' || unicode.IsSpace(rune(c)):
+			return false
+		}
+	}
+	return false
+}
+
+func (l *sLexer) next() (tok, error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) tok { return tok{kind: k, text: text, line: line, col: col} }
+	r := l.peek()
+	switch {
+	case r == -1:
+		return mk(tEOF, ""), nil
+	case r == '<' && l.looksLikeIRI():
+		l.advance()
+		var sb strings.Builder
+		for {
+			c := l.advance()
+			if c == -1 {
+				return tok{}, l.errorf("unterminated IRI")
+			}
+			if c == '>' {
+				return mk(tIRI, sb.String()), nil
+			}
+			sb.WriteRune(c)
+		}
+	case r == '?' || r == '$':
+		if isNameStart(l.peekAt(1)) || unicode.IsDigit(l.peekAt(1)) {
+			l.advance()
+			var sb strings.Builder
+			for isNameChar(l.peek()) {
+				sb.WriteRune(l.advance())
+			}
+			return mk(tVar, sb.String()), nil
+		}
+		l.advance()
+		return mk(tPunct, "?"), nil
+	case r == '"' || r == '\'':
+		s, err := l.scanString()
+		if err != nil {
+			return tok{}, err
+		}
+		return mk(tString, s), nil
+	case r == '@':
+		l.advance()
+		var sb strings.Builder
+		for isNameChar(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return mk(tLang, sb.String()), nil
+	case r == '_':
+		if l.peekAt(1) == ':' {
+			l.advance()
+			l.advance()
+			var sb strings.Builder
+			for isNameChar(l.peek()) {
+				sb.WriteRune(l.advance())
+			}
+			return mk(tBlank, sb.String()), nil
+		}
+		l.advance()
+		return mk(tPunct, "_"), nil
+	case unicode.IsDigit(r):
+		return l.scanNumber(line, col)
+	case r == '^':
+		l.advance()
+		if l.peek() == '^' {
+			l.advance()
+			return mk(tPunct, "^^"), nil
+		}
+		return mk(tPunct, "^"), nil
+	case r == '&':
+		l.advance()
+		if l.peek() != '&' {
+			return tok{}, l.errorf("expected '&&'")
+		}
+		l.advance()
+		return mk(tPunct, "&&"), nil
+	case r == '|':
+		l.advance()
+		if l.peek() == '|' {
+			l.advance()
+			return mk(tPunct, "||"), nil
+		}
+		return mk(tPunct, "|"), nil
+	case r == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return mk(tPunct, "!="), nil
+		}
+		return mk(tPunct, "!"), nil
+	case r == '<':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return mk(tPunct, "<="), nil
+		}
+		return mk(tPunct, "<"), nil
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return mk(tPunct, ">="), nil
+		}
+		return mk(tPunct, ">"), nil
+	case strings.ContainsRune("{}()[],;.=*/+-", r):
+		l.advance()
+		// Negative numeric literals are produced by the parser from
+		// unary minus; '.' is always punctuation here because bare
+		// decimals start with a digit in SPARQL.
+		return mk(tPunct, string(r)), nil
+	case r == ':' && !isNameStart(l.peekAt(1)):
+		// A bare ':' (e.g. inside array subscripts) is punctuation; a
+		// ':' followed by a name char opens an empty-prefix PName.
+		l.advance()
+		return mk(tPunct, ":"), nil
+	case isNameStart(r) || r == ':':
+		var sb strings.Builder
+		hasColon := false
+		for {
+			c := l.peek()
+			if c == ':' {
+				hasColon = true
+				sb.WriteRune(l.advance())
+				continue
+			}
+			if isNameChar(c) {
+				sb.WriteRune(l.advance())
+				continue
+			}
+			break
+		}
+		word := sb.String()
+		if hasColon {
+			return mk(tPName, word), nil
+		}
+		return mk(tWord, word), nil
+	default:
+		return tok{}, l.errorf("unexpected character %q", r)
+	}
+}
+
+func (l *sLexer) scanString() (string, error) {
+	quote := l.advance()
+	long := false
+	if l.peek() == quote {
+		l.advance()
+		if l.peek() == quote {
+			l.advance()
+			long = true
+		} else {
+			return "", nil
+		}
+	}
+	var sb strings.Builder
+	for {
+		c := l.advance()
+		if c == -1 {
+			return "", l.errorf("unterminated string")
+		}
+		if c == quote {
+			if !long {
+				return sb.String(), nil
+			}
+			if l.peek() == quote {
+				l.advance()
+				if l.peek() == quote {
+					l.advance()
+					return sb.String(), nil
+				}
+				sb.WriteRune(quote)
+				sb.WriteRune(quote)
+				continue
+			}
+			sb.WriteRune(quote)
+			continue
+		}
+		if c == '\\' {
+			e := l.advance()
+			switch e {
+			case 't':
+				sb.WriteRune('\t')
+			case 'n':
+				sb.WriteRune('\n')
+			case 'r':
+				sb.WriteRune('\r')
+			case '"', '\'', '\\':
+				sb.WriteRune(e)
+			default:
+				return "", l.errorf("bad escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteRune(c)
+	}
+}
+
+func (l *sLexer) scanNumber(line, col int) (tok, error) {
+	var sb strings.Builder
+	kind := tInt
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+		kind = tDec
+		sb.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if p := l.peek(); p == 'e' || p == 'E' {
+		// Only an exponent when followed by digits (or sign+digits).
+		off := 1
+		if s := l.peekAt(1); s == '+' || s == '-' {
+			off = 2
+		}
+		if unicode.IsDigit(l.peekAt(off)) {
+			kind = tDbl
+			sb.WriteRune(l.advance())
+			if s := l.peek(); s == '+' || s == '-' {
+				sb.WriteRune(l.advance())
+			}
+			for unicode.IsDigit(l.peek()) {
+				sb.WriteRune(l.advance())
+			}
+		}
+	}
+	return tok{kind: kind, text: sb.String(), line: line, col: col}, nil
+}

@@ -1,0 +1,198 @@
+package sparql
+
+import (
+	"testing"
+
+	"scisparql/internal/rdf"
+)
+
+func TestParseSubSelect(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?n WHERE {
+  { SELECT (MAX(?v) AS ?m) WHERE { ?x ex:v ?v } }
+  ?p ex:v ?m ; ex:name ?n .
+}`)
+	ss, ok := q.Where.Elems[0].(SubSelect)
+	if !ok {
+		t.Fatalf("%T", q.Where.Elems[0])
+	}
+	if ss.Query.Items[0].Var != "m" {
+		t.Fatalf("%+v", ss.Query.Items)
+	}
+}
+
+func TestParseNegatedPropertySet(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?v WHERE { ex:s !ex:a ?v . ex:s !(ex:b|^ex:c|a) ?o }`)
+	bgp := firstBGP(t, q.Where)
+	n1 := bgp.Triples[0].Path.(PathNegated)
+	if len(n1.Fwd) != 1 || n1.Fwd[0] != "http://ex/a" {
+		t.Fatalf("%+v", n1)
+	}
+	n2 := bgp.Triples[1].Path.(PathNegated)
+	if len(n2.Fwd) != 2 || len(n2.Inv) != 1 {
+		t.Fatalf("%+v", n2)
+	}
+	if n2.Fwd[1] != rdf.RDFType {
+		t.Fatalf("%+v", n2)
+	}
+	if n2.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestParseNegatedPropertySetErrors(t *testing.T) {
+	bad := []string{
+		`SELECT ?v WHERE { <s> !(<p> ?v }`,
+		`SELECT ?v WHERE { <s> !5 ?v }`,
+		`SELECT ?v WHERE { <s> !() ?v }`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseDescribeWithWhere(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> DESCRIBE ?x WHERE { ?x a ex:T }`)
+	if q.Form != FormDescribe || q.Where == nil {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseReduced(t *testing.T) {
+	q := parseQ(t, `SELECT REDUCED ?s WHERE { ?s ?p ?o }`)
+	if !q.Reduced {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseBaseResolution(t *testing.T) {
+	q := parseQ(t, `BASE <http://ex/> SELECT ?v WHERE { <s> <p> ?v }`)
+	tp := firstBGP(t, q.Where).Triples[0]
+	if tp.S.Term != rdf.IRI("http://ex/s") {
+		t.Fatalf("%v", tp.S)
+	}
+}
+
+func TestParseOrderByPlainExpr(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s ?p ?v } ORDER BY (?v * -1) ?s`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("%+v", q.OrderBy)
+	}
+}
+
+func TestParseGroupByExpr(t *testing.T) {
+	q := parseQ(t, `SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?v } GROUP BY (?v / 10)`)
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("%+v", q.GroupBy)
+	}
+	if _, ok := q.GroupBy[0].(EBin); !ok {
+		t.Fatalf("%T", q.GroupBy[0])
+	}
+}
+
+func TestParseNestedGroups(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { { ?s ?p ?o } FILTER (?s != <http://x>) }`)
+	if _, ok := q.Where.Elems[0].(SubGroup); !ok {
+		t.Fatalf("%T", q.Where.Elems[0])
+	}
+}
+
+func TestParseExprStringRenderings(t *testing.T) {
+	// Smoke the String() methods used in diagnostics.
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT (map(ex:f(_, 2), ?a) AS ?x) (?a[1:2:5] NOT IN (1, 2) AS ?y) (!(?b > 1) AS ?z)
+       (COUNT(DISTINCT ?a) AS ?c) (EXISTS { ?s ?p ?o } AS ?e)
+WHERE { ?s ex:d ?a ; ex:e ?b }`)
+	for _, it := range q.Items {
+		if it.Expr != nil && it.Expr.String() == "" {
+			t.Fatalf("empty rendering for %T", it.Expr)
+		}
+	}
+	// Path renderings.
+	q2 := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x (ex:a/ex:b)|^ex:c* ?y }`)
+	tp := firstBGP(t, q2.Where).Triples[0]
+	if tp.Path.String() == "" || tp.String() == "" {
+		t.Fatal("empty path rendering")
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	bad := []string{
+		`SELECT (1 AS ?v`,
+		`SELECT (1 AS 2) WHERE {}`,
+		`SELECT ?x WHERE { ?x <p> "a"@ }`,
+		`SELECT ?x WHERE { ?x <p> ?y } ORDER BY`,
+		`SELECT ?x WHERE { ?x <p> ?y } HAVING`,
+		`SELECT ?x WHERE { BIND (1 AS 2) }`,
+		`SELECT ?x WHERE { VALUES 5 { 1 } }`,
+		`SELECT ?x WHERE { VALUES (?a ?b) { (1) } }`,
+		`SELECT ?x WHERE { GRAPH { ?s ?p ?o } }`,
+		`CONSTRUCT { ?s <p>* ?o } WHERE { ?s <p> ?o }`,
+		`DELETE DATA { GRAPH <g> { ?v <p> 1 } }`,
+		`LOAD`,
+		`CLEAR`,
+		`WITH <g> SELECT ?x WHERE {}`,
+		`DEFINE TABLE x`,
+		`DEFINE FUNCTION f(?x ?y`,
+		`DEFINE AGGREGATE a() AS 1`,
+		`SELECT ?x WHERE { ?s ?p "x"^^ }`,
+		`SELECT ?x WHERE { ?s ?p ((1 2) }`,
+		`SELECT COUNT(*) WHERE { ?s ?p ?o }`,
+		`SELECT (AVG(*) AS ?v) WHERE { ?s ?p ?o }`,
+	}
+	for i, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestParseFilterBuiltinConstraintForm(t *testing.T) {
+	// FILTER regex(...) without surrounding parentheses is legal.
+	q := parseQ(t, `SELECT ?s WHERE { ?s <http://p> ?v FILTER regex(?v, "x") }`)
+	f := q.Where.Elems[1].(Filter)
+	if _, ok := f.Cond.(ECall); !ok {
+		t.Fatalf("%T", f.Cond)
+	}
+}
+
+func TestParseDoubleAndDecimalLiterals(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s <http://p> 1.5e2 . ?s <http://q> 2.25 }`)
+	bgp := firstBGP(t, q.Where)
+	if bgp.Triples[0].O.Term != rdf.Float(150) || bgp.Triples[1].O.Term != rdf.Float(2.25) {
+		t.Fatalf("%v", bgp.Triples)
+	}
+}
+
+func TestParseLangTaggedAndTypedInExpr(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s <http://p> ?v FILTER (?v = "x"@en || ?v = "5"^^<http://www.w3.org/2001/XMLSchema#integer>) }`)
+	if q == nil {
+		t.Fatal("nil query")
+	}
+}
+
+func TestParseEmptyGroupAndEmptyWhere(t *testing.T) {
+	q := parseQ(t, `SELECT (1 + 1 AS ?v) WHERE {}`)
+	if len(q.Where.Elems) != 0 {
+		t.Fatalf("%+v", q.Where)
+	}
+}
+
+func TestParseVarDollarSyntax(t *testing.T) {
+	q := parseQ(t, `SELECT $x WHERE { $x ?p ?o }`)
+	if q.Items[0].Var != "x" {
+		t.Fatalf("%+v", q.Items)
+	}
+}
+
+func TestParseAnonBlankSubjectStandalone(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?v WHERE { [ ex:p ?v ] . }`)
+	bgp := firstBGP(t, q.Where)
+	if len(bgp.Triples) != 1 {
+		t.Fatalf("%v", bgp.Triples)
+	}
+}

@@ -1,0 +1,521 @@
+package sparql
+
+import (
+	"testing"
+
+	"scisparql/internal/rdf"
+)
+
+func parseQ(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nquery:\n%s", err, src)
+	}
+	return q
+}
+
+func firstBGP(t *testing.T, g *Group) BGP {
+	t.Helper()
+	for _, el := range g.Elems {
+		if bgp, ok := el.(BGP); ok {
+			return bgp
+		}
+	}
+	t.Fatal("no BGP in group")
+	return BGP{}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseQ(t, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?person WHERE { ?person foaf:name "Alice" }`)
+	if q.Form != FormSelect || len(q.Items) != 1 || q.Items[0].Var != "person" {
+		t.Fatalf("%+v", q)
+	}
+	bgp := firstBGP(t, q.Where)
+	if len(bgp.Triples) != 1 {
+		t.Fatalf("triples %d", len(bgp.Triples))
+	}
+	tp := bgp.Triples[0]
+	if !tp.S.IsVar() || tp.S.Var != "person" {
+		t.Fatalf("subject %v", tp.S)
+	}
+	if p, ok := tp.Path.(PathIRI); !ok || p.IRI != "http://xmlns.com/foaf/0.1/name" {
+		t.Fatalf("path %v", tp.Path)
+	}
+	if s, ok := tp.O.Term.(rdf.String); !ok || s.Val != "Alice" {
+		t.Fatalf("object %v", tp.O)
+	}
+}
+
+func TestParseSelectStarDistinct(t *testing.T) {
+	q := parseQ(t, `SELECT DISTINCT * WHERE { ?s ?p ?o }`)
+	if !q.Star || !q.Distinct {
+		t.Fatalf("%+v", q)
+	}
+	tp := firstBGP(t, q.Where).Triples[0]
+	if _, ok := tp.Path.(PathVar); !ok {
+		t.Fatalf("predicate should be a variable: %v", tp.Path)
+	}
+}
+
+func TestParseSemicolonCommaAndA(t *testing.T) {
+	q := parseQ(t, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?n WHERE {
+  ?p a foaf:Person ;
+     foaf:name ?n ;
+     foaf:knows ?x , ?y .
+}`)
+	bgp := firstBGP(t, q.Where)
+	if len(bgp.Triples) != 4 {
+		t.Fatalf("triples %d", len(bgp.Triples))
+	}
+	if p := bgp.Triples[0].Path.(PathIRI); p.IRI != rdf.RDFType {
+		t.Fatalf("a not expanded: %v", p)
+	}
+}
+
+func TestParseOptionalFilterBind(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?x ?mail WHERE {
+  ?x ex:name ?n .
+  OPTIONAL { ?x ex:mbox ?mail }
+  FILTER (?n != "Bob" && bound(?mail))
+  BIND (?n AS ?alias)
+}`)
+	var haveOpt, haveFilter, haveBind bool
+	for _, el := range q.Where.Elems {
+		switch el.(type) {
+		case Optional:
+			haveOpt = true
+		case Filter:
+			haveFilter = true
+		case Bind:
+			haveBind = true
+		}
+	}
+	if !haveOpt || !haveFilter || !haveBind {
+		t.Fatalf("opt=%v filter=%v bind=%v", haveOpt, haveFilter, haveBind)
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?v WHERE {
+  { ?s ex:a ?v } UNION { ?s ex:b ?v } UNION { ?s ex:c ?v }
+}`)
+	u, ok := q.Where.Elems[0].(Union)
+	if !ok || len(u.Branches) != 3 {
+		t.Fatalf("%+v", q.Where.Elems[0])
+	}
+}
+
+func TestParsePropertyPaths(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?x WHERE { ?x (ex:p/ex:q)|^ex:r ?y . ?y ex:s* ?z . ?z ex:t+ ?w . ?w ex:u? ?v }`)
+	bgp := firstBGP(t, q.Where)
+	if len(bgp.Triples) != 4 {
+		t.Fatalf("triples %d", len(bgp.Triples))
+	}
+	if _, ok := bgp.Triples[0].Path.(PathAlt); !ok {
+		t.Fatalf("path %v", bgp.Triples[0].Path)
+	}
+	star := bgp.Triples[1].Path.(PathRepeat)
+	if star.Min != 0 || !star.Unbounded {
+		t.Fatalf("star %+v", star)
+	}
+	plus := bgp.Triples[2].Path.(PathRepeat)
+	if plus.Min != 1 || !plus.Unbounded {
+		t.Fatalf("plus %+v", plus)
+	}
+	opt := bgp.Triples[3].Path.(PathRepeat)
+	if opt.Min != 0 || opt.Unbounded {
+		t.Fatalf("opt %+v", opt)
+	}
+}
+
+func TestParseGroupByHavingOrder(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?dept (AVG(?sal) AS ?avg) WHERE { ?e ex:dept ?dept ; ex:sal ?sal }
+GROUP BY ?dept
+HAVING (AVG(?sal) > 1000)
+ORDER BY DESC(?avg) LIMIT 5 OFFSET 2`)
+	if len(q.GroupBy) != 1 || len(q.Having) != 1 || len(q.OrderBy) != 1 {
+		t.Fatalf("%+v", q)
+	}
+	if !q.OrderBy[0].Desc || q.Limit != 5 || q.Offset != 2 {
+		t.Fatalf("%+v", q)
+	}
+	if q.Items[1].Var != "avg" {
+		t.Fatalf("%+v", q.Items)
+	}
+	agg, ok := q.Items[1].Expr.(EAgg)
+	if !ok || agg.Func != "AVG" {
+		t.Fatalf("%+v", q.Items[1].Expr)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := parseQ(t, `ASK { ?s ?p ?o }`)
+	if q.Form != FormAsk {
+		t.Fatalf("form %v", q.Form)
+	}
+}
+
+func TestParseConstruct(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+CONSTRUCT { ?x ex:knows ?y } WHERE { ?y ex:knows ?x }`)
+	if q.Form != FormConstruct || len(q.ConstructTemplate) != 1 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseDescribe(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> DESCRIBE ex:thing`)
+	if q.Form != FormDescribe || len(q.DescribeTerms) != 1 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseFromClauses(t *testing.T) {
+	q := parseQ(t, `
+SELECT ?s FROM <http://ex/g1> FROM NAMED <http://ex/g2> WHERE { ?s ?p ?o }`)
+	if len(q.From) != 1 || len(q.FromNamed) != 1 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestParseGraphClause(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } GRAPH <http://ex/g> { ?s ?p2 ?o2 } }`)
+	gc1 := q.Where.Elems[0].(GraphClause)
+	if gc1.Var != "g" {
+		t.Fatalf("%+v", gc1)
+	}
+	gc2 := q.Where.Elems[1].(GraphClause)
+	if gc2.Name != rdf.IRI("http://ex/g") {
+		t.Fatalf("%+v", gc2)
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	q := parseQ(t, `
+SELECT ?x WHERE { VALUES ?x { 1 2 3 } VALUES (?a ?b) { (1 2) (UNDEF "x") } }`)
+	v1 := q.Where.Elems[0].(InlineData)
+	if len(v1.Rows) != 3 {
+		t.Fatalf("%+v", v1)
+	}
+	v2 := q.Where.Elems[1].(InlineData)
+	if len(v2.Vars) != 2 || v2.Rows[1][0] != nil {
+		t.Fatalf("%+v", v2)
+	}
+}
+
+func TestParseArrayDeref(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT (?a[2,3] AS ?elem) (?a[1:10] AS ?slice) (?a[1:2:9] AS ?strided) (?a[:,2] AS ?col)
+WHERE { ?s ex:data ?a }`)
+	e := q.Items[0].Expr.(ESubscript)
+	if len(e.Subs) != 2 || !e.Subs[0].Single {
+		t.Fatalf("%+v", e)
+	}
+	sl := q.Items[1].Expr.(ESubscript)
+	if sl.Subs[0].Single || sl.Subs[0].Lo == nil || sl.Subs[0].Hi == nil || sl.Subs[0].Step != nil {
+		t.Fatalf("%+v", sl.Subs[0])
+	}
+	st := q.Items[2].Expr.(ESubscript)
+	if st.Subs[0].Step == nil {
+		t.Fatalf("%+v", st.Subs[0])
+	}
+	col := q.Items[3].Expr.(ESubscript)
+	if col.Subs[0].Lo != nil || col.Subs[0].Hi != nil || col.Subs[0].Single {
+		t.Fatalf("%+v", col.Subs[0])
+	}
+	if !col.Subs[1].Single {
+		t.Fatalf("%+v", col.Subs[1])
+	}
+}
+
+func TestParseArrayExprArithmetic(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT (asum(?a * 2 + ?b) AS ?v) WHERE { ?s ex:a ?a ; ex:b ?b }`)
+	call, ok := q.Items[0].Expr.(ECall)
+	if !ok || call.Name != "asum" {
+		t.Fatalf("%+v", q.Items[0].Expr)
+	}
+}
+
+func TestParseFilterExists(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT ?x WHERE {
+  ?x a ex:T .
+  FILTER ( EXISTS { ?x ex:home ?h } && NOT EXISTS { ?x ex:mbox ?m } )
+}`)
+	f := q.Where.Elems[1].(Filter)
+	bin := f.Cond.(EBin)
+	if bin.Op != "&&" {
+		t.Fatalf("%+v", bin)
+	}
+	if ex := bin.L.(EExists); ex.Not {
+		t.Fatalf("%+v", ex)
+	}
+	if ex := bin.R.(EExists); !ex.Not {
+		t.Fatalf("%+v", ex)
+	}
+}
+
+func TestParseInNotIn(t *testing.T) {
+	q := parseQ(t, `SELECT ?x WHERE { ?x ?p ?v FILTER (?v IN (1, 2, 3)) FILTER (?v NOT IN (4)) }`)
+	in := q.Where.Elems[1].(Filter).Cond.(EIn)
+	if in.Not || len(in.List) != 3 {
+		t.Fatalf("%+v", in)
+	}
+	nin := q.Where.Elems[2].(Filter).Cond.(EIn)
+	if !nin.Not {
+		t.Fatalf("%+v", nin)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	q := parseQ(t, `SELECT (1 + 2 * 3 AS ?v) WHERE { }`)
+	e := q.Items[0].Expr.(EBin)
+	if e.Op != "+" {
+		t.Fatalf("top op %q", e.Op)
+	}
+	if r := e.R.(EBin); r.Op != "*" {
+		t.Fatalf("inner op %q", r.Op)
+	}
+}
+
+func TestParseCollectionsInPatterns(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p (1 2) }`)
+	bgp := firstBGP(t, q.Where)
+	// 1 root + 2 cells x 2 triples = 5.
+	if len(bgp.Triples) != 5 {
+		t.Fatalf("triples %d", len(bgp.Triples))
+	}
+}
+
+func TestParseBlankPropertyList(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?n WHERE { [] ex:name ?n ; ex:knows [ ex:name "B" ] }`)
+	bgp := firstBGP(t, q.Where)
+	if len(bgp.Triples) != 3 {
+		t.Fatalf("triples %d", len(bgp.Triples))
+	}
+}
+
+func TestParseMinus(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:T MINUS { ?x ex:bad true } }`)
+	if _, ok := q.Where.Elems[1].(Minus); !ok {
+		t.Fatalf("%+v", q.Where.Elems)
+	}
+}
+
+func TestParseInsertData(t *testing.T) {
+	st, err := ParseStatement(`
+PREFIX ex: <http://ex/>
+INSERT DATA { ex:s ex:p 1 ; ex:q "x" . ex:t ex:p 2 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertData)
+	if len(ins.Triples) != 3 {
+		t.Fatalf("%+v", ins.Triples)
+	}
+}
+
+func TestParseInsertDataGraph(t *testing.T) {
+	st, err := ParseStatement(`
+PREFIX ex: <http://ex/>
+INSERT DATA { GRAPH ex:g { ex:s ex:p 1 } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertData)
+	if ins.Graph != rdf.IRI("http://ex/g") || len(ins.Triples) != 1 {
+		t.Fatalf("%+v", ins)
+	}
+}
+
+func TestParseDeleteInsertWhere(t *testing.T) {
+	st, err := ParseStatement(`
+PREFIX ex: <http://ex/>
+DELETE { ?s ex:old ?v } INSERT { ?s ex:new ?v } WHERE { ?s ex:old ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*Modify)
+	if len(m.DeleteTpl) != 1 || len(m.InsertTpl) != 1 || m.Where == nil {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestParseDeleteWhere(t *testing.T) {
+	st, err := ParseStatement(`PREFIX ex: <http://ex/> DELETE WHERE { ?s ex:p ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*Modify)
+	if len(m.DeleteTpl) != 1 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestParseLoadClear(t *testing.T) {
+	st, err := ParseStatement(`LOAD <data/file.ttl> INTO GRAPH <http://ex/g>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := st.(*Load)
+	if ld.Source != "data/file.ttl" || ld.Graph != rdf.IRI("http://ex/g") {
+		t.Fatalf("%+v", ld)
+	}
+	st2, err := ParseStatement(`CLEAR GRAPH <http://ex/g>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*Clear).Graph != rdf.IRI("http://ex/g") {
+		t.Fatalf("%+v", st2)
+	}
+}
+
+func TestParseDefineFunctionExpr(t *testing.T) {
+	st, err := ParseStatement(`
+PREFIX ex: <http://ex/>
+DEFINE FUNCTION ex:scale(?x, ?f) AS ?x * ?f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := st.(*DefineFunction)
+	if def.Name != "http://ex/scale" || len(def.Params) != 2 || def.Expr == nil {
+		t.Fatalf("%+v", def)
+	}
+}
+
+func TestParseDefineFunctionQuery(t *testing.T) {
+	st, err := ParseStatement(`
+PREFIX ex: <http://ex/>
+DEFINE FUNCTION ex:friends(?p) AS SELECT ?f WHERE { ?p ex:knows ?f }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := st.(*DefineFunction)
+	if def.Body == nil || len(def.Params) != 1 {
+		t.Fatalf("%+v", def)
+	}
+}
+
+func TestParseDefineAggregate(t *testing.T) {
+	st, err := ParseStatement(`DEFINE AGGREGATE myspread(?b) AS max(?b) - min(?b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := st.(*DefineAggregate)
+	if def.Name != "myspread" || def.Param != "b" {
+		t.Fatalf("%+v", def)
+	}
+}
+
+func TestParseClosureHole(t *testing.T) {
+	q := parseQ(t, `
+PREFIX ex: <http://ex/>
+SELECT (map(ex:scale(_, ?f), ?a) AS ?scaled) WHERE { ?s ex:a ?a ; ex:f ?f }`)
+	call := q.Items[0].Expr.(ECall)
+	if call.Name != "map" {
+		t.Fatalf("%+v", call)
+	}
+	inner := call.Args[0].(ECall)
+	if _, ok := inner.Args[0].(EHole); !ok {
+		t.Fatalf("%+v", inner.Args[0])
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := ParseAll(`
+PREFIX ex: <http://ex/>
+INSERT DATA { ex:s ex:p 1 } ;
+SELECT ?v WHERE { ex:s ex:p ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("%d statements", len(stmts))
+	}
+}
+
+func TestParseGroupConcat(t *testing.T) {
+	q := parseQ(t, `SELECT (GROUP_CONCAT(?n ; SEPARATOR = ", ") AS ?all) WHERE { ?x ?p ?n } GROUP BY ?p`)
+	agg := q.Items[0].Expr.(EAgg)
+	if agg.Func != "GROUP_CONCAT" || agg.Separator != ", " {
+		t.Fatalf("%+v", agg)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := parseQ(t, `SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
+	agg := q.Items[0].Expr.(EAgg)
+	if agg.Func != "COUNT" || agg.Arg != nil {
+		t.Fatalf("%+v", agg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?s ?p ?o }`,
+		`SELECT ?x { ?s ?p }`,
+		`SELECT ?x WHERE { ?s ?p ?o `,
+		`SELECT ?x WHERE { ?s ex:p ?o }`, // undefined prefix
+		`SELECT ?x WHERE { FILTER }`,
+		`SELECT (1 + AS ?v) WHERE {}`,
+		`INSERT DATA { ?s <http://p> 1 }`, // var in data
+		`DEFINE FUNCTION f() AS`,
+		`SELECT ?x WHERE { ?s ?p ?o } LIMIT abc`,
+		`SELECT ?x WHERE { ?s ?p ?o } GROUP BY`,
+		`ASK`,
+		`FOO BAR`,
+		`SELECT ?a[1] WHERE { ?s ?p ?a }`, // deref needs AS form
+	}
+	for i, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestHasAggregateAndExprVars(t *testing.T) {
+	q := parseQ(t, `SELECT (SUM(?a) + 1 AS ?s) WHERE { ?x ?p ?a }`)
+	if !HasAggregate(q.Items[0].Expr) {
+		t.Fatal("aggregate not detected")
+	}
+	vars := map[string]bool{}
+	ExprVars(q.Items[0].Expr, vars)
+	if !vars["a"] {
+		t.Fatalf("%v", vars)
+	}
+}
+
+func TestParseNegativeNumberLiteralInPattern(t *testing.T) {
+	q := parseQ(t, `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:v -5 }`)
+	tp := firstBGP(t, q.Where).Triples[0]
+	if tp.O.Term != rdf.Integer(-5) {
+		t.Fatalf("%v", tp.O)
+	}
+}
+
+func TestParseTypedLiteralInPattern(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s <http://ex/v> "42"^^<http://www.w3.org/2001/XMLSchema#integer> }`)
+	tp := firstBGP(t, q.Where).Triples[0]
+	if tp.O.Term != rdf.Integer(42) {
+		t.Fatalf("%v", tp.O)
+	}
+}

@@ -1,0 +1,129 @@
+// Package spd implements the Sequence Pattern Detector (SPD) algorithm
+// of SSDM (dissertation §6.2.5).
+//
+// When a bag of array proxies is resolved against a chunked storage
+// back-end, the set of chunk numbers that has to be fetched is known in
+// advance. Issuing one retrieval statement per chunk is the worst case
+// (strategy SQL-SINGLE in the evaluation); the SPD instead discovers
+// arithmetic-progression regularity in the sorted chunk-number sequence
+// at query run time, so that the back-end can be asked for compact
+// ranges (BETWEEN with an optional stride) instead of long enumerations.
+//
+// The detector is exact: expanding its output always reproduces the
+// input sequence. A separate covering mode trades a bounded amount of
+// wasted transfer for fewer statements by merging nearby runs.
+package spd
+
+import "sort"
+
+// Run is a finite arithmetic progression of non-negative integers:
+// Start, Start+Stride, ..., Start+(Count-1)*Stride.
+type Run struct {
+	Start  int
+	Stride int // always >= 1 for Count > 1; 1 for singleton runs
+	Count  int
+}
+
+// Last returns the final element of the run.
+func (r Run) Last() int {
+	return r.Start + (r.Count-1)*r.Stride
+}
+
+// Expand appends the run's elements to dst and returns the result.
+func (r Run) Expand(dst []int) []int {
+	v := r.Start
+	for i := 0; i < r.Count; i++ {
+		dst = append(dst, v)
+		v += r.Stride
+	}
+	return dst
+}
+
+// Expand concatenates the elements of all runs.
+func Expand(runs []Run) []int {
+	var out []int
+	for _, r := range runs {
+		out = r.Expand(out)
+	}
+	return out
+}
+
+// Normalize sorts ids ascending and removes duplicates, in place.
+func Normalize(ids []int) []int {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Ints(ids)
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// Detect greedily decomposes a strictly increasing sequence into maximal
+// arithmetic runs. The decomposition is exact: Expand(Detect(x)) == x.
+//
+// The input must be sorted ascending without duplicates (use Normalize
+// first when that is not guaranteed). Detect never keeps a reference to
+// the input slice.
+func Detect(ids []int) []Run {
+	var runs []Run
+	n := len(ids)
+	for i := 0; i < n; {
+		if i == n-1 {
+			runs = append(runs, Run{Start: ids[i], Stride: 1, Count: 1})
+			break
+		}
+		stride := ids[i+1] - ids[i]
+		j := i + 1
+		for j+1 < n && ids[j+1]-ids[j] == stride {
+			j++
+		}
+		count := j - i + 1
+		// A two-element "run" with a large stride is usually noise; keep
+		// it anyway — exactness matters more than minimality, and the
+		// covering mode below handles the statement-count concern.
+		runs = append(runs, Run{Start: ids[i], Stride: stride, Count: count})
+		i = j + 1
+	}
+	return runs
+}
+
+// Cover produces a set of stride-1 runs that together contain every id,
+// merging runs whenever the number of extra (unrequested) elements
+// introduced by a merge does not exceed maxWaste per gap. This
+// corresponds to formulating plain BETWEEN range queries that fetch a
+// few unneeded chunks in exchange for fewer statements.
+//
+// With maxWaste = 0 the result is the exact set of maximal contiguous
+// ranges. The input must be sorted ascending without duplicates.
+func Cover(ids []int, maxWaste int) []Run {
+	if len(ids) == 0 {
+		return nil
+	}
+	var runs []Run
+	start := ids[0]
+	prev := ids[0]
+	for _, v := range ids[1:] {
+		if gap := v - prev - 1; gap > maxWaste {
+			runs = append(runs, Run{Start: start, Stride: 1, Count: prev - start + 1})
+			start = v
+		}
+		prev = v
+	}
+	runs = append(runs, Run{Start: start, Stride: 1, Count: prev - start + 1})
+	return runs
+}
+
+// Elements reports the total number of elements described by runs.
+func Elements(runs []Run) int {
+	total := 0
+	for _, r := range runs {
+		total += r.Count
+	}
+	return total
+}

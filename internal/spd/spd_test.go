@@ -1,0 +1,190 @@
+package spd
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectEmpty(t *testing.T) {
+	if got := Detect(nil); got != nil {
+		t.Fatalf("Detect(nil) = %v, want nil", got)
+	}
+}
+
+func TestDetectSingleton(t *testing.T) {
+	got := Detect([]int{7})
+	want := []Run{{Start: 7, Stride: 1, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Detect([7]) = %v, want %v", got, want)
+	}
+}
+
+func TestDetectContiguous(t *testing.T) {
+	got := Detect([]int{3, 4, 5, 6})
+	want := []Run{{Start: 3, Stride: 1, Count: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDetectStrided(t *testing.T) {
+	got := Detect([]int{0, 10, 20, 30, 40})
+	want := []Run{{Start: 0, Stride: 10, Count: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDetectMixed(t *testing.T) {
+	in := []int{1, 2, 4, 6}
+	got := Detect(in)
+	want := []Run{{1, 1, 2}, {4, 2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if out := Expand(got); !reflect.DeepEqual(out, in) {
+		t.Fatalf("Expand(Detect(x)) = %v, want %v", out, in)
+	}
+}
+
+func TestDetectIrregular(t *testing.T) {
+	in := []int{0, 1, 5, 9, 13, 14, 100}
+	if out := Expand(Detect(in)); !reflect.DeepEqual(out, in) {
+		t.Fatalf("Expand(Detect(x)) = %v, want %v", out, in)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]int{5, 1, 3, 1, 5, 2})
+	want := []int{1, 2, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeShort(t *testing.T) {
+	if got := Normalize([]int{9}); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := Normalize(nil); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCoverExact(t *testing.T) {
+	got := Cover([]int{1, 2, 3, 7, 8, 20}, 0)
+	want := []Run{{1, 1, 3}, {7, 1, 2}, {20, 1, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCoverMergesSmallGaps(t *testing.T) {
+	got := Cover([]int{1, 2, 3, 6, 7, 100}, 2)
+	want := []Run{{1, 1, 7}, {100, 1, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCoverEmpty(t *testing.T) {
+	if got := Cover(nil, 5); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+func TestRunLast(t *testing.T) {
+	if got := (Run{Start: 2, Stride: 3, Count: 4}).Last(); got != 11 {
+		t.Fatalf("Last = %d, want 11", got)
+	}
+}
+
+func TestElements(t *testing.T) {
+	if got := Elements([]Run{{0, 1, 3}, {9, 2, 5}}); got != 8 {
+		t.Fatalf("Elements = %d, want 8", got)
+	}
+}
+
+// Property: for any set of ids, Expand(Detect(Normalize(ids))) equals
+// Normalize(ids) exactly.
+func TestDetectRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ids := make([]int, len(raw))
+		for i, v := range raw {
+			ids[i] = int(v)
+		}
+		ids = Normalize(ids)
+		if len(ids) == 0 {
+			return Detect(ids) == nil
+		}
+		return reflect.DeepEqual(Expand(Detect(ids)), ids)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cover's runs contain every requested id, and per-gap waste
+// is bounded by maxWaste.
+func TestCoverContainsAllProperty(t *testing.T) {
+	f := func(raw []uint16, wasteRaw uint8) bool {
+		maxWaste := int(wasteRaw % 16)
+		ids := make([]int, len(raw))
+		for i, v := range raw {
+			ids[i] = int(v)
+		}
+		ids = Normalize(ids)
+		runs := Cover(ids, maxWaste)
+		covered := map[int]bool{}
+		for _, v := range Expand(runs) {
+			covered[v] = true
+		}
+		for _, id := range ids {
+			if !covered[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectStridedPatternsFromArrayAccess(t *testing.T) {
+	// Simulate chunk numbers touched by a strided array access: every
+	// 4th chunk over 1000 chunks.
+	var ids []int
+	for c := 0; c < 1000; c += 4 {
+		ids = append(ids, c)
+	}
+	runs := Detect(ids)
+	if len(runs) != 1 {
+		t.Fatalf("expected single run, got %d: %v", len(runs), runs[:min(3, len(runs))])
+	}
+	if runs[0].Stride != 4 || runs[0].Count != 250 {
+		t.Fatalf("got %+v", runs[0])
+	}
+}
+
+func TestDetectRandomSubsetExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		set := map[int]bool{}
+		for i := 0; i < n; i++ {
+			set[rng.Intn(500)] = true
+		}
+		ids := make([]int, 0, len(set))
+		for v := range set {
+			ids = append(ids, v)
+		}
+		sort.Ints(ids)
+		if !reflect.DeepEqual(Expand(Detect(ids)), ids) {
+			t.Fatalf("trial %d: round trip failed", trial)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package ssdmclient is the client side of SSDM's client-server mode:
+// the Go equivalent of the Matlab interface of dissertation chapter 7.
+// A numeric workflow connects, stores result arrays together with
+// RDF metadata describing the experiment, and later retrieves data by
+// SciSPARQL queries over that metadata — without abandoning its native
+// array representation.
+package ssdmclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"scisparql/internal/array"
+	"scisparql/internal/protocol"
+	"scisparql/internal/rdf"
+)
+
+// Client is a connection to an SSDM server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Connect dials an SSDM server.
+func Connect(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *protocol.Request) (*protocol.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp protocol.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ssdm: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&protocol.Request{Op: protocol.OpPing})
+	return err
+}
+
+// Result is a decoded solution table.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Term
+	Bool bool
+}
+
+// Get returns the value of a named column in row i.
+func (r *Result) Get(i int, name string) rdf.Term {
+	for j, v := range r.Vars {
+		if v == name {
+			return r.Rows[i][j]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+func decodeResult(resp *protocol.Response) (*Result, error) {
+	out := &Result{Vars: resp.Vars, Bool: resp.Bool}
+	for _, row := range resp.Rows {
+		terms := make([]rdf.Term, len(row))
+		for i, wt := range row {
+			t, err := protocol.DecodeTerm(wt)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = t
+		}
+		out.Rows = append(out.Rows, terms)
+	}
+	return out, nil
+}
+
+// Query runs a SciSPARQL query on the server.
+func (c *Client) Query(q string) (*Result, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Text: q})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Execute runs ';'-separated statements; the last query's result is
+// returned (nil when none).
+func (c *Client) Execute(text string) (*Result, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpExecute, Text: text})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Update runs one update statement and reports affected triples.
+func (c *Client) Update(text string) (int, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpUpdate, Text: text})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// LoadTurtle ships a Turtle document to the server ("" = default
+// graph).
+func (c *Client) LoadTurtle(doc string, graph rdf.IRI) error {
+	_, err := c.roundTrip(&protocol.Request{Op: protocol.OpLoadTurtle, Text: doc, Graph: string(graph)})
+	return err
+}
+
+// StoreArray uploads an array to the server's storage back-end and
+// returns its array ID.
+func (c *Client) StoreArray(a *array.Array) (int64, error) {
+	payload, err := protocol.EncodeArray(a)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpStoreArray, Array: payload})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ArrayID, nil
+}
+
+// AddArrayTriple uploads an array and attaches it as (subject,
+// property, array) in the server's default graph — the one-call path a
+// workflow uses to publish a result with its metadata handle.
+func (c *Client) AddArrayTriple(subject, property rdf.IRI, a *array.Array) error {
+	payload, err := protocol.EncodeArray(a)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&protocol.Request{
+		Op:       protocol.OpArrayTriple,
+		Subject:  string(subject),
+		Property: string(property),
+		Array:    payload,
+	})
+	return err
+}

@@ -1,0 +1,282 @@
+// Package filestore is the binary-file ASEI back-end: each array lives
+// in its own chunked binary file under a directory. It realizes the
+// file-link scenario of the dissertation (§2.5, §5.3.1, §7): massive
+// numeric data stays in files — as it does for Matlab .mat-file users —
+// while SSDM's RDF graph holds proxies; chunking and caching beyond the
+// proxy cache is left to the OS page cache, exactly as the text
+// describes.
+package filestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"scisparql/internal/array"
+	"scisparql/internal/spd"
+)
+
+const magic = uint32(0x53534d41) // "SSMA"
+
+// header layout: magic u32, etype u8, pad u8, ndims u16, chunkElems
+// u32, shape i64 * ndims, then the raw element payload.
+func headerSize(ndims int) int64 { return 4 + 1 + 1 + 2 + 4 + 8*int64(ndims) }
+
+// Store is a directory-backed array store.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	nextID int64
+	open   map[int64]*os.File
+
+	// Counters for experiments.
+	ReadCalls int64
+	BytesRead int64
+}
+
+// New creates (or reuses) a directory-backed store. Existing array
+// files in dir remain addressable if their IDs are known.
+func New(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, open: map[int64]*os.File{}}
+	// Continue ID numbering after any existing files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var id int64
+		if _, err := fmt.Sscanf(e.Name(), "a%d.ssdm", &id); err == nil && id > s.nextID {
+			s.nextID = id
+		}
+	}
+	return s, nil
+}
+
+// Name implements storage.Backend.
+func (s *Store) Name() string { return "file" }
+
+func (s *Store) path(id int64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("a%d.ssdm", id))
+}
+
+// Store implements storage.Backend: it writes header + payload.
+func (s *Store) Store(a *array.Array, chunkElems int) (int64, error) {
+	if chunkElems <= 0 {
+		chunkElems = 64 * 1024 / array.ElemSize
+	}
+	mat, err := a.Materialize()
+	if err != nil {
+		return 0, err
+	}
+	payload, err := array.EncodeResident(mat.Base)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	buf := make([]byte, headerSize(len(mat.Shape)))
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	buf[4] = byte(mat.Etype())
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(mat.Shape)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(chunkElems))
+	for d, ext := range mat.Shape {
+		binary.LittleEndian.PutUint64(buf[12+8*d:], uint64(ext))
+	}
+	f, err := os.Create(s.path(id))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Write(buf); err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+type fileMeta struct {
+	etype      array.ElemType
+	shape      []int
+	chunkElems int
+	dataOff    int64
+	nelems     int
+}
+
+func (s *Store) file(id int64) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.open[id]; ok {
+		return f, nil
+	}
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("filestore: array %d: %w", id, err)
+	}
+	s.open[id] = f
+	return f, nil
+}
+
+func (s *Store) meta(id int64) (*fileMeta, error) {
+	f, err := s.file(id)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]byte, 12)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("filestore: array %d: short header: %w", id, err)
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != magic {
+		return nil, fmt.Errorf("filestore: array %d: bad magic", id)
+	}
+	etype := array.ElemType(head[4])
+	ndims := int(binary.LittleEndian.Uint16(head[6:]))
+	chunkElems := int(binary.LittleEndian.Uint32(head[8:]))
+	if ndims == 0 || chunkElems <= 0 {
+		return nil, fmt.Errorf("filestore: array %d: corrupt header", id)
+	}
+	shapeBuf := make([]byte, 8*ndims)
+	if _, err := f.ReadAt(shapeBuf, 12); err != nil {
+		return nil, fmt.Errorf("filestore: array %d: short shape: %w", id, err)
+	}
+	shape := make([]int, ndims)
+	n := 1
+	for d := range shape {
+		shape[d] = int(binary.LittleEndian.Uint64(shapeBuf[8*d:]))
+		n *= shape[d]
+	}
+	return &fileMeta{
+		etype:      etype,
+		shape:      shape,
+		chunkElems: chunkElems,
+		dataOff:    headerSize(ndims),
+		nelems:     n,
+	}, nil
+}
+
+// Open implements storage.Backend.
+func (s *Store) Open(id int64) (*array.Array, error) {
+	m, err := s.meta(id)
+	if err != nil {
+		return nil, err
+	}
+	return array.NewProxied(array.NewProxy(s, id, m.chunkElems), m.etype, m.shape...)
+}
+
+// Delete implements storage.Backend.
+func (s *Store) Delete(id int64) error {
+	s.mu.Lock()
+	if f, ok := s.open[id]; ok {
+		f.Close()
+		delete(s.open, id)
+	}
+	s.mu.Unlock()
+	return os.Remove(s.path(id))
+}
+
+// Close releases all cached file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.open {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.open, id)
+	}
+	return first
+}
+
+// ReadChunks implements array.ChunkSource with positioned reads. Each
+// contiguous run becomes a single ReadAt; strided runs read chunk by
+// chunk.
+func (s *Store) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
+	m, err := s.meta(arrayID)
+	if err != nil {
+		return nil, err
+	}
+	f, err := s.file(arrayID)
+	if err != nil {
+		return nil, err
+	}
+	chunkBytes := m.chunkElems * array.ElemSize
+	totalBytes := m.nelems * array.ElemSize
+	out := make(map[int][]byte)
+	readOne := func(c int) error {
+		off := c * chunkBytes
+		if off >= totalBytes {
+			return fmt.Errorf("filestore: chunk %d out of range for array %d", c, arrayID)
+		}
+		n := chunkBytes
+		if off+n > totalBytes {
+			n = totalBytes - off
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, m.dataOff+int64(off)); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.ReadCalls++
+		s.BytesRead += int64(n)
+		s.mu.Unlock()
+		out[c] = buf
+		return nil
+	}
+	for _, r := range runs {
+		if r.Stride == 1 && r.Count > 1 {
+			// One sequential read covering the whole run.
+			off := r.Start * chunkBytes
+			if off >= totalBytes {
+				return nil, fmt.Errorf("filestore: chunk %d out of range for array %d", r.Start, arrayID)
+			}
+			n := r.Count * chunkBytes
+			if off+n > totalBytes {
+				n = totalBytes - off
+			}
+			buf := make([]byte, n)
+			if _, err := f.ReadAt(buf, m.dataOff+int64(off)); err != nil {
+				return nil, err
+			}
+			s.mu.Lock()
+			s.ReadCalls++
+			s.BytesRead += int64(n)
+			s.mu.Unlock()
+			for i := 0; i < r.Count; i++ {
+				lo := i * chunkBytes
+				if lo >= n {
+					break
+				}
+				hi := lo + chunkBytes
+				if hi > n {
+					hi = n
+				}
+				out[r.Start+i] = buf[lo:hi]
+			}
+			continue
+		}
+		for _, c := range r.Expand(nil) {
+			if err := readOne(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggregateWhole implements array.ChunkSource. Plain files offer no
+// computation capability, so the proxy falls back to chunk fetches —
+// matching the capability-based delegation of §6.1.
+func (s *Store) AggregateWhole(int64) (*array.AggState, bool, error) {
+	return nil, false, nil
+}

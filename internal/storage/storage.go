@@ -1,0 +1,203 @@
+// Package storage defines the Array Storage Extensibility Interface
+// (ASEI, dissertation §6.1): the contract between SSDM's array proxies
+// and pluggable array storage back-ends, together with the shared
+// chunking scheme and an in-memory reference back-end.
+//
+// Arrays are split into one-dimensional chunks over the base array's
+// row-major element order (§2.5); a back-end stores chunk payloads and
+// serves them back by chunk number. The array-proxy-resolve (APR)
+// machinery in package array asks for chunks in compact
+// arithmetic-progression runs produced by the sequence pattern
+// detector, and back-ends that can evaluate whole-array aggregates
+// server-side advertise that through AggregateWhole (AAPR).
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"scisparql/internal/array"
+	"scisparql/internal/spd"
+)
+
+// DefaultChunkBytes is the default chunk payload size. The chunk size
+// is the single storage tuning parameter (§2.5); Experiment 3 sweeps
+// it.
+const DefaultChunkBytes = 64 * 1024
+
+// ChunkElemsFor converts a chunk size in bytes to whole elements.
+func ChunkElemsFor(chunkBytes int) int {
+	n := chunkBytes / array.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Backend is the ASEI: everything SSDM needs from an array storage
+// system. It extends array.ChunkSource (lazy chunk reads and optional
+// server-side aggregation) with array lifecycle operations.
+type Backend interface {
+	array.ChunkSource
+
+	// Name identifies the back-end in diagnostics and benchmarks.
+	Name() string
+
+	// Store writes a materialized array and returns its back-end array
+	// ID. chunkElems is the chunk size in elements (0 selects the
+	// back-end default).
+	Store(a *array.Array, chunkElems int) (int64, error)
+
+	// Open returns a proxied array view over a stored array; no element
+	// data is transferred until the view is dereferenced.
+	Open(id int64) (*array.Array, error)
+
+	// Delete removes a stored array.
+	Delete(id int64) error
+}
+
+// SplitChunks cuts a raw element payload into chunk payloads of
+// chunkElems elements (the final chunk may be short).
+func SplitChunks(payload []byte, chunkElems int) [][]byte {
+	chunkBytes := chunkElems * array.ElemSize
+	var out [][]byte
+	for off := 0; off < len(payload); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		out = append(out, payload[off:end])
+	}
+	return out
+}
+
+// NumChunks returns the chunk count for an element count.
+func NumChunks(nelems, chunkElems int) int {
+	return (nelems + chunkElems - 1) / chunkElems
+}
+
+// storedArray is the in-memory back-end's representation.
+type storedArray struct {
+	etype      array.ElemType
+	shape      []int
+	chunkElems int
+	chunks     [][]byte
+}
+
+// Memory is the trivial ASEI implementation: chunks held in process
+// memory. It is the reference back-end for tests and the baseline
+// "resident" configuration of the mini-benchmark, and it supports
+// server-side aggregation.
+type Memory struct {
+	mu     sync.Mutex
+	arrays map[int64]*storedArray
+	nextID int64
+
+	// Counters for experiments.
+	ReadCalls    int64
+	ChunksServed int64
+	BytesServed  int64
+}
+
+// NewMemory creates an empty in-memory back-end.
+func NewMemory() *Memory {
+	return &Memory{arrays: make(map[int64]*storedArray)}
+}
+
+// Name implements Backend.
+func (m *Memory) Name() string { return "memory" }
+
+// Store implements Backend.
+func (m *Memory) Store(a *array.Array, chunkElems int) (int64, error) {
+	if chunkElems <= 0 {
+		chunkElems = ChunkElemsFor(DefaultChunkBytes)
+	}
+	mat, err := a.Materialize()
+	if err != nil {
+		return 0, err
+	}
+	payload, err := array.EncodeResident(mat.Base)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	id := m.nextID
+	m.arrays[id] = &storedArray{
+		etype:      mat.Etype(),
+		shape:      append([]int(nil), mat.Shape...),
+		chunkElems: chunkElems,
+		chunks:     SplitChunks(payload, chunkElems),
+	}
+	return id, nil
+}
+
+func (m *Memory) get(id int64) (*storedArray, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sa, ok := m.arrays[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: memory back-end has no array %d", id)
+	}
+	return sa, nil
+}
+
+// Open implements Backend.
+func (m *Memory) Open(id int64) (*array.Array, error) {
+	sa, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return array.NewProxied(array.NewProxy(m, id, sa.chunkElems), sa.etype, sa.shape...)
+}
+
+// Delete implements Backend.
+func (m *Memory) Delete(id int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.arrays[id]; !ok {
+		return fmt.Errorf("storage: memory back-end has no array %d", id)
+	}
+	delete(m.arrays, id)
+	return nil
+}
+
+// ReadChunks implements array.ChunkSource.
+func (m *Memory) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
+	sa, err := m.get(arrayID)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.ReadCalls++
+	m.mu.Unlock()
+	out := make(map[int][]byte)
+	for _, c := range spd.Expand(runs) {
+		if c < 0 || c >= len(sa.chunks) {
+			return nil, fmt.Errorf("storage: chunk %d out of range for array %d", c, arrayID)
+		}
+		out[c] = sa.chunks[c]
+		m.mu.Lock()
+		m.ChunksServed++
+		m.BytesServed += int64(len(sa.chunks[c]))
+		m.mu.Unlock()
+	}
+	return out, nil
+}
+
+// AggregateWhole implements array.ChunkSource: the memory back-end is
+// aggregation-capable.
+func (m *Memory) AggregateWhole(arrayID int64) (*array.AggState, bool, error) {
+	sa, err := m.get(arrayID)
+	if err != nil {
+		return nil, false, err
+	}
+	st := array.NewAggState()
+	for _, chunk := range sa.chunks {
+		for off := 0; off+array.ElemSize <= len(chunk); off += array.ElemSize {
+			st.Add(array.DecodeElem(chunk[off:off+array.ElemSize], sa.etype))
+		}
+	}
+	return st, true, nil
+}

@@ -1,0 +1,335 @@
+// Package turtle implements a parser and serializer for the Terse RDF
+// Triple Language (Turtle), the serialization used throughout the
+// dissertation for RDF examples (§3.1.1), including the condensed
+// collection syntax that SciSPARQL's loader later consolidates into
+// arrays (§5.3.2).
+package turtle
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF    tokenKind = iota
+	tokIRI              // <...>
+	tokPName            // prefix:local or prefix: or :local
+	tokBlank            // _:label
+	tokString           // quoted string (value already unescaped)
+	tokInteger
+	tokDecimal
+	tokDouble
+	tokKeyword // @prefix, @base, a, true, false, PREFIX, BASE
+	tokLangTag // @en
+	tokPunct   // . ; , ( ) [ ] ^^
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpace() {
+	for {
+		r := l.peek()
+		if r == '#' {
+			for r != '\n' && r != -1 {
+				r = l.advance()
+			}
+			continue
+		}
+		if r == -1 || !unicode.IsSpace(r) {
+			return
+		}
+		l.advance()
+	}
+}
+
+func isPNChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	startLine, startCol := l.line, l.col
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+	r := l.peek()
+	switch {
+	case r == -1:
+		return mk(tokEOF, ""), nil
+	case r == '<':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c := l.advance()
+			if c == -1 {
+				return token{}, l.errorf("unterminated IRI")
+			}
+			if c == '>' {
+				return mk(tokIRI, sb.String()), nil
+			}
+			sb.WriteRune(c)
+		}
+	case r == '"' || r == '\'':
+		return l.scanString(startLine, startCol)
+	case r == '@':
+		l.advance()
+		var sb strings.Builder
+		for isPNChar(l.peek()) && l.peek() != '.' {
+			sb.WriteRune(l.advance())
+		}
+		word := sb.String()
+		if word == "prefix" || word == "base" {
+			return mk(tokKeyword, "@"+word), nil
+		}
+		return mk(tokLangTag, word), nil
+	case r == '_':
+		l.advance()
+		if l.peek() != ':' {
+			return token{}, l.errorf("expected ':' after '_'")
+		}
+		l.advance()
+		var sb strings.Builder
+		for isPNChar(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		label := strings.TrimRight(sb.String(), ".")
+		l.pos -= len(sb.String()) - len(label) // give back trailing dots
+		return mk(tokBlank, label), nil
+	case r == '^':
+		l.advance()
+		if l.peek() != '^' {
+			return token{}, l.errorf("expected '^^'")
+		}
+		l.advance()
+		return mk(tokPunct, "^^"), nil
+	case strings.ContainsRune(".;,()[]", r):
+		// '.' could also start a decimal like .5 — Turtle doesn't allow
+		// bare leading dots, so treat as punctuation.
+		l.advance()
+		return mk(tokPunct, string(r)), nil
+	case r == '+' || r == '-' || unicode.IsDigit(r):
+		return l.scanNumber(startLine, startCol)
+	default:
+		// Prefixed name, bare keyword (a, true, false, PREFIX, BASE) or error.
+		var sb strings.Builder
+		for {
+			c := l.peek()
+			if c == ':' || isPNChar(c) {
+				sb.WriteRune(l.advance())
+				continue
+			}
+			break
+		}
+		word := sb.String()
+		if word == "" {
+			return token{}, l.errorf("unexpected character %q", r)
+		}
+		switch word {
+		case "a", "true", "false":
+			return mk(tokKeyword, word), nil
+		}
+		switch strings.ToUpper(word) {
+		case "PREFIX", "BASE":
+			if !strings.Contains(word, ":") {
+				return mk(tokKeyword, strings.ToUpper(word)), nil
+			}
+		}
+		if strings.Contains(word, ":") {
+			// A trailing '.' belongs to the statement terminator.
+			trimmed := strings.TrimRight(word, ".")
+			l.pos -= len(word) - len(trimmed)
+			return mk(tokPName, trimmed), nil
+		}
+		return token{}, l.errorf("unexpected token %q", word)
+	}
+}
+
+func (l *lexer) scanString(line, col int) (token, error) {
+	quote := l.advance()
+	long := false
+	if l.peek() == quote {
+		l.advance()
+		if l.peek() == quote {
+			l.advance()
+			long = true
+		} else {
+			// Empty string.
+			return token{kind: tokString, text: "", line: line, col: col}, nil
+		}
+	}
+	var sb strings.Builder
+	for {
+		c := l.advance()
+		if c == -1 {
+			return token{}, l.errorf("unterminated string")
+		}
+		if c == quote {
+			if !long {
+				break
+			}
+			if l.peek() == quote {
+				l.advance()
+				if l.peek() == quote {
+					l.advance()
+					break
+				}
+				sb.WriteRune(quote)
+				sb.WriteRune(quote)
+				continue
+			}
+			sb.WriteRune(quote)
+			continue
+		}
+		if c == '\\' {
+			e := l.advance()
+			switch e {
+			case 't':
+				sb.WriteRune('\t')
+			case 'n':
+				sb.WriteRune('\n')
+			case 'r':
+				sb.WriteRune('\r')
+			case 'b':
+				sb.WriteRune('\b')
+			case 'f':
+				sb.WriteRune('\f')
+			case '"', '\'', '\\':
+				sb.WriteRune(e)
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				var v rune
+				for i := 0; i < n; i++ {
+					h := l.advance()
+					d := hexVal(h)
+					if d < 0 {
+						return token{}, l.errorf("bad \\%c escape", e)
+					}
+					v = v*16 + rune(d)
+				}
+				sb.WriteRune(v)
+			default:
+				return token{}, l.errorf("bad escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteRune(c)
+	}
+	return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+}
+
+func hexVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10
+	default:
+		return -1
+	}
+}
+
+func (l *lexer) scanNumber(line, col int) (token, error) {
+	var sb strings.Builder
+	if l.peek() == '+' || l.peek() == '-' {
+		sb.WriteRune(l.advance())
+	}
+	kind := tokInteger
+	digits := 0
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+		digits++
+	}
+	if l.peek() == '.' {
+		// Only a decimal point if followed by a digit; otherwise the dot
+		// is the statement terminator.
+		save := *l
+		l.advance()
+		if unicode.IsDigit(l.peek()) {
+			kind = tokDecimal
+			sb.WriteRune('.')
+			for unicode.IsDigit(l.peek()) {
+				sb.WriteRune(l.advance())
+				digits++
+			}
+		} else {
+			*l = save
+		}
+	}
+	if p := l.peek(); p == 'e' || p == 'E' {
+		kind = tokDouble
+		sb.WriteRune(l.advance())
+		if p := l.peek(); p == '+' || p == '-' {
+			sb.WriteRune(l.advance())
+		}
+		if !unicode.IsDigit(l.peek()) {
+			return token{}, l.errorf("malformed exponent")
+		}
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errorf("malformed number")
+	}
+	return token{kind: kind, text: sb.String(), line: line, col: col}, nil
+}

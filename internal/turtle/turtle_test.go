@@ -1,0 +1,267 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+)
+
+func parse(t *testing.T, src string) *rdf.Graph {
+	t.Helper()
+	g := rdf.NewGraph()
+	if err := ParseString(src, g); err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return g
+}
+
+const foafDoc = `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+_:a a foaf:Person ;
+    foaf:name "Alice" ;
+    foaf:knows _:b , _:d .
+_:b foaf:knows _:a ; foaf:name "Bob" .
+_:d foaf:name "Daniel" .
+`
+
+func TestParseFOAF(t *testing.T) {
+	g := parse(t, foafDoc)
+	if g.Size() != 7 {
+		t.Fatalf("size %d, want 7", g.Size())
+	}
+	name := rdf.IRI("http://xmlns.com/foaf/0.1/name")
+	n := 0
+	g.MatchTerms(nil, name, nil, func(_, _, _ rdf.Term) bool {
+		n++
+		return true
+	})
+	if n != 3 {
+		t.Fatalf("found %d names", n)
+	}
+}
+
+func TestParseTypeKeyword(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> . ex:s a ex:Class .`)
+	if !g.Has(rdf.IRI("http://ex/s"), rdf.RDFType, rdf.IRI("http://ex/Class")) {
+		t.Fatal("missing rdf:type triple")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> .
+ex:s ex:int 42 ;
+     ex:neg -7 ;
+     ex:dec 3.25 ;
+     ex:dbl 1.5e3 ;
+     ex:str "hello\nworld" ;
+     ex:lang "hej"@sv ;
+     ex:bool true ;
+     ex:boolF false ;
+     ex:typed "42"^^<http://www.w3.org/2001/XMLSchema#integer> ;
+     ex:dt "2012-04-01T10:00:00Z"^^<http://www.w3.org/2001/XMLSchema#dateTime> ;
+     ex:other "x"^^<http://ex/custom> .
+`)
+	s := rdf.IRI("http://ex/s")
+	check := func(p string, want rdf.Term) {
+		t.Helper()
+		if !g.Has(s, rdf.IRI("http://ex/"+p), want) {
+			t.Fatalf("missing %s -> %v", p, want)
+		}
+	}
+	check("int", rdf.Integer(42))
+	check("neg", rdf.Integer(-7))
+	check("dec", rdf.Float(3.25))
+	check("dbl", rdf.Float(1500))
+	check("str", rdf.String{Val: "hello\nworld"})
+	check("lang", rdf.String{Val: "hej", Lang: "sv"})
+	check("bool", rdf.Boolean(true))
+	check("boolF", rdf.Boolean(false))
+	check("typed", rdf.Integer(42))
+	check("dt", rdf.DateTime{T: time.Date(2012, 4, 1, 10, 0, 0, 0, time.UTC)})
+	check("other", rdf.Typed{Lexical: "x", Datatype: rdf.IRI("http://ex/custom")})
+}
+
+func TestParseCollection(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> . ex:s ex:p ((1 2) (3 4)) .`)
+	// 1 root triple + 2 outer list cells (2 triples each) + 4 inner
+	// cells x 2 triples each... outer list: 2 cells -> 4 triples; inner
+	// lists: 2 lists x 2 cells x 2 = 8; root = 1. Total 13 (cf. §2.3.5.1).
+	if g.Size() != 13 {
+		t.Fatalf("size %d, want 13", g.Size())
+	}
+}
+
+func TestParseEmptyCollection(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> . ex:s ex:p () .`)
+	if !g.Has(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.RDFNil) {
+		t.Fatal("empty collection should be rdf:nil")
+	}
+}
+
+func TestParseBlankPropertyList(t *testing.T) {
+	g := parse(t, `@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+[] foaf:name "Alice" ; foaf:knows [ foaf:name "Bob" ] .`)
+	if g.Size() != 3 {
+		t.Fatalf("size %d, want 3", g.Size())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g := parse(t, `# leading comment
+@prefix ex: <http://ex/> . # trailing
+ex:s ex:p 1 . # done`)
+	if g.Size() != 1 {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func TestParseSparqlStylePrefix(t *testing.T) {
+	g := parse(t, `PREFIX ex: <http://ex/>
+ex:s ex:p 1 .`)
+	if g.Size() != 1 {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func TestParseBase(t *testing.T) {
+	g := parse(t, `@base <http://ex/> . <s> <p> 1 .`)
+	if !g.Has(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.Integer(1)) {
+		t.Fatal("base resolution failed")
+	}
+}
+
+func TestParseLongString(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> . ex:s ex:p """multi
+line "quoted" text""" .`)
+	found := false
+	g.MatchTerms(nil, rdf.IRI("http://ex/p"), nil, func(_, _, o rdf.Term) bool {
+		if s, ok := o.(rdf.String); ok && strings.Contains(s.Val, "\"quoted\"") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("long string not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`ex:s ex:p 1 .`,                        // undefined prefix
+		`@prefix ex: <http://ex/> . ex:s .`,    // missing predicate/object
+		`@prefix ex: <http://ex/> . ex:s ex:p`, // missing dot
+		`<http://ex/s> <http://ex/p> "unterminated`,
+		`<http://ex/s> <http://ex/p> 1e .`,
+		`@prefix ex: <http://ex/> . ex:s ex:p (1 2 .`,
+		`<s <p> 1 .`,
+		`@prefix ex: <http://ex/> . ex:s ex:p "x"^^5 .`,
+		`@prefix ex: <http://ex/> . ex:s ex:p "x"^^ex:y extra .`,
+	}
+	for i, src := range bad {
+		g := rdf.NewGraph()
+		if err := ParseString(src, g); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	g := parse(t, foafDoc)
+	var sb strings.Builder
+	err := Write(&sb, g, map[string]string{"foaf": "http://xmlns.com/foaf/0.1/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := rdf.NewGraph()
+	if err := ParseString(sb.String(), g2); err != nil {
+		t.Fatalf("reparse error: %v\noutput:\n%s", err, sb.String())
+	}
+	if g2.Size() != g.Size() {
+		t.Fatalf("round trip size %d, want %d\noutput:\n%s", g2.Size(), g.Size(), sb.String())
+	}
+}
+
+func TestWriterRendersArraysAsCollections(t *testing.T) {
+	g := rdf.NewGraph()
+	a, _ := array.FromInts([]int64{1, 2, 3, 4}, 2, 2)
+	g.Add(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.NewArray(a))
+	var sb strings.Builder
+	if err := Write(&sb, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "((1 2) (3 4))") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	// The output must reparse as the 13-triple list encoding.
+	g2 := rdf.NewGraph()
+	if err := ParseString(sb.String(), g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.Size() != 13 {
+		t.Fatalf("reparsed size %d, want 13", g2.Size())
+	}
+}
+
+func TestWriterAbbreviatesPrefixes(t *testing.T) {
+	g := parse(t, `@prefix ex: <http://ex/> . ex:s ex:p ex:o .`)
+	var sb strings.Builder
+	if err := Write(&sb, g, map[string]string{"ex": "http://ex/"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ex:s ex:p ex:o .") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+// Property: any graph of simple terms survives a write/parse round
+// trip with identical size and membership.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		g := rdf.NewGraph()
+		for i := 0; i+2 < len(raw); i += 3 {
+			s := rdf.IRI("http://ex/s" + string(rune('0'+raw[i]%5)))
+			p := rdf.IRI("http://ex/p" + string(rune('0'+raw[i+1]%3)))
+			var o rdf.Term
+			switch raw[i+2] % 4 {
+			case 0:
+				o = rdf.Integer(int64(raw[i+2]))
+			case 1:
+				o = rdf.Float(float64(raw[i+2]) / 2)
+			case 2:
+				o = rdf.String{Val: "v" + string(rune('0'+raw[i+2]%8))}
+			default:
+				o = rdf.Boolean(raw[i+2]%2 == 0)
+			}
+			g.Add(s, p, o)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, g, map[string]string{"ex": "http://ex/"}); err != nil {
+			return false
+		}
+		g2 := rdf.NewGraph()
+		if err := ParseString(sb.String(), g2); err != nil {
+			return false
+		}
+		if g2.Size() != g.Size() {
+			return false
+		}
+		ok := true
+		g.Triples(func(s, p, o rdf.Term) bool {
+			if !g2.Has(s, p, o) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package turtle
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+)
+
+// Writer serializes a graph back to Turtle, grouping triples by
+// subject and abbreviating IRIs with the supplied prefixes. Array
+// terms — the RDF-with-Arrays extension — are emitted using the
+// condensed nested-collection syntax of §2.3.5.1, so a written
+// document is plain standards-compliant Turtle that any reader can
+// consume and that SSDM's loader re-consolidates into arrays.
+type Writer struct {
+	w        io.Writer
+	prefixes []prefixDef // longest namespace first
+	err      error
+}
+
+type prefixDef struct {
+	name string
+	ns   string
+}
+
+// NewWriter creates a writer emitting to w with the given
+// prefix→namespace abbreviations.
+func NewWriter(w io.Writer, prefixes map[string]string) *Writer {
+	tw := &Writer{w: w}
+	for name, ns := range prefixes {
+		tw.prefixes = append(tw.prefixes, prefixDef{name, ns})
+	}
+	sort.Slice(tw.prefixes, func(i, j int) bool {
+		if len(tw.prefixes[i].ns) != len(tw.prefixes[j].ns) {
+			return len(tw.prefixes[i].ns) > len(tw.prefixes[j].ns)
+		}
+		return tw.prefixes[i].name < tw.prefixes[j].name
+	})
+	return tw
+}
+
+func (tw *Writer) printf(format string, args ...any) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = fmt.Fprintf(tw.w, format, args...)
+}
+
+// WriteGraph emits the whole graph.
+func (tw *Writer) WriteGraph(g *rdf.Graph) error {
+	names := make([]string, 0, len(tw.prefixes))
+	for _, p := range tw.prefixes {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range tw.prefixes {
+			if p.name == name {
+				tw.printf("@prefix %s: <%s> .\n", p.name, p.ns)
+			}
+		}
+	}
+	if len(tw.prefixes) > 0 {
+		tw.printf("\n")
+	}
+
+	// Group by subject for ';' abbreviation, with deterministic order.
+	type po struct{ p, o rdf.Term }
+	bySubj := map[string][]po{}
+	subjTerm := map[string]rdf.Term{}
+	g.Triples(func(s, p, o rdf.Term) bool {
+		k := s.Key()
+		bySubj[k] = append(bySubj[k], po{p, o})
+		subjTerm[k] = s
+		return true
+	})
+	keys := make([]string, 0, len(bySubj))
+	for k := range bySubj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		items := bySubj[k]
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].p.Key() != items[j].p.Key() {
+				return items[i].p.Key() < items[j].p.Key()
+			}
+			return items[i].o.Key() < items[j].o.Key()
+		})
+		tw.printf("%s ", tw.render(subjTerm[k]))
+		for i, item := range items {
+			if i > 0 {
+				tw.printf(" ;\n    ")
+			}
+			tw.printf("%s %s", tw.render(item.p), tw.render(item.o))
+		}
+		tw.printf(" .\n")
+	}
+	return tw.err
+}
+
+// render converts a term to Turtle syntax with prefix abbreviation.
+func (tw *Writer) render(t rdf.Term) string {
+	switch v := t.(type) {
+	case rdf.IRI:
+		s := string(v)
+		for _, p := range tw.prefixes {
+			if rest, ok := strings.CutPrefix(s, p.ns); ok && isSafeLocal(rest) {
+				return p.name + ":" + rest
+			}
+		}
+		if v == rdf.RDFType {
+			return "a"
+		}
+		return v.String()
+	case rdf.Array:
+		return renderArray(v.A)
+	default:
+		return t.String()
+	}
+}
+
+func isSafeLocal(s string) bool {
+	for _, r := range s {
+		if !isPNChar(r) || r == '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// renderArray emits an array as nested Turtle collections.
+func renderArray(a *array.Array) string {
+	var sb strings.Builder
+	var rec func(dim int, idx []int)
+	rec = func(dim int, idx []int) {
+		sb.WriteByte('(')
+		for i := 0; i < a.Shape[dim]; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			idx[dim] = i
+			if dim == len(a.Shape)-1 {
+				v, err := a.At(idx...)
+				if err != nil {
+					sb.WriteString("0")
+				} else if v.T == array.Int {
+					fmt.Fprintf(&sb, "%d", v.I)
+				} else {
+					s := fmt.Sprintf("%g", v.F)
+					if !strings.ContainsAny(s, ".eE") {
+						s += ".0"
+					}
+					sb.WriteString(s)
+				}
+			} else {
+				rec(dim+1, idx)
+			}
+		}
+		sb.WriteByte(')')
+	}
+	rec(0, make([]int, len(a.Shape)))
+	return sb.String()
+}
+
+// Write serializes g to w with the given prefixes.
+func Write(w io.Writer, g *rdf.Graph, prefixes map[string]string) error {
+	return NewWriter(w, prefixes).WriteGraph(g)
+}
