@@ -460,3 +460,72 @@ func BenchmarkCoreQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkConcurrentQuery measures read throughput under parallel
+// load: b.RunParallel issues the BenchmarkCoreQuery workload from
+// GOMAXPROCS goroutines against one shared SSDM instance. With the
+// reader-writer operation lock, read-only queries proceed in parallel
+// and ns/op should drop as -cpu grows; under the old global mutex the
+// numbers stay flat (see EXPERIMENTS.md for before/after).
+func BenchmarkConcurrentQuery(b *testing.B) {
+	db := core.Open()
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 0; i < 1000; i++ {
+		doc += fmt.Sprintf("ex:s%d a ex:Thing ; ex:val %d .\n", i, i%100)
+	}
+	if err := db.LoadTurtle(doc, ""); err != nil {
+		b.Fatal(err)
+	}
+	q := `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Thing ; ex:val 42 }`
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := db.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 10 {
+				b.Fatalf("rows %d", res.Len())
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentClientQuery runs the same contention experiment
+// over the wire: one server, one client connection per goroutine, so
+// the per-connection goroutines in internal/server dispatch into SSDM
+// concurrently.
+func BenchmarkConcurrentClientQuery(b *testing.B) {
+	db := core.Open()
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 0; i < 1000; i++ {
+		doc += fmt.Sprintf("ex:s%d a ex:Thing ; ex:val %d .\n", i, i%100)
+	}
+	if err := db.LoadTurtle(doc, ""); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	q := `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Thing ; ex:val 42 }`
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl, err := ssdmclient.Connect(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		for pb.Next() {
+			res, err := cl.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() != 10 {
+				b.Fatalf("rows %d", res.Len())
+			}
+		}
+	})
+}

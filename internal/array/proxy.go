@@ -28,13 +28,19 @@ type ChunkSource interface {
 // Proxy stands in for the elements of an externally stored array
 // (dissertation §5.2, §6.1). Elements are fetched lazily in chunks of
 // ChunkElems elements; fetched chunks are kept in a bounded FIFO cache.
+//
+// A Proxy is safe for concurrent readers: cache hits share a read
+// lock, and concurrent misses on the same chunk may fetch it twice but
+// insert it once. Chunk payloads are immutable once cached — callers
+// must treat the returned bytes as read-only. Source, ArrayID,
+// ChunkElems and CacheCap must be set before the proxy is shared.
 type Proxy struct {
 	Source     ChunkSource
 	ArrayID    int64
 	ChunkElems int
 	CacheCap   int // maximum cached chunks; 0 means unlimited
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	cache map[int][]byte
 	fifo  []int
 }
@@ -50,8 +56,8 @@ func NewProxy(src ChunkSource, arrayID int64, chunkElems int) *Proxy {
 
 // CachedChunks reports how many chunks are currently cached.
 func (p *Proxy) CachedChunks() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return len(p.cache)
 }
 
@@ -78,12 +84,12 @@ func (p *Proxy) elementAt(lin int, etype ElemType) (Number, error) {
 
 // chunk returns the payload of one chunk, fetching it if absent.
 func (p *Proxy) chunk(chunkNo int) ([]byte, error) {
-	p.mu.Lock()
+	p.mu.RLock()
 	if data, ok := p.cache[chunkNo]; ok {
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		return data, nil
 	}
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	got, err := p.Source.ReadChunks(p.ArrayID, []spd.Run{{Start: chunkNo, Stride: 1, Count: 1}})
 	if err != nil {
 		return nil, err
@@ -102,6 +108,8 @@ func (p *Proxy) insert(chunkNo int, data []byte) {
 	if p.cache == nil {
 		p.cache = make(map[int][]byte)
 	}
+	// A concurrent fetch of the same chunk may have won the race;
+	// keeping the first insert keeps the FIFO list duplicate-free.
 	if _, ok := p.cache[chunkNo]; ok {
 		return
 	}
@@ -120,14 +128,14 @@ func (p *Proxy) insert(chunkNo int, data []byte) {
 // cached, detecting sequence patterns so the back-end receives compact
 // run descriptions rather than per-chunk requests.
 func (p *Proxy) fetchMissing(chunkNos []int) error {
-	p.mu.Lock()
-	missing := chunkNos[:0]
+	p.mu.RLock()
+	missing := make([]int, 0, len(chunkNos))
 	for _, c := range chunkNos {
 		if _, ok := p.cache[c]; !ok {
 			missing = append(missing, c)
 		}
 	}
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if len(missing) == 0 {
 		return nil
 	}

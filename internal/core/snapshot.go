@@ -25,8 +25,12 @@ import (
 
 const snapshotHeader = "#ssdm-snapshot 1"
 
-// SaveSnapshot writes the whole dataset to path.
+// SaveSnapshot writes the whole dataset to path. It is a read
+// operation: it shares the operation lock with running queries and
+// captures a consistent image (no update can interleave).
 func (s *SSDM) SaveSnapshot(path string) error {
+	s.op.RLock()
+	defer s.op.RUnlock()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -41,7 +45,7 @@ func (s *SSDM) SaveSnapshot(path string) error {
 		if err != nil {
 			return err
 		}
-		if err := turtle.Write(w, prepared, s.Prefixes); err != nil {
+		if err := turtle.Write(w, prepared, s.prefixSnapshot()); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
@@ -122,12 +126,16 @@ func (s *SSDM) LoadSnapshot(path string) error {
 		}
 		sections[len(sections)-1].body = append(sections[len(sections)-1].body, line)
 	}
+	// One exclusive critical section for the whole restore, so
+	// concurrent queries see either none or all of the snapshot.
+	s.op.Lock()
+	defer s.op.Unlock()
 	for _, sec := range sections {
 		var graph rdf.IRI
 		if sec.name != "default" {
 			graph = rdf.IRI(sec.name)
 		}
-		if err := s.LoadTurtle(strings.Join(sec.body, "\n"), graph); err != nil {
+		if err := s.loadTurtleLocked(strings.Join(sec.body, "\n"), graph); err != nil {
 			return fmt.Errorf("ssdm: snapshot graph <%s>: %w", sec.name, err)
 		}
 	}

@@ -49,8 +49,20 @@ func DefaultOptions() Options {
 }
 
 // SSDM is a Scientific SPARQL Database Manager instance.
+//
+// SSDM is safe for concurrent use. Operations are classified under a
+// reader-writer lock: read-only operations (Query, Explain, prepared
+// Exec, WriteTurtle, SaveSnapshot, and the query statements inside
+// Execute) share the lock and run in parallel; mutating operations
+// (Update, LoadTurtle*, LoadSnapshot, StoreArray, AddArrayTriple,
+// Externalize, and the update statements inside Execute) take it
+// exclusively. A query therefore always observes a statement-atomic
+// dataset: never a half-applied update or half-loaded document.
 type SSDM struct {
-	mu      sync.Mutex
+	// op is the operation-level reader-writer lock described above.
+	op sync.RWMutex
+
+	mu      sync.Mutex // guards backend and Prefixes
 	Dataset *rdf.Dataset
 	Engine  *engine.Engine
 	Opts    Options
@@ -99,6 +111,12 @@ func (s *SSDM) Backend() storage.Backend {
 // LoadTurtle loads a Turtle document into a graph ("" = default) and
 // runs the configured consolidations.
 func (s *SSDM) LoadTurtle(src string, graph rdf.IRI) error {
+	s.op.Lock()
+	defer s.op.Unlock()
+	return s.loadTurtleLocked(src, graph)
+}
+
+func (s *SSDM) loadTurtleLocked(src string, graph rdf.IRI) error {
 	g := s.targetGraph(graph)
 	if err := turtle.ParseString(src, g); err != nil {
 		return err
@@ -150,14 +168,23 @@ func (s *SSDM) postLoad(g *rdf.Graph) error {
 	return nil
 }
 
-// Query parses and executes a single SciSPARQL query.
+// Query parses and executes a single SciSPARQL query. Queries take the
+// operation read lock, so any number may run in parallel.
 func (s *SSDM) Query(src string) (*engine.Results, error) {
-	return s.Engine.QueryString(src)
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	s.op.RLock()
+	defer s.op.RUnlock()
+	return s.Engine.Query(q)
 }
 
 // Explain renders the execution strategy for a query (join order with
 // fan-out estimates, filter placement) without running it.
 func (s *SSDM) Explain(src string) (string, error) {
+	s.op.RLock()
+	defer s.op.RUnlock()
 	return s.Engine.ExplainString(src)
 }
 
@@ -179,17 +206,23 @@ func (s *SSDM) Prepare(src string) (*Prepared, error) {
 }
 
 // Exec runs the prepared query with the given variables pre-bound
-// (nil for none).
+// (nil for none). Like Query, it holds the operation read lock.
 func (p *Prepared) Exec(params map[string]rdf.Term) (*engine.Results, error) {
 	initial := engine.Binding{}
 	for k, v := range params {
 		initial[k] = v
 	}
+	p.ssdm.op.RLock()
+	defer p.ssdm.op.RUnlock()
 	return p.ssdm.Engine.QueryWith(p.q, initial)
 }
 
 // Execute runs a sequence of SciSPARQL statements (queries and
 // updates, ';'-separated) and returns the results of the queries.
+// The lock is classified per statement: queries share the operation
+// lock with other readers, while updates and loads take it
+// exclusively, so a long script of SELECTs never blocks concurrent
+// clients.
 func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
 	stmts, err := sparql.ParseAll(src)
 	if err != nil {
@@ -199,17 +232,25 @@ func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
 	for _, st := range stmts {
 		switch v := st.(type) {
 		case *sparql.Query:
+			s.op.RLock()
 			res, err := s.Engine.Query(v)
+			s.op.RUnlock()
 			if err != nil {
 				return out, err
 			}
 			out = append(out, res)
 		case *sparql.Load:
-			if err := s.execLoad(v); err != nil {
+			s.op.Lock()
+			err := s.execLoadLocked(v)
+			s.op.Unlock()
+			if err != nil {
 				return out, err
 			}
 		default:
-			if _, err := s.Engine.Update(st); err != nil {
+			s.op.Lock()
+			_, err := s.Engine.Update(st)
+			s.op.Unlock()
+			if err != nil {
 				return out, err
 			}
 		}
@@ -223,23 +264,32 @@ func (s *SSDM) Update(src string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.op.Lock()
+	defer s.op.Unlock()
 	if ld, ok := st.(*sparql.Load); ok {
-		return 0, s.execLoad(ld)
+		return 0, s.execLoadLocked(ld)
 	}
 	return s.Engine.Update(st)
 }
 
-// execLoad handles LOAD <source> [INTO GRAPH g]: sources are local
-// Turtle files (an SSDM deployment decides its own file access
-// policy, so this lives in the manager, not the engine).
-func (s *SSDM) execLoad(v *sparql.Load) error {
+// execLoadLocked handles LOAD <source> [INTO GRAPH g]: sources are
+// local Turtle files (an SSDM deployment decides its own file access
+// policy, so this lives in the manager, not the engine). The caller
+// holds the operation write lock.
+func (s *SSDM) execLoadLocked(v *sparql.Load) error {
 	src := strings.TrimPrefix(v.Source, "file://")
-	return s.LoadTurtleFile(src, v.Graph)
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return s.loadTurtleLocked(string(b), v.Graph)
 }
 
 // StoreArray writes an array to the attached back-end and returns its
 // ID.
 func (s *SSDM) StoreArray(a *array.Array) (int64, error) {
+	s.op.Lock()
+	defer s.op.Unlock()
 	b := s.Backend()
 	if b == nil {
 		return 0, fmt.Errorf("ssdm: no storage back-end attached")
@@ -251,6 +301,8 @@ func (s *SSDM) StoreArray(a *array.Array) (int64, error) {
 // graph: resident when no back-end is attached, externalized
 // otherwise.
 func (s *SSDM) AddArrayTriple(subj rdf.Term, prop rdf.IRI, a *array.Array) error {
+	s.op.Lock()
+	defer s.op.Unlock()
 	b := s.Backend()
 	if b == nil {
 		s.Dataset.Default.Add(subj, prop, rdf.NewArray(a))
@@ -266,6 +318,8 @@ func (s *SSDM) AddArrayTriple(subj rdf.Term, prop rdf.IRI, a *array.Array) error
 // Externalize moves every resident array in the default graph to the
 // attached back-end (the back-end scenario of chapter 6).
 func (s *SSDM) Externalize() (int, error) {
+	s.op.Lock()
+	defer s.op.Unlock()
 	b := s.Backend()
 	if b == nil {
 		return 0, fmt.Errorf("ssdm: no storage back-end attached")
@@ -273,10 +327,37 @@ func (s *SSDM) Externalize() (int, error) {
 	return loader.ExternalizeArrays(s.Dataset.Default, b, storage.ChunkElemsFor(s.Opts.ChunkBytes))
 }
 
-// WriteTurtle serializes a graph ("" = default) as Turtle.
+// WriteTurtle serializes a graph ("" = default) as Turtle. It is a
+// read operation: serializing a graph that does not exist writes an
+// empty document instead of creating the graph.
 func (s *SSDM) WriteTurtle(w io.Writer, graph rdf.IRI) error {
-	g := s.targetGraph(graph)
-	return turtle.Write(w, g, s.Prefixes)
+	s.op.RLock()
+	defer s.op.RUnlock()
+	g := s.readGraph(graph)
+	return turtle.Write(w, g, s.prefixSnapshot())
+}
+
+// readGraph resolves a graph name without creating missing graphs.
+func (s *SSDM) readGraph(graph rdf.IRI) *rdf.Graph {
+	if graph == "" {
+		return s.Dataset.Default
+	}
+	if g := s.Dataset.Named(graph, false); g != nil {
+		return g
+	}
+	return rdf.NewGraph()
+}
+
+// prefixSnapshot copies the prefix map so serialization never races
+// with SetPrefix.
+func (s *SSDM) prefixSnapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.Prefixes))
+	for k, v := range s.Prefixes {
+		out[k] = v
+	}
+	return out
 }
 
 // RegisterForeign exposes a Go function to SciSPARQL queries (§4.4).

@@ -20,10 +20,15 @@ type Triple struct {
 // for optimizer statistics — the arrangement mirrors the indexing of
 // main-memory RDF stores discussed in §2.2.3.
 //
-// A Graph is safe for concurrent readers; mutations must not run
-// concurrently with reads or other mutations.
+// A Graph is safe for concurrent use: any number of readers may run in
+// parallel with each other, and mutations take the write lock, so they
+// are serialized against readers and one another. Match (and the
+// enumerators built on it) snapshots the matching triples under the
+// read lock and invokes the callback without holding it, so callbacks
+// may freely re-enter the graph — including mutating it; the
+// enumeration reflects the state at the time of the call.
 type Graph struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	terms []Term
 	byKey map[string]ID
 
@@ -48,7 +53,11 @@ func NewGraph() *Graph {
 }
 
 // Size returns the number of triples.
-func (g *Graph) Size() int { return g.size }
+func (g *Graph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
 
 // Intern maps a term to its dictionary ID, assigning a fresh one when
 // the term is new.
@@ -56,6 +65,10 @@ func (g *Graph) Intern(t Term) ID {
 	key := t.Key()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.internLocked(t, key)
+}
+
+func (g *Graph) internLocked(t Term, key string) ID {
 	if id, ok := g.byKey[key]; ok {
 		return id
 	}
@@ -67,14 +80,18 @@ func (g *Graph) Intern(t Term) ID {
 
 // Lookup returns the ID of a term if it is already interned.
 func (g *Graph) Lookup(t Term) (ID, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	id, ok := g.byKey[t.Key()]
+	key := t.Key()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.byKey[key]
 	return id, ok
 }
 
-// TermOf returns the term for a dictionary ID.
+// TermOf returns the term for a dictionary ID. IDs are never reused,
+// so a term obtained from any enumeration remains resolvable.
 func (g *Graph) TermOf(id ID) Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if id == 0 || int(id) > len(g.terms) {
 		panic(fmt.Sprintf("rdf: invalid term ID %d", id))
 	}
@@ -131,13 +148,23 @@ func del(idx map[ID]map[ID]map[ID]struct{}, a, b, c ID) bool {
 }
 
 // Add inserts a triple of terms; it returns false when the triple was
-// already present.
+// already present. The intern and index insertions happen under one
+// write-lock acquisition, so the triple appears atomically to readers.
 func (g *Graph) Add(s, p, o Term) bool {
-	return g.AddIDs(g.Intern(s), g.Intern(p), g.Intern(o))
+	ks, kp, ko := s.Key(), p.Key(), o.Key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addIDsLocked(g.internLocked(s, ks), g.internLocked(p, kp), g.internLocked(o, ko))
 }
 
 // AddIDs inserts a triple of already-interned IDs.
 func (g *Graph) AddIDs(s, p, o ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addIDsLocked(s, p, o)
+}
+
+func (g *Graph) addIDsLocked(s, p, o ID) bool {
 	if !put(g.spo, s, p, o) {
 		return false
 	}
@@ -150,23 +177,32 @@ func (g *Graph) AddIDs(s, p, o ID) bool {
 
 // Delete removes a triple; it returns false when it was absent.
 func (g *Graph) Delete(s, p, o Term) bool {
-	si, ok := g.Lookup(s)
+	ks, kp, ko := s.Key(), p.Key(), o.Key()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	si, ok := g.byKey[ks]
 	if !ok {
 		return false
 	}
-	pi, ok := g.Lookup(p)
+	pi, ok := g.byKey[kp]
 	if !ok {
 		return false
 	}
-	oi, ok := g.Lookup(o)
+	oi, ok := g.byKey[ko]
 	if !ok {
 		return false
 	}
-	return g.DeleteIDs(si, pi, oi)
+	return g.deleteIDsLocked(si, pi, oi)
 }
 
 // DeleteIDs removes a triple of interned IDs.
 func (g *Graph) DeleteIDs(s, p, o ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deleteIDsLocked(s, p, o)
+}
+
+func (g *Graph) deleteIDsLocked(s, p, o ID) bool {
 	if !del(g.spo, s, p, o) {
 		return false
 	}
@@ -179,19 +215,22 @@ func (g *Graph) DeleteIDs(s, p, o ID) bool {
 
 // Has reports whether the triple is present.
 func (g *Graph) Has(s, p, o Term) bool {
-	si, ok := g.Lookup(s)
-	if !ok {
+	ks, kp, ko := s.Key(), p.Key(), o.Key()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	si, found := g.byKey[ks]
+	if !found {
 		return false
 	}
-	pi, ok := g.Lookup(p)
-	if !ok {
+	pi, found := g.byKey[kp]
+	if !found {
 		return false
 	}
-	oi, ok := g.Lookup(o)
-	if !ok {
+	oi, found := g.byKey[ko]
+	if !found {
 		return false
 	}
-	if m2, ok := g.spo[si][pi]; ok {
+	if m2, present := g.spo[si][pi]; present {
 		_, exists := m2[oi]
 		return exists
 	}
@@ -201,67 +240,78 @@ func (g *Graph) Has(s, p, o Term) bool {
 // Match enumerates triples matching a pattern where ID 0 is a
 // wildcard. The callback returns false to stop early. The index
 // permutation is chosen from the bound positions.
+//
+// The matching triples are snapshotted under the read lock and yielded
+// after it is released: the callback may re-enter the graph (nested
+// matches, term resolution, even mutation) without holding any lock —
+// this is what makes the query engine's recursive join loops safe
+// against concurrent writers without risking reader-lock recursion.
 func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
+	g.mu.RLock()
+	matches := g.collectLocked(s, p, o)
+	g.mu.RUnlock()
+	for _, t := range matches {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// collectLocked gathers the triples matching a pattern; the caller
+// holds at least the read lock.
+func (g *Graph) collectLocked(s, p, o ID) []Triple {
+	var out []Triple
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		if m2, ok := g.spo[s][p]; ok {
 			if _, exists := m2[o]; exists {
-				yield(Triple{s, p, o})
+				out = append(out, Triple{s, p, o})
 			}
 		}
 	case s != 0 && p != 0:
+		out = make([]Triple, 0, len(g.spo[s][p]))
 		for oi := range g.spo[s][p] {
-			if !yield(Triple{s, p, oi}) {
-				return
-			}
+			out = append(out, Triple{s, p, oi})
 		}
 	case p != 0 && o != 0:
+		out = make([]Triple, 0, len(g.pos[p][o]))
 		for si := range g.pos[p][o] {
-			if !yield(Triple{si, p, o}) {
-				return
-			}
+			out = append(out, Triple{si, p, o})
 		}
 	case s != 0 && o != 0:
+		out = make([]Triple, 0, len(g.osp[o][s]))
 		for pi := range g.osp[o][s] {
-			if !yield(Triple{s, pi, o}) {
-				return
-			}
+			out = append(out, Triple{s, pi, o})
 		}
 	case s != 0:
 		for pi, objs := range g.spo[s] {
 			for oi := range objs {
-				if !yield(Triple{s, pi, oi}) {
-					return
-				}
+				out = append(out, Triple{s, pi, oi})
 			}
 		}
 	case p != 0:
 		for si, objs := range g.pso[p] {
 			for oi := range objs {
-				if !yield(Triple{si, p, oi}) {
-					return
-				}
+				out = append(out, Triple{si, p, oi})
 			}
 		}
 	case o != 0:
 		for si, preds := range g.osp[o] {
 			for pi := range preds {
-				if !yield(Triple{si, pi, o}) {
-					return
-				}
+				out = append(out, Triple{si, pi, o})
 			}
 		}
 	default:
+		out = make([]Triple, 0, g.size)
 		for si, preds := range g.spo {
 			for pi, objs := range preds {
 				for oi := range objs {
-					if !yield(Triple{si, pi, oi}) {
-						return
-					}
+					out = append(out, Triple{si, pi, oi})
 				}
 			}
 		}
 	}
+	return out
 }
 
 // MatchTerms is Match with term-valued pattern positions; nil is a
@@ -292,6 +342,8 @@ func (g *Graph) MatchTerms(s, p, o Term, yield func(s, p, o Term) bool) {
 // CountMatch returns the number of triples matching a pattern without
 // enumerating terms; it backs the optimizer's cardinality estimates.
 func (g *Graph) CountMatch(s, p, o ID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		if m2, ok := g.spo[s][p]; ok {
@@ -334,6 +386,8 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 // cost-based optimizer uses (dissertation §5.4, cf. RDF-3X's indexes
 // doubling as histograms, §2.3.1).
 func (g *Graph) PredStats(p ID) (count, distinctS, distinctO int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	for _, objs := range g.pso[p] {
 		count += len(objs)
 	}
@@ -348,9 +402,11 @@ func (g *Graph) Triples(yield func(s, p, o Term) bool) {
 }
 
 // Dataset is a collection of graphs: one default graph and any number
-// of named graphs (dissertation §3.3.4).
+// of named graphs (dissertation §3.3.4). Like Graph, a Dataset is safe
+// for concurrent use: graph lookups run under a read lock, and only
+// creating or dropping a named graph takes the write lock.
 type Dataset struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	Default *Graph
 	named   map[IRI]*Graph
 }
@@ -362,13 +418,19 @@ func NewDataset() *Dataset {
 
 // Named returns the named graph, creating it when create is true.
 func (d *Dataset) Named(name IRI, create bool) *Graph {
+	d.mu.RLock()
+	g, ok := d.named[name]
+	d.mu.RUnlock()
+	if ok || !create {
+		return g
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	g, ok := d.named[name]
-	if !ok && create {
-		g = NewGraph()
-		d.named[name] = g
+	if g, ok := d.named[name]; ok {
+		return g
 	}
+	g = NewGraph()
+	d.named[name] = g
 	return g
 }
 
@@ -381,8 +443,8 @@ func (d *Dataset) DropNamed(name IRI) {
 
 // GraphNames lists the names of all named graphs.
 func (d *Dataset) GraphNames() []IRI {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]IRI, 0, len(d.named))
 	for n := range d.named {
 		out = append(out, n)

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scisparql/internal/core"
+	"scisparql/internal/ssdmclient"
+	"scisparql/internal/storage"
+)
+
+// TestListenAfterClose: a closed server must refuse to resurrect.
+func TestListenAfterClose(t *testing.T) {
+	srv := New(core.Open())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = addr
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("Listen after Close should fail")
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListenTwice: a listening server refuses a second listener.
+func TestListenTwice(t *testing.T) {
+	srv := New(core.Open())
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("second Listen should fail")
+	}
+}
+
+// TestListenCloseRace drives Listen and Close from different
+// goroutines; the seed wrote s.listener in Listen without the lock
+// Close reads it under, which -race flagged.
+func TestListenCloseRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		srv := New(core.Open())
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			srv.Listen("127.0.0.1:0")
+		}()
+		go func() {
+			defer wg.Done()
+			srv.Close()
+		}()
+		wg.Wait()
+		srv.Close()
+	}
+}
+
+// TestConcurrentClients is the multi-client integration test: several
+// clients run read queries in parallel while others interleave updates
+// over the wire. Result consistency: the stable partition always
+// returns complete results, and inserted pairs are never observed
+// half-applied.
+func TestConcurrentClients(t *testing.T) {
+	db := core.Open()
+	db.AttachBackend(storage.NewMemory())
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	seed, err := ssdmclient.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `@prefix ex: <http://ex/> .` + "\n"
+	for i := 0; i < 40; i++ {
+		doc += fmt.Sprintf("ex:fix%d a ex:Fixed ; ex:v %d .\n", i, i)
+	}
+	if err := seed.LoadTurtle(doc, ""); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	const (
+		readerClients = 5
+		writerClients = 2
+		iterations    = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writerClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := ssdmclient.Connect(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iterations; i++ {
+				id := w*iterations + i
+				n, err := cl.Update(fmt.Sprintf(
+					`PREFIX ex: <http://ex/> INSERT DATA { ex:dyn%d a ex:Dyn ; ex:v %d }`, id, id))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n != 2 {
+					t.Errorf("insert affected %d, want 2", n)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readerClients; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := ssdmclient.Connect(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iterations; i++ {
+				res, err := cl.Query(`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Fixed }`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != 40 {
+					t.Errorf("fixed rows %d, want 40", res.Len())
+					return
+				}
+				res, err = cl.Query(`PREFIX ex: <http://ex/>
+SELECT ?s WHERE { ?s a ex:Dyn . FILTER NOT EXISTS { ?s ex:v ?v } }`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Len() != 0 {
+					t.Errorf("saw %d half-applied inserts", res.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	cl, err := ssdmclient.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Query(`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:Dyn }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != writerClients*iterations {
+		t.Fatalf("final dyn rows %d, want %d", res.Len(), writerClients*iterations)
+	}
+}

@@ -18,18 +18,24 @@ import (
 	"scisparql/internal/rdf"
 )
 
-// Server wraps an SSDM instance behind a listener. Requests across
-// connections are serialized: SSDM's graph mutations are not
-// concurrent-safe, matching the single query-processor thread of the
-// original system.
+// Server wraps an SSDM instance behind a listener. Each connection is
+// served by its own goroutine and requests from different connections
+// execute concurrently: SSDM's operation-level reader-writer lock
+// classifies them, so read-only queries run in parallel while updates
+// and loads are exclusive. Requests within one connection are handled
+// in arrival order, preserving read-your-writes semantics for a client
+// that pipelines an update before a query.
 type Server struct {
 	DB *core.SSDM
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards listener and closed
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
 }
+
+// ErrClosed is returned by Listen on a server that has been Closed.
+var ErrClosed = errors.New("server: closed")
 
 // New creates a server over an SSDM instance.
 func New(db *core.SSDM) *Server {
@@ -37,23 +43,34 @@ func New(db *core.SSDM) *Server {
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
-// and returns the bound address.
+// and returns the bound address. Listening on a closed or already
+// listening server is an error.
 func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if s.listener != nil {
+		return "", errors.New("server: already listening")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	s.listener = ln
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for active connections.
+// Close stops the listener and waits for active connections. It is
+// idempotent; the server cannot be reused afterwards.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
+	s.listener = nil
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
@@ -63,10 +80,10 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.listener.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
@@ -97,10 +114,11 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// handle executes one request against the SSDM instance.
+// handle executes one request against the SSDM instance. It takes no
+// server-level lock: concurrency control lives in core.SSDM, whose
+// reader-writer lock lets queries from many connections run in
+// parallel.
 func (s *Server) handle(req *protocol.Request) *protocol.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch req.Op {
 	case protocol.OpPing:
 		return &protocol.Response{OK: true}

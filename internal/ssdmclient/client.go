@@ -12,18 +12,32 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"scisparql/internal/array"
 	"scisparql/internal/protocol"
 	"scisparql/internal/rdf"
 )
 
-// Client is a connection to an SSDM server.
+// Client is a connection to an SSDM server. A Client is safe for
+// concurrent use; requests are issued one at a time over the single
+// connection.
+//
+// The protocol is a framed JSON stream with no request IDs, so after a
+// transport-level encode or decode failure the stream may be
+// desynchronized (a partial frame on the wire would pair responses
+// with the wrong requests). The client therefore marks itself broken
+// on the first such failure, closes the connection, and fails every
+// subsequent call fast with an error wrapping the original cause.
+// Server-reported errors (resp.OK == false) leave the stream aligned
+// and do not break the client.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	timeout time.Duration
+	broken  error // first transport failure; nil while usable
 }
 
 // Connect dials an SSDM server.
@@ -39,23 +53,50 @@ func Connect(addr string) (*Client, error) {
 	}, nil
 }
 
+// SetTimeout bounds each subsequent round trip: the deadline covers
+// writing the request and reading the response. Zero (the default)
+// means no deadline. A timed-out round trip breaks the client like any
+// other transport failure, since the response may still be in flight.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *protocol.Request) (*protocol.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, fmt.Errorf("ssdm: connection broken by earlier failure: %w", c.broken)
+	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, c.breakConn(err)
+		}
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, err
+		return nil, c.breakConn(err)
 	}
 	var resp protocol.Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+		return nil, c.breakConn(err)
 	}
 	if !resp.OK {
 		return nil, fmt.Errorf("ssdm: %s", resp.Error)
 	}
 	return &resp, nil
+}
+
+// breakConn records the first transport failure and closes the
+// connection so in-flight server work cannot write into a stream
+// nobody is aligned with anymore. The caller holds c.mu.
+func (c *Client) breakConn(err error) error {
+	c.broken = err
+	c.conn.Close()
+	return err
 }
 
 // Ping checks connectivity.

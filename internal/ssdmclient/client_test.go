@@ -1,0 +1,145 @@
+package ssdmclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"scisparql/internal/protocol"
+)
+
+// garbageServer accepts one connection and answers every request with
+// bytes that are not valid protocol JSON, desynchronizing the stream.
+func garbageServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		dec := json.NewDecoder(r)
+		for {
+			var req protocol.Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			if _, err := conn.Write([]byte("!!not json!!\n")); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestBrokenStreamFailsFast: after a decode failure the stream cannot
+// be trusted, so the client must refuse further round trips with an
+// error naming the original cause instead of pairing responses with
+// the wrong requests.
+func TestBrokenStreamFailsFast(t *testing.T) {
+	addr := garbageServer(t)
+	cl, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("expected decode error from garbage response")
+	}
+	err = cl.Ping()
+	if err == nil {
+		t.Fatal("expected fail-fast error on broken client")
+	}
+	if !strings.Contains(err.Error(), "connection broken") {
+		t.Fatalf("want fail-fast error, got %v", err)
+	}
+}
+
+// TestServerErrorDoesNotBreakClient: a server-reported error is a
+// well-formed response; the stream stays aligned and usable.
+func TestServerErrorDoesNotBreakClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		enc := json.NewEncoder(conn)
+		first := true
+		for {
+			var req protocol.Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			if first {
+				first = false
+				enc.Encode(protocol.Response{OK: false, Error: "synthetic failure"})
+				continue
+			}
+			enc.Encode(protocol.Response{OK: true})
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("want server error, got %v", err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("client should survive a server-reported error: %v", err)
+	}
+}
+
+// TestTimeoutBreaksClient: a server that never answers trips the
+// configured deadline; the timed-out client is broken (the response
+// may still arrive later, into a stream nobody is aligned with).
+func TestTimeoutBreaksClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	hold := make(chan struct{})
+	t.Cleanup(func() { close(hold) })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-hold // never respond
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not applied")
+	}
+	if err := cl.Ping(); err == nil || !strings.Contains(err.Error(), "connection broken") {
+		t.Fatalf("want fail-fast after timeout, got %v", err)
+	}
+}

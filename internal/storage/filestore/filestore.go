@@ -24,7 +24,10 @@ const magic = uint32(0x53534d41) // "SSMA"
 // u32, shape i64 * ndims, then the raw element payload.
 func headerSize(ndims int) int64 { return 4 + 1 + 1 + 2 + 4 + 8*int64(ndims) }
 
-// Store is a directory-backed array store.
+// Store is a directory-backed array store. It is safe for concurrent
+// readers: chunk reads are positioned reads (pread) on shared file
+// handles, which the OS serves concurrently. Read the experiment
+// counters through Stats when other goroutines may still be reading.
 type Store struct {
 	dir string
 
@@ -32,7 +35,7 @@ type Store struct {
 	nextID int64
 	open   map[int64]*os.File
 
-	// Counters for experiments.
+	// Counters for experiments; guarded by mu (see Stats).
 	ReadCalls int64
 	BytesRead int64
 }
@@ -182,6 +185,14 @@ func (s *Store) Delete(id int64) error {
 	}
 	s.mu.Unlock()
 	return os.Remove(s.path(id))
+}
+
+// Stats returns a consistent snapshot of the experiment counters; use
+// it instead of the fields when readers may still be running.
+func (s *Store) Stats() (readCalls, bytesRead int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ReadCalls, s.BytesRead
 }
 
 // Close releases all cached file handles.

@@ -88,12 +88,17 @@ type storedArray struct {
 // memory. It is the reference back-end for tests and the baseline
 // "resident" configuration of the mini-benchmark, and it supports
 // server-side aggregation.
+//
+// Memory is safe for concurrent use: stored chunk payloads are
+// immutable once written, so ReadChunks can serve many readers in
+// parallel. Read the experiment counters through Stats when other
+// goroutines may still be issuing reads.
 type Memory struct {
 	mu     sync.Mutex
 	arrays map[int64]*storedArray
 	nextID int64
 
-	// Counters for experiments.
+	// Counters for experiments; guarded by mu (see Stats).
 	ReadCalls    int64
 	ChunksServed int64
 	BytesServed  int64
@@ -169,21 +174,30 @@ func (m *Memory) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	m.ReadCalls++
-	m.mu.Unlock()
 	out := make(map[int][]byte)
+	var served, bytes int64
 	for _, c := range spd.Expand(runs) {
 		if c < 0 || c >= len(sa.chunks) {
 			return nil, fmt.Errorf("storage: chunk %d out of range for array %d", c, arrayID)
 		}
 		out[c] = sa.chunks[c]
-		m.mu.Lock()
-		m.ChunksServed++
-		m.BytesServed += int64(len(sa.chunks[c]))
-		m.mu.Unlock()
+		served++
+		bytes += int64(len(sa.chunks[c]))
 	}
+	m.mu.Lock()
+	m.ReadCalls++
+	m.ChunksServed += served
+	m.BytesServed += bytes
+	m.mu.Unlock()
 	return out, nil
+}
+
+// Stats returns a consistent snapshot of the experiment counters; use
+// it instead of the fields when readers may still be running.
+func (m *Memory) Stats() (readCalls, chunksServed, bytesServed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ReadCalls, m.ChunksServed, m.BytesServed
 }
 
 // AggregateWhole implements array.ChunkSource: the memory back-end is
