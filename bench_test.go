@@ -491,6 +491,86 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanCache measures the repeated-query path a server sees
+// when clients replay hot query texts (the E6 round-trip shape): the
+// same text submitted over and over against one SSDM instance. With
+// the compiled-query cache this skips lex/parse/compile entirely after
+// the first execution.
+func BenchmarkPlanCache(b *testing.B) {
+	db := core.Open()
+	doc := "@prefix ex: <http://ex/> .\n"
+	for i := 0; i < 1000; i++ {
+		doc += fmt.Sprintf("ex:s%d a ex:Thing ; ex:val %d .\n", i, i%100)
+	}
+	if err := db.LoadTurtle(doc, ""); err != nil {
+		b.Fatal(err)
+	}
+	q := `PREFIX ex: <http://ex/>
+SELECT ?s ?w WHERE {
+  ?s a ex:Thing ; ex:val 42 .
+  OPTIONAL { ?s ex:weight ?w }
+  FILTER(EXISTS { ?s a ex:Thing })
+}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != 10 {
+			b.Fatalf("rows %d", res.Len())
+		}
+	}
+}
+
+// BenchmarkBoundProbe measures the fully-bound triple probe — the
+// inner loop of every nested-loop join — at the graph level, with
+// allocation counts.
+func BenchmarkBoundProbe(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 1000; i++ {
+		g.Add(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), rdf.IRI("http://ex/p"), rdf.Integer(int64(i%100)))
+	}
+	s, _ := g.Lookup(rdf.IRI("http://ex/s500"))
+	p, _ := g.Lookup(rdf.IRI("http://ex/p"))
+	o, _ := g.Lookup(rdf.Integer(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit := false
+		g.Match(s, p, o, func(rdf.Triple) bool {
+			hit = true
+			return true
+		})
+		if !hit {
+			b.Fatal("probe missed")
+		}
+	}
+}
+
+// BenchmarkMatchFirstWildcard measures the ASK/LIMIT 1 shape: a
+// wildcard enumeration stopped after the first triple. Before the
+// batched enumeration this materialized the entire graph per call.
+func BenchmarkMatchFirstWildcard(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 5000; i++ {
+		g.Add(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), rdf.IRI("http://ex/p"), rdf.Integer(int64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(0, 0, 0, func(rdf.Triple) bool {
+			n++
+			return false
+		})
+		if n != 1 {
+			b.Fatalf("yielded %d", n)
+		}
+	}
+}
+
 // BenchmarkConcurrentClientQuery runs the same contention experiment
 // over the wire: one server, one client connection per goroutine, so
 // the per-connection goroutines in internal/server dispatch into SSDM

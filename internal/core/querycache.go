@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"scisparql/internal/sparql"
+)
+
+// queryCache is the compiled-query LRU cache behind SSDM.Query and
+// SSDM.Explain: server workloads replaying hot query texts (the E6
+// round-trip shape) skip lex/parse/compile entirely on a hit.
+//
+// Entries are keyed by the exact query text within one invalidation
+// epoch. Anything that could change what a text means — SetPrefix,
+// DEFINE FUNCTION / DEFINE AGGREGATE (re)definitions, foreign-function
+// registration — bumps the epoch, which atomically discards every
+// cached entry. Data updates (INSERT/DELETE/LOAD) do not invalidate:
+// a cached entry is the parsed form only, and all data-dependent
+// decisions (cost-based join ordering, statistics) are taken at
+// execution time against live graph state.
+//
+// The cached *sparql.Query values are shared by concurrent executions;
+// the engine treats parsed queries as read-only (grouping rewrites
+// copy first), the same contract prepared statements rely on.
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+
+	epoch  uint64
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	text string
+	q    *sparql.Query
+}
+
+// defaultQueryCacheCap bounds the number of distinct cached query
+// texts. Real SPARQL traffic is dominated by a small set of repeated
+// template-shaped queries (Arias et al.), so a few hundred entries
+// cover the hot set while bounding memory.
+const defaultQueryCacheCap = 256
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = defaultQueryCacheCap
+	}
+	return &queryCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached parse of src, if present, and records the
+// hit or miss.
+func (c *queryCache) get(src string) (*sparql.Query, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[src]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).q, true
+}
+
+// put inserts a parse result, evicting the least recently used entry
+// when the cache is full.
+func (c *queryCache) put(src string, q *sparql.Query) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[src]; ok {
+		el.Value.(*cacheEntry).q = q
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).text)
+	}
+	c.entries[src] = c.lru.PushFront(&cacheEntry{text: src, q: q})
+}
+
+// invalidate starts a new epoch: every cached entry is discarded.
+// Hit/miss counters survive so operators can observe invalidation
+// storms in the stats.
+func (c *queryCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+// CacheStats is a snapshot of the compiled-query cache counters.
+type CacheStats struct {
+	Hits    uint64 // lookups served without parsing
+	Misses  uint64 // lookups that had to parse
+	Entries int    // currently cached query texts
+	Epoch   uint64 // invalidation generation (SetPrefix/DEFINE bumps)
+}
+
+func (c *queryCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Epoch: c.epoch}
+}

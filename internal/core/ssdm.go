@@ -71,6 +71,10 @@ type SSDM struct {
 
 	// Prefixes collected from loaded documents, used when serializing.
 	Prefixes map[string]string
+
+	// qcache is the compiled-query LRU cache behind Query/Explain (see
+	// querycache.go for the key and invalidation rules).
+	qcache *queryCache
 }
 
 // Open creates an SSDM instance with default options.
@@ -89,6 +93,7 @@ func OpenWith(opts Options) *SSDM {
 		Engine:   engine.New(ds),
 		Opts:     opts,
 		Prefixes: map[string]string{},
+		qcache:   newQueryCache(0),
 	}
 }
 
@@ -169,9 +174,11 @@ func (s *SSDM) postLoad(g *rdf.Graph) error {
 }
 
 // Query parses and executes a single SciSPARQL query. Queries take the
-// operation read lock, so any number may run in parallel.
+// operation read lock, so any number may run in parallel. Hot query
+// texts are served from the compiled-query cache, skipping
+// lex/parse/compile entirely on a hit.
 func (s *SSDM) Query(src string) (*engine.Results, error) {
-	q, err := sparql.ParseQuery(src)
+	q, err := s.parseQueryCached(src)
 	if err != nil {
 		return nil, err
 	}
@@ -181,11 +188,38 @@ func (s *SSDM) Query(src string) (*engine.Results, error) {
 }
 
 // Explain renders the execution strategy for a query (join order with
-// fan-out estimates, filter placement) without running it.
+// fan-out estimates, filter placement) without running it. It shares
+// the compiled-query cache with Query.
 func (s *SSDM) Explain(src string) (string, error) {
+	q, err := s.parseQueryCached(src)
+	if err != nil {
+		return "", err
+	}
 	s.op.RLock()
 	defer s.op.RUnlock()
-	return s.Engine.ExplainString(src)
+	return s.Engine.Explain(q), nil
+}
+
+// parseQueryCached resolves a query text through the compiled-query
+// cache. Parse errors are not cached: a failing text re-parses on
+// every submission (errors are rare and cheap, and keeping them out of
+// the cache keeps the LRU full of useful entries).
+func (s *SSDM) parseQueryCached(src string) (*sparql.Query, error) {
+	if q, ok := s.qcache.get(src); ok {
+		return q, nil
+	}
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	s.qcache.put(src, q)
+	return q, nil
+}
+
+// QueryCacheStats reports the compiled-query cache counters (hits,
+// misses, resident entries, invalidation epoch).
+func (s *SSDM) QueryCacheStats() CacheStats {
+	return s.qcache.stats()
 }
 
 // Prepared is a parsed query that can be executed repeatedly with
@@ -253,9 +287,25 @@ func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
 			if err != nil {
 				return out, err
 			}
+			if redefinesFunctions(st) {
+				s.qcache.invalidate()
+			}
 		}
 	}
 	return out, nil
+}
+
+// redefinesFunctions reports whether a statement (re)defines callables
+// — the statement class that invalidates the compiled-query cache,
+// since cached parses may embed assumptions about names that just
+// changed meaning.
+func redefinesFunctions(st sparql.Statement) bool {
+	switch st.(type) {
+	case *sparql.DefineFunction, *sparql.DefineAggregate:
+		return true
+	default:
+		return false
+	}
 }
 
 // Update runs a single update statement and reports affected triples.
@@ -268,6 +318,9 @@ func (s *SSDM) Update(src string) (int, error) {
 	defer s.op.Unlock()
 	if ld, ok := st.(*sparql.Load); ok {
 		return 0, s.execLoadLocked(ld)
+	}
+	if redefinesFunctions(st) {
+		defer s.qcache.invalidate()
 	}
 	return s.Engine.Update(st)
 }
@@ -361,8 +414,10 @@ func (s *SSDM) prefixSnapshot() map[string]string {
 }
 
 // RegisterForeign exposes a Go function to SciSPARQL queries (§4.4).
+// (Re)registering a function invalidates the compiled-query cache.
 func (s *SSDM) RegisterForeign(name string, minArgs, maxArgs int, fn engine.ForeignFunc) {
 	s.Engine.Funcs.RegisterForeign(name, minArgs, maxArgs, fn)
+	s.qcache.invalidate()
 }
 
 // RegisterForeignCost is RegisterForeign with a declared per-call cost
@@ -370,11 +425,15 @@ func (s *SSDM) RegisterForeign(name string, minArgs, maxArgs int, fn engine.Fore
 // same plan position, cheaper ones evaluate first.
 func (s *SSDM) RegisterForeignCost(name string, minArgs, maxArgs int, cost float64, fn engine.ForeignFunc) {
 	s.Engine.Funcs.RegisterForeignCost(name, minArgs, maxArgs, cost, fn)
+	s.qcache.invalidate()
 }
 
 // SetPrefix declares a namespace prefix used when serializing output.
+// It bumps the compiled-query cache epoch: the prefix table is part of
+// the environment a cached parse was taken in.
 func (s *SSDM) SetPrefix(name, ns string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.Prefixes[name] = ns
+	s.mu.Unlock()
+	s.qcache.invalidate()
 }

@@ -11,6 +11,13 @@ import (
 
 // Binding is one query solution: a mapping from variable names to RDF
 // terms. Absent variables are unbound.
+//
+// Bindings are copy-on-extend and immutable once yielded: evaluation
+// steps share the incoming map untouched and clone it exactly once
+// when they bind new variables (see extend), so a solution may be
+// retained — in result sets, MINUS/subquery materializations, VALUES
+// joins — without further copying. Any consumer adding a variable
+// must clone first.
 type Binding map[string]rdf.Term
 
 func (b Binding) clone() Binding {
@@ -153,6 +160,12 @@ type evalCtx struct {
 	// named restricts which named graphs GRAPH clauses may range over
 	// (the FROM NAMED dataset clause, §3.3.4); nil means all.
 	named map[rdf.IRI]bool
+
+	// plans memoizes compiled group step sequences for the duration of
+	// one query execution (see compiledSteps); derived contexts share
+	// it so nested groups compile once per query, not once per input
+	// binding.
+	plans map[planKey][]step
 }
 
 const maxCallDepth = 64
@@ -161,7 +174,7 @@ func (c *evalCtx) child() (*evalCtx, error) {
 	if c.depth+1 > maxCallDepth {
 		return nil, errf("function call nesting exceeds %d (recursive view?)", maxCallDepth)
 	}
-	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named}, nil
+	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans()}, nil
 }
 
 // Results is a solution table: ordered column names plus rows aligned

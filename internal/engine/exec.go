@@ -36,9 +36,48 @@ type step interface {
 // binding; it compiles the group into a step sequence with filters
 // pushed to the earliest sound position (§5.4, query rewriting) and
 // triple patterns cost-ordered per BGP.
+//
+// Compilation happens once per (group, graph) within a query: the
+// step sequence is memoized in the evalCtx plan cache, so groups that
+// are re-entered per input binding (OPTIONAL bodies, EXISTS
+// subpatterns, nested groups, subqueries) do not recompile — and their
+// uncorrelated step state (MINUS and subquery materializations)
+// survives across invocations instead of being rebuilt for every
+// outer binding.
 func (c *evalCtx) evalGroup(g *sparql.Group, in Binding, yield func(Binding) error) error {
-	steps := c.orderFiltersByCost(compileGroup(g))
-	return runSteps(c, steps, 0, in, yield)
+	return runSteps(c, c.compiledSteps(g), 0, in, yield)
+}
+
+// planKey identifies one compiled group: step state (MINUS and
+// subquery caches) is only valid for the graph it was computed
+// against, so the graph is part of the key.
+type planKey struct {
+	group *sparql.Group
+	graph *rdf.Graph
+}
+
+// ensurePlans lazily creates the plan cache; callers building derived
+// contexts (function calls, GRAPH clauses) share the returned map so
+// compilation is amortized across the whole query execution.
+func (c *evalCtx) ensurePlans() map[planKey][]step {
+	if c.plans == nil {
+		c.plans = make(map[planKey][]step)
+	}
+	return c.plans
+}
+
+// compiledSteps returns the memoized step sequence for a group,
+// compiling on first use. The cache lives for one query execution, so
+// cached step state never leaks across queries.
+func (c *evalCtx) compiledSteps(g *sparql.Group) []step {
+	plans := c.ensurePlans()
+	key := planKey{g, c.graph}
+	if s, ok := plans[key]; ok {
+		return s
+	}
+	s := c.orderFiltersByCost(compileGroup(g))
+	plans[key] = s
+	return s
 }
 
 func runSteps(c *evalCtx, steps []step, i int, b Binding, yield func(Binding) error) error {
@@ -242,7 +281,12 @@ func resolveNode(n sparql.Node, b Binding) rdf.Term {
 
 // extend binds a variable, verifying consistency with an existing
 // binding. It returns the (possibly new) binding and whether the
-// extension is consistent.
+// extension is consistent. Bindings are copy-on-extend: the input
+// map is shared untouched until the first new variable is bound, at
+// which point it is cloned exactly once per extension chain (owned
+// tracks whether b is already this chain's private clone). Yielded
+// bindings are therefore immutable by convention — every consumer
+// that wants to add a variable clones first.
 func extend(b Binding, name string, t rdf.Term, owned bool) (Binding, bool, bool) {
 	if prev, ok := b[name]; ok {
 		return b, prev.Key() == t.Key(), owned
@@ -280,9 +324,6 @@ func (c *evalCtx) matchTriple(tp sparql.TriplePattern, b Binding, yield func(Bin
 			if !okb {
 				return nil
 			}
-		}
-		if !owned {
-			nb = nb.clone()
 		}
 		return yield(nb)
 	}
@@ -465,15 +506,17 @@ func (s *bindStep) certainVars(into map[string]bool) { into[s.name] = true }
 
 func (s *bindStep) run(c *evalCtx, b Binding, yield func(Binding) error) error {
 	v, err := c.eval(s.expr, b)
-	nb := b.clone()
-	if err == nil && v != nil {
-		nb[s.name] = v
-	} else if err != nil {
+	if err != nil {
 		if _, isExpr := err.(*exprError); !isExpr {
 			return err
 		}
-		// expression error -> variable left unbound
+		return yield(b) // expression error -> variable left unbound
 	}
+	if v == nil {
+		return yield(b)
+	}
+	nb := b.clone()
+	nb[s.name] = v
 	return yield(nb)
 }
 
@@ -624,9 +667,6 @@ func (s *subSelectStep) run(c *evalCtx, b Binding, yield func(Binding) error) er
 		if !ok {
 			continue
 		}
-		if !owned {
-			nb = nb.clone()
-		}
 		if err := yield(nb); err != nil {
 			return err
 		}
@@ -659,9 +699,6 @@ func (s *valuesStep) run(c *evalCtx, b Binding, yield func(Binding) error) error
 		if !ok {
 			continue
 		}
-		if !owned {
-			nb = nb.clone()
-		}
 		if err := yield(nb); err != nil {
 			return err
 		}
@@ -689,17 +726,13 @@ func (s *graphStep) run(c *evalCtx, b Binding, yield func(Binding) error) error 
 		if g == nil {
 			return nil
 		}
-		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named}
+		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans()}
 		nb := b
 		if bind {
 			var ok bool
-			var owned bool
-			nb, ok, owned = extend(nb, s.clause.Var, name, false)
+			nb, ok, _ = extend(nb, s.clause.Var, name, false)
 			if !ok {
 				return nil
-			}
-			if !owned {
-				nb = nb.clone()
 			}
 		}
 		return sub.evalGroup(s.clause.Group, nb, yield)

@@ -214,6 +214,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 	for _, b := range solutions {
 		cells := make([]rdf.Term, len(vars))
 		extended := b
+		cloned := false
 		for i, name := range vars {
 			if exprs[i] == nil {
 				cells[i] = b[name]
@@ -228,10 +229,10 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			}
 			cells[i] = v
 			if v != nil {
-				if extended == nil {
-					extended = b
+				if !cloned {
+					extended = extended.clone()
+					cloned = true
 				}
-				extended = extended.clone()
 				extended[name] = v
 			}
 		}

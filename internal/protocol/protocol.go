@@ -26,6 +26,7 @@ const (
 	OpLoadTurtle  = "load_turtle"  // Text: a Turtle document, Graph optional
 	OpStoreArray  = "store_array"  // Array payload -> ArrayID
 	OpArrayTriple = "array_triple" // Subject, Property, Array: store + link
+	OpStats       = "stats"        // server statistics snapshot -> Stats
 )
 
 // Request is one client request.
@@ -58,6 +59,19 @@ type Response struct {
 	Bool    bool     `json:"bool,omitempty"`
 	Count   int      `json:"count,omitempty"`
 	ArrayID int64    `json:"array_id,omitempty"`
+	Stats   *Stats   `json:"stats,omitempty"`
+}
+
+// Stats is the server statistics snapshot returned for OpStats:
+// compiled-query cache counters plus the default-graph size, the
+// numbers an operator watches to confirm hot queries are being served
+// from cache.
+type Stats struct {
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheEpoch   uint64 `json:"cache_epoch"`
+	Triples      int    `json:"triples"`
 }
 
 // EncodeTerm converts an RDF term to its wire form.

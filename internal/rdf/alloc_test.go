@@ -1,0 +1,134 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBoundProbeAllocFree pins the fully-bound fast path at zero
+// allocations: a bound probe is a hash lookup, not a scan.
+func TestBoundProbeAllocFree(t *testing.T) {
+	g := benchGraph(1000)
+	s, _ := g.Lookup(IRI("http://ex/s500"))
+	p, _ := g.Lookup(IRI("http://ex/val"))
+	o, _ := g.Lookup(Integer(0))
+	st, _ := g.Lookup(IRI("http://ex/type"))
+	th, _ := g.Lookup(IRI("http://ex/Thing"))
+	if avg := testing.AllocsPerRun(100, func() {
+		found := false
+		g.Match(s, p, o, func(Triple) bool { found = true; return true })
+		if !found {
+			t.Error("lost triple")
+		}
+	}); avg != 0 {
+		t.Fatalf("bound Match allocates %.1f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if !g.Has(IRI("http://ex/s500"), IRI("http://ex/type"), IRI("http://ex/Thing")) {
+			t.Error("lost triple")
+		}
+	}); avg > 3 { // term->ID lookups may hash-intern strings, but no slices
+		t.Fatalf("Has allocates %.1f per run, want a small constant", avg)
+	}
+	_ = st
+	_ = th
+}
+
+// TestEarlyTerminationAllocBounded is the regression test for the
+// ASK / LIMIT 1 / EXISTS pathology: a wildcard Match stopped after the
+// first triple must not materialize the whole graph. Buffers come from
+// pools, so the steady-state allocation count is a small constant
+// independent of graph size.
+func TestEarlyTerminationAllocBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are not meaningful")
+	}
+	g := benchGraph(5000) // 10000 triples
+	p, _ := g.Lookup(IRI("http://ex/val"))
+
+	// Warm the buffer pools so the measurement sees steady state.
+	g.Match(0, 0, 0, func(Triple) bool { return false })
+	g.Match(0, p, 0, func(Triple) bool { return false })
+
+	const maxAllocs = 4.0
+	if avg := testing.AllocsPerRun(50, func() {
+		n := 0
+		g.Match(0, 0, 0, func(Triple) bool { n++; return false })
+		if n != 1 {
+			t.Errorf("yielded %d, want 1", n)
+		}
+	}); avg > maxAllocs {
+		t.Fatalf("early-terminated wildcard Match allocates %.1f per run, want <= %.0f (graph has 10000 triples)", avg, maxAllocs)
+	}
+
+	if avg := testing.AllocsPerRun(50, func() {
+		n := 0
+		g.Match(0, p, 0, func(Triple) bool { n++; return false })
+		if n != 1 {
+			t.Errorf("yielded %d, want 1", n)
+		}
+	}); avg > maxAllocs {
+		t.Fatalf("early-terminated predicate Match allocates %.1f per run, want <= %.0f", avg, maxAllocs)
+	}
+}
+
+// TestCountMatchConstant cross-checks the O(1) per-position counters
+// against actual matches, including after deletions.
+func TestCountMatchConstant(t *testing.T) {
+	g := NewGraph()
+	p1t, p2t := IRI("http://ex/p1"), IRI("http://ex/p2")
+	s1t, s2t := IRI("http://ex/a"), IRI("http://ex/b")
+	g.Add(s1t, p1t, Integer(1))
+	g.Add(s1t, p2t, Integer(2))
+	g.Add(s2t, p1t, Integer(1))
+	g.Add(s2t, p1t, Integer(3))
+
+	id := func(t2 Term) ID {
+		i, _ := g.Lookup(t2)
+		return i
+	}
+	s1, s2, p1 := id(s1t), id(s2t), id(p1t)
+	o1 := id(Integer(1))
+
+	check := func(s, p, o ID, want int) {
+		t.Helper()
+		if got := g.CountMatch(s, p, o); got != want {
+			t.Errorf("CountMatch(%d,%d,%d) = %d, want %d", s, p, o, got, want)
+		}
+		// The counter must agree with an actual enumeration.
+		n := 0
+		g.Match(s, p, o, func(Triple) bool { n++; return true })
+		if n != want {
+			t.Errorf("Match(%d,%d,%d) yielded %d, want %d", s, p, o, n, want)
+		}
+	}
+	check(s1, 0, 0, 2)
+	check(0, p1, 0, 3)
+	check(0, 0, o1, 2)
+	check(0, 0, 0, 4)
+
+	g.Delete(s2t, p1t, Integer(3))
+	check(0, p1, 0, 2)
+	check(s2, 0, 0, 1)
+
+	g.Delete(s2t, p1t, Integer(1))
+	check(s2, 0, 0, 0)
+	check(0, 0, o1, 1)
+
+	if n, fanOut, distinct := g.PredStats(p1); n != 1 || fanOut != 1 || distinct != 1 {
+		t.Errorf("PredStats(p1) = %d,%d,%d, want 1,1,1", n, fanOut, distinct)
+	}
+
+	// Counters must stay O(1)-consistent through a mixed workload.
+	for i := 0; i < 50; i++ {
+		g.Add(IRI(fmt.Sprintf("http://ex/m%d", i%7)), p1t, Integer(int64(i)))
+	}
+	for i := 0; i < 50; i += 2 {
+		g.Delete(IRI(fmt.Sprintf("http://ex/m%d", i%7)), p1t, Integer(int64(i)))
+	}
+	n := 0
+	g.Match(0, p1, 0, func(Triple) bool { n++; return true })
+	if got := g.CountMatch(0, p1, 0); got != n {
+		t.Fatalf("CountMatch(p1) = %d, enumeration says %d", got, n)
+	}
+}

@@ -1,0 +1,111 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGraph builds a graph shaped like a metadata store: n subjects,
+// a handful of predicates, object values drawn from a small domain.
+func benchGraph(n int) *Graph {
+	g := NewGraph()
+	typ := IRI("http://ex/type")
+	val := IRI("http://ex/val")
+	thing := IRI("http://ex/Thing")
+	for i := 0; i < n; i++ {
+		s := IRI(fmt.Sprintf("http://ex/s%d", i))
+		g.Add(s, typ, thing)
+		g.Add(s, val, Integer(int64(i%100)))
+	}
+	return g
+}
+
+// BenchmarkGraphBoundProbe is the fully-bound membership probe (the
+// nested-loop join inner loop). It must not allocate.
+func BenchmarkGraphBoundProbe(b *testing.B) {
+	g := benchGraph(1000)
+	s, _ := g.Lookup(IRI("http://ex/s500"))
+	p, _ := g.Lookup(IRI("http://ex/val"))
+	o, _ := g.Lookup(Integer(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Match(s, p, o, func(Triple) bool { return true })
+	}
+}
+
+// BenchmarkGraphHalfBoundProbe is the (p, o)-bound probe used by
+// selective patterns like { ?s ex:val 42 }.
+func BenchmarkGraphHalfBoundProbe(b *testing.B) {
+	g := benchGraph(1000)
+	p, _ := g.Lookup(IRI("http://ex/val"))
+	o, _ := g.Lookup(Integer(42))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(0, p, o, func(Triple) bool {
+			n++
+			return true
+		})
+		if n != 10 {
+			b.Fatalf("matched %d", n)
+		}
+	}
+}
+
+// BenchmarkGraphScanEarlyStop is the ASK shape: wildcard scan stopped
+// at the first triple.
+func BenchmarkGraphScanEarlyStop(b *testing.B) {
+	g := benchGraph(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Match(0, 0, 0, func(Triple) bool { return false })
+	}
+}
+
+// BenchmarkGraphScanFull is the full wildcard enumeration.
+func BenchmarkGraphScanFull(b *testing.B) {
+	g := benchGraph(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(0, 0, 0, func(Triple) bool {
+			n++
+			return true
+		})
+		if n != 10000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+// BenchmarkGraphPredStats is the optimizer's per-BGP statistics call.
+func BenchmarkGraphPredStats(b *testing.B) {
+	g := benchGraph(5000)
+	p, _ := g.Lookup(IRI("http://ex/val"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count, dS, dO := g.PredStats(p)
+		if count != 5000 || dS != 5000 || dO != 100 {
+			b.Fatalf("stats %d %d %d", count, dS, dO)
+		}
+	}
+}
+
+// BenchmarkGraphCountMatchOneBound is CountMatch with one bound
+// position, the cardinality estimate behind cost-based join ordering.
+func BenchmarkGraphCountMatchOneBound(b *testing.B) {
+	g := benchGraph(5000)
+	p, _ := g.Lookup(IRI("http://ex/val"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := g.CountMatch(0, p, 0); n != 5000 {
+			b.Fatalf("count %d", n)
+		}
+	}
+}

@@ -23,10 +23,14 @@ type Triple struct {
 // A Graph is safe for concurrent use: any number of readers may run in
 // parallel with each other, and mutations take the write lock, so they
 // are serialized against readers and one another. Match (and the
-// enumerators built on it) snapshots the matching triples under the
-// read lock and invokes the callback without holding it, so callbacks
-// may freely re-enter the graph — including mutating it; the
-// enumeration reflects the state at the time of the call.
+// enumerators built on it) gathers matching triples under the read
+// lock in bounded batches (pooled buffers, no full-graph snapshot) and
+// invokes the callback without holding any lock, so callbacks may
+// freely re-enter the graph — including mutating it. Triples present
+// for the whole duration of the enumeration are yielded exactly once;
+// a triple added or removed concurrently (or by the callback itself)
+// may or may not be observed. Bound-pair and fully-bound patterns are
+// still gathered atomically in a single lock hold.
 type Graph struct {
 	mu    sync.RWMutex
 	terms []Term
@@ -37,6 +41,13 @@ type Graph struct {
 	osp map[ID]map[ID]map[ID]struct{}
 	pso map[ID]map[ID]map[ID]struct{}
 
+	// Per-position triple counts, maintained incrementally so the
+	// optimizer's CountMatch/PredStats probes are O(1) rather than
+	// re-counting nested maps on every BGP.
+	subjCount map[ID]int
+	predCount map[ID]int
+	objCount  map[ID]int
+
 	size    int
 	blankNo int
 }
@@ -44,11 +55,14 @@ type Graph struct {
 // NewGraph creates an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		byKey: make(map[string]ID),
-		spo:   make(map[ID]map[ID]map[ID]struct{}),
-		pos:   make(map[ID]map[ID]map[ID]struct{}),
-		osp:   make(map[ID]map[ID]map[ID]struct{}),
-		pso:   make(map[ID]map[ID]map[ID]struct{}),
+		byKey:     make(map[string]ID),
+		spo:       make(map[ID]map[ID]map[ID]struct{}),
+		pos:       make(map[ID]map[ID]map[ID]struct{}),
+		osp:       make(map[ID]map[ID]map[ID]struct{}),
+		pso:       make(map[ID]map[ID]map[ID]struct{}),
+		subjCount: make(map[ID]int),
+		predCount: make(map[ID]int),
+		objCount:  make(map[ID]int),
 	}
 }
 
@@ -171,6 +185,9 @@ func (g *Graph) addIDsLocked(s, p, o ID) bool {
 	put(g.pos, p, o, s)
 	put(g.osp, o, s, p)
 	put(g.pso, p, s, o)
+	g.subjCount[s]++
+	g.predCount[p]++
+	g.objCount[o]++
 	g.size++
 	return true
 }
@@ -209,8 +226,19 @@ func (g *Graph) deleteIDsLocked(s, p, o ID) bool {
 	del(g.pos, p, o, s)
 	del(g.osp, o, s, p)
 	del(g.pso, p, s, o)
+	decCount(g.subjCount, s)
+	decCount(g.predCount, p)
+	decCount(g.objCount, o)
 	g.size--
 	return true
+}
+
+func decCount(m map[ID]int, k ID) {
+	if m[k] <= 1 {
+		delete(m, k)
+	} else {
+		m[k]--
+	}
 }
 
 // Has reports whether the triple is present.
@@ -230,88 +258,213 @@ func (g *Graph) Has(s, p, o Term) bool {
 	if !found {
 		return false
 	}
-	if m2, present := g.spo[si][pi]; present {
-		_, exists := m2[oi]
-		return exists
+	return g.hasIDsLocked(si, pi, oi)
+}
+
+// hasIDsLocked is the fully-bound probe: a pure membership test with
+// no allocation. The caller holds at least the read lock.
+func (g *Graph) hasIDsLocked(s, p, o ID) bool {
+	_, ok := g.spo[s][p][o]
+	return ok
+}
+
+// idxKind names an index permutation; helpers resolve it to the map
+// field under the lock (the fields themselves are never reassigned).
+type idxKind uint8
+
+const (
+	idxSPO idxKind = iota
+	idxPOS
+	idxOSP
+	idxPSO
+)
+
+func (g *Graph) index(k idxKind) map[ID]map[ID]map[ID]struct{} {
+	switch k {
+	case idxSPO:
+		return g.spo
+	case idxPOS:
+		return g.pos
+	case idxOSP:
+		return g.osp
+	default:
+		return g.pso
 	}
-	return false
+}
+
+// setPos returns t with the pos-th component (0=S, 1=P, 2=O) set.
+func setPos(t Triple, pos int, v ID) Triple {
+	switch pos {
+	case 0:
+		t.S = v
+	case 1:
+		t.P = v
+	default:
+		t.O = v
+	}
+	return t
+}
+
+// matchBatchSize bounds how many triples are gathered per read-lock
+// acquisition during multi-key enumerations, so an early-terminating
+// caller (ASK, LIMIT 1, EXISTS) never pays for materializing the whole
+// result and a long enumeration never starves writers.
+const matchBatchSize = 1024
+
+// poolCapLimit keeps pathologically grown buffers out of the pools.
+const poolCapLimit = 1 << 16
+
+var (
+	triplePool = sync.Pool{New: func() any { return new([]Triple) }}
+	idPool     = sync.Pool{New: func() any { return new([]ID) }}
+)
+
+func putTripleBuf(p *[]Triple, buf []Triple) {
+	if cap(buf) <= poolCapLimit {
+		*p = buf[:0]
+		triplePool.Put(p)
+	}
+}
+
+func putIDBuf(p *[]ID, buf []ID) {
+	if cap(buf) <= poolCapLimit {
+		*p = buf[:0]
+		idPool.Put(p)
+	}
 }
 
 // Match enumerates triples matching a pattern where ID 0 is a
 // wildcard. The callback returns false to stop early. The index
 // permutation is chosen from the bound positions.
 //
-// The matching triples are snapshotted under the read lock and yielded
-// after it is released: the callback may re-enter the graph (nested
-// matches, term resolution, even mutation) without holding any lock —
-// this is what makes the query engine's recursive join loops safe
-// against concurrent writers without risking reader-lock recursion.
+// Matching triples are gathered under the read lock and yielded after
+// it is released: the callback may re-enter the graph (nested matches,
+// term resolution, even mutation) without holding any lock — this is
+// what makes the query engine's recursive join loops safe against
+// concurrent writers without risking reader-lock recursion. The fully
+// bound probe allocates nothing; bound-pair probes fill a pooled
+// buffer in one lock hold; single-bound and wildcard scans proceed in
+// bounded batches (see the Graph type comment for the consistency
+// contract).
 func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
-	g.mu.RLock()
-	matches := g.collectLocked(s, p, o)
-	g.mu.RUnlock()
-	for _, t := range matches {
-		if !yield(t) {
-			return
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		g.mu.RLock()
+		hit := g.hasIDsLocked(s, p, o)
+		g.mu.RUnlock()
+		if hit {
+			yield(Triple{s, p, o})
 		}
+	case s != 0 && p != 0:
+		g.matchInner(idxSPO, s, p, Triple{S: s, P: p}, 2, yield)
+	case p != 0 && o != 0:
+		g.matchInner(idxPOS, p, o, Triple{P: p, O: o}, 0, yield)
+	case s != 0 && o != 0:
+		g.matchInner(idxOSP, o, s, Triple{S: s, O: o}, 1, yield)
+	case s != 0:
+		g.matchNested(idxSPO, s, Triple{S: s}, 1, 2, yield)
+	case p != 0:
+		g.matchNested(idxPSO, p, Triple{P: p}, 0, 2, yield)
+	case o != 0:
+		g.matchNested(idxOSP, o, Triple{O: o}, 0, 1, yield)
+	default:
+		g.matchAll(yield)
 	}
 }
 
-// collectLocked gathers the triples matching a pattern; the caller
-// holds at least the read lock.
-func (g *Graph) collectLocked(s, p, o ID) []Triple {
-	var out []Triple
-	switch {
-	case s != 0 && p != 0 && o != 0:
-		if m2, ok := g.spo[s][p]; ok {
-			if _, exists := m2[o]; exists {
-				out = append(out, Triple{s, p, o})
+// matchInner enumerates a bound-pair pattern: the matches are exactly
+// the keys of one innermost index map, gathered atomically into a
+// pooled buffer.
+func (g *Graph) matchInner(k idxKind, a, b ID, base Triple, fillPos int, yield func(Triple) bool) {
+	bufp := idPool.Get().(*[]ID)
+	buf := (*bufp)[:0]
+	g.mu.RLock()
+	for c := range g.index(k)[a][b] {
+		buf = append(buf, c)
+	}
+	g.mu.RUnlock()
+	for _, c := range buf {
+		if !yield(setPos(base, fillPos, c)) {
+			break
+		}
+	}
+	putIDBuf(bufp, buf)
+}
+
+// matchNested enumerates a single-bound pattern: outer keys are
+// snapshotted once (IDs are never reused, so they stay resolvable),
+// then each outer key's inner set is gathered batch-by-batch under the
+// read lock and yielded outside it.
+func (g *Graph) matchNested(k idxKind, a ID, base Triple, outerPos, innerPos int, yield func(Triple) bool) {
+	keysp := idPool.Get().(*[]ID)
+	keys := (*keysp)[:0]
+	g.mu.RLock()
+	for b := range g.index(k)[a] {
+		keys = append(keys, b)
+	}
+	g.mu.RUnlock()
+
+	bufp := triplePool.Get().(*[]Triple)
+	buf := (*bufp)[:0]
+	stopped := false
+	for i := 0; i < len(keys) && !stopped; {
+		buf = buf[:0]
+		g.mu.RLock()
+		m1 := g.index(k)[a]
+		for i < len(keys) && len(buf) < matchBatchSize {
+			t := setPos(base, outerPos, keys[i])
+			for c := range m1[keys[i]] {
+				buf = append(buf, setPos(t, innerPos, c))
 			}
+			i++
 		}
-	case s != 0 && p != 0:
-		out = make([]Triple, 0, len(g.spo[s][p]))
-		for oi := range g.spo[s][p] {
-			out = append(out, Triple{s, p, oi})
-		}
-	case p != 0 && o != 0:
-		out = make([]Triple, 0, len(g.pos[p][o]))
-		for si := range g.pos[p][o] {
-			out = append(out, Triple{si, p, o})
-		}
-	case s != 0 && o != 0:
-		out = make([]Triple, 0, len(g.osp[o][s]))
-		for pi := range g.osp[o][s] {
-			out = append(out, Triple{s, pi, o})
-		}
-	case s != 0:
-		for pi, objs := range g.spo[s] {
-			for oi := range objs {
-				out = append(out, Triple{s, pi, oi})
-			}
-		}
-	case p != 0:
-		for si, objs := range g.pso[p] {
-			for oi := range objs {
-				out = append(out, Triple{si, p, oi})
-			}
-		}
-	case o != 0:
-		for si, preds := range g.osp[o] {
-			for pi := range preds {
-				out = append(out, Triple{si, pi, o})
-			}
-		}
-	default:
-		out = make([]Triple, 0, g.size)
-		for si, preds := range g.spo {
-			for pi, objs := range preds {
-				for oi := range objs {
-					out = append(out, Triple{si, pi, oi})
-				}
+		g.mu.RUnlock()
+		for _, t := range buf {
+			if !yield(t) {
+				stopped = true
+				break
 			}
 		}
 	}
-	return out
+	putIDBuf(keysp, keys)
+	putTripleBuf(bufp, buf)
+}
+
+// matchAll enumerates the whole graph, batched by subject.
+func (g *Graph) matchAll(yield func(Triple) bool) {
+	keysp := idPool.Get().(*[]ID)
+	keys := (*keysp)[:0]
+	g.mu.RLock()
+	for s := range g.spo {
+		keys = append(keys, s)
+	}
+	g.mu.RUnlock()
+
+	bufp := triplePool.Get().(*[]Triple)
+	buf := (*bufp)[:0]
+	stopped := false
+	for i := 0; i < len(keys) && !stopped; {
+		buf = buf[:0]
+		g.mu.RLock()
+		for i < len(keys) && len(buf) < matchBatchSize {
+			s := keys[i]
+			for p, objs := range g.spo[s] {
+				for o := range objs {
+					buf = append(buf, Triple{s, p, o})
+				}
+			}
+			i++
+		}
+		g.mu.RUnlock()
+		for _, t := range buf {
+			if !yield(t) {
+				stopped = true
+				break
+			}
+		}
+	}
+	putIDBuf(keysp, keys)
+	putTripleBuf(bufp, buf)
 }
 
 // MatchTerms is Match with term-valued pattern positions; nil is a
@@ -341,15 +494,16 @@ func (g *Graph) MatchTerms(s, p, o Term, yield func(s, p, o Term) bool) {
 
 // CountMatch returns the number of triples matching a pattern without
 // enumerating terms; it backs the optimizer's cardinality estimates.
+// Every pattern class is O(1): single-bound counts come from the
+// incrementally maintained per-position counters, the rest from map
+// sizes.
 func (g *Graph) CountMatch(s, p, o ID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	switch {
 	case s != 0 && p != 0 && o != 0:
-		if m2, ok := g.spo[s][p]; ok {
-			if _, exists := m2[o]; exists {
-				return 1
-			}
+		if g.hasIDsLocked(s, p, o) {
+			return 1
 		}
 		return 0
 	case s != 0 && p != 0:
@@ -359,23 +513,11 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 	case s != 0 && o != 0:
 		return len(g.osp[o][s])
 	case s != 0:
-		n := 0
-		for _, objs := range g.spo[s] {
-			n += len(objs)
-		}
-		return n
+		return g.subjCount[s]
 	case p != 0:
-		n := 0
-		for _, objs := range g.pso[p] {
-			n += len(objs)
-		}
-		return n
+		return g.predCount[p]
 	case o != 0:
-		n := 0
-		for _, preds := range g.osp[o] {
-			n += len(preds)
-		}
-		return n
+		return g.objCount[o]
 	default:
 		return g.size
 	}
@@ -384,14 +526,13 @@ func (g *Graph) CountMatch(s, p, o ID) int {
 // PredStats returns, for a predicate, the triple count and the numbers
 // of distinct subjects and objects — the histogram-style statistics the
 // cost-based optimizer uses (dissertation §5.4, cf. RDF-3X's indexes
-// doubling as histograms, §2.3.1).
+// doubling as histograms, §2.3.1). All three are O(1): the count is
+// maintained incrementally and the distinct counts are index map
+// sizes, so the join orderer can afford to call this on every BGP.
 func (g *Graph) PredStats(p ID) (count, distinctS, distinctO int) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for _, objs := range g.pso[p] {
-		count += len(objs)
-	}
-	return count, len(g.pso[p]), len(g.pos[p])
+	return g.predCount[p], len(g.pso[p]), len(g.pos[p])
 }
 
 // Triples enumerates all triples in unspecified order.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rdf
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rdf
+
+// raceEnabled reports that the race detector is on: sync.Pool
+// deliberately drops items under -race, so allocation-count
+// assertions are skipped there.
+const raceEnabled = true

@@ -168,6 +168,15 @@ func (s *Server) handle(req *protocol.Request) *protocol.Response {
 			return fail(err)
 		}
 		return &protocol.Response{OK: true, Count: 1}
+	case protocol.OpStats:
+		cs := s.DB.QueryCacheStats()
+		return &protocol.Response{OK: true, Stats: &protocol.Stats{
+			CacheHits:    cs.Hits,
+			CacheMisses:  cs.Misses,
+			CacheEntries: cs.Entries,
+			CacheEpoch:   cs.Epoch,
+			Triples:      s.DB.Dataset.Default.Size(),
+		}}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op}
 	}

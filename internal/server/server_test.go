@@ -185,3 +185,29 @@ func TestProtocolTermRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.LoadTurtle(`@prefix ex: <http://ex/> . ex:s ex:v 1 . ex:s ex:v 2 .`, ""); err != nil {
+		t.Fatal(err)
+	}
+	const q = `PREFIX ex: <http://ex/> SELECT ?v WHERE { ex:s ex:v ?v }`
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples != 2 {
+		t.Fatalf("triples %d, want 2", st.Triples)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Fatalf("stats %+v, want 1 miss / 2 hits for a repeated query text", st)
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("entries %d, want 1", st.CacheEntries)
+	}
+}

@@ -105,6 +105,19 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Stats fetches the server statistics snapshot: compiled-query cache
+// counters and the default-graph size.
+func (c *Client) Stats() (*protocol.Stats, error) {
+	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("ssdmclient: stats response missing payload")
+	}
+	return resp.Stats, nil
+}
+
 // Result is a decoded solution table.
 type Result struct {
 	Vars []string
