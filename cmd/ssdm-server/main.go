@@ -7,19 +7,29 @@
 //
 //	ssdm-server [-addr 127.0.0.1:7564] [-load data.ttl]...
 //	            [-store dir | -sql single|buffer|spd]
+//	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
+//	            [-drain-timeout 10s]
 //
 // -store attaches a binary-file array back-end rooted at dir; -sql
 // attaches a relational back-end (embedded) with the given retrieval
 // strategy. Without either, arrays are held resident.
+//
+// The guard flags bound every query the server runs (clients can
+// tighten them per request, never loosen them). On SIGINT/SIGTERM the
+// server drains gracefully: in-flight queries are cancelled, their
+// connections get their error responses, and after -drain-timeout any
+// stragglers are force-closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"scisparql/internal/core"
 	"scisparql/internal/relstore"
@@ -33,6 +43,10 @@ func main() {
 	image := flag.String("image", "", "snapshot image: restored at start, written at shutdown")
 	storeDir := flag.String("store", "", "attach a file array store rooted at this directory")
 	sqlStrat := flag.String("sql", "", "attach a relational array store: single, buffer or spd")
+	queryTimeout := flag.Duration("query-timeout", 0, "default wall-clock deadline per query (0 = none)")
+	maxRows := flag.Int("max-rows", 0, "default cap on result rows per query (0 = unlimited)")
+	maxBindings := flag.Int64("max-bindings", 0, "default cap on intermediate bindings per query (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	var loads []string
 	flag.Func("load", "Turtle file to load (repeatable)", func(v string) error {
 		loads = append(loads, v)
@@ -40,7 +54,11 @@ func main() {
 	})
 	flag.Parse()
 
-	db := core.Open()
+	opts := core.DefaultOptions()
+	opts.QueryTimeout = *queryTimeout
+	opts.MaxResultRows = *maxRows
+	opts.MaxBindings = *maxBindings
+	db := core.OpenWith(opts)
 	switch {
 	case *storeDir != "" && *sqlStrat != "":
 		fatalf("choose one of -store and -sql")
@@ -92,8 +110,12 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "shutting down")
-	srv.Close()
+	fmt.Fprintf(os.Stderr, "shutting down (draining up to %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	cancel()
 	if *image != "" {
 		if err := db.SaveSnapshot(*image); err != nil {
 			fatalf("save image: %v", err)

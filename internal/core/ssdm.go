@@ -11,11 +11,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"scisparql/internal/array"
 	"scisparql/internal/engine"
@@ -37,7 +39,28 @@ type Options struct {
 	// ChunkBytes is the chunk size used when arrays are stored to a
 	// back-end. Defaults to storage.DefaultChunkBytes.
 	ChunkBytes int
+
+	// QueryTimeout is the default wall-clock deadline applied to every
+	// query and update (0 = none). Per-call limits may tighten it
+	// further; see SSDM.QueryLimits.
+	QueryTimeout time.Duration
+	// MaxResultRows caps the rows a single query may return
+	// (0 = unlimited); exceeding it fails with ErrResourceLimit.
+	MaxResultRows int
+	// MaxBindings caps the intermediate bindings one query may produce
+	// while enumerating solutions (0 = unlimited) — the budget against
+	// runaway joins and property-path expansions.
+	MaxBindings int64
 }
+
+// Typed failure classes re-exported from the engine so callers holding
+// only a core.SSDM can classify errors with errors.Is.
+var (
+	ErrQueryTimeout   = engine.ErrQueryTimeout
+	ErrQueryCancelled = engine.ErrQueryCancelled
+	ErrResourceLimit  = engine.ErrResourceLimit
+	ErrInternal       = engine.ErrInternal
+)
 
 // DefaultOptions returns the standard configuration.
 func DefaultOptions() Options {
@@ -176,15 +199,46 @@ func (s *SSDM) postLoad(g *rdf.Graph) error {
 // Query parses and executes a single SciSPARQL query. Queries take the
 // operation read lock, so any number may run in parallel. Hot query
 // texts are served from the compiled-query cache, skipping
-// lex/parse/compile entirely on a hit.
+// lex/parse/compile entirely on a hit. The instance's configured
+// guards (Options.QueryTimeout/MaxResultRows/MaxBindings) apply.
 func (s *SSDM) Query(src string) (*engine.Results, error) {
+	return s.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a context: cancelling it (or its
+// deadline expiring) aborts the execution with ErrQueryCancelled /
+// ErrQueryTimeout within one evaluation batch.
+func (s *SSDM) QueryContext(ctx context.Context, src string) (*engine.Results, error) {
+	return s.QueryLimits(ctx, src, engine.Limits{})
+}
+
+// QueryLimits is QueryContext with explicit per-call limits. Zero
+// fields fall back to the instance Options, so a caller can tighten
+// the server-wide guards per request but a zero-valued Limits never
+// loosens them beyond the configured defaults.
+func (s *SSDM) QueryLimits(ctx context.Context, src string, lim engine.Limits) (*engine.Results, error) {
 	q, err := s.parseQueryCached(src)
 	if err != nil {
 		return nil, err
 	}
 	s.op.RLock()
 	defer s.op.RUnlock()
-	return s.Engine.Query(q)
+	return s.Engine.QueryContext(ctx, q, s.fillLimits(lim))
+}
+
+// fillLimits resolves zero-valued per-call limits to the instance
+// defaults.
+func (s *SSDM) fillLimits(lim engine.Limits) engine.Limits {
+	if lim.Timeout == 0 {
+		lim.Timeout = s.Opts.QueryTimeout
+	}
+	if lim.MaxResultRows == 0 {
+		lim.MaxResultRows = s.Opts.MaxResultRows
+	}
+	if lim.MaxBindings == 0 {
+		lim.MaxBindings = s.Opts.MaxBindings
+	}
+	return lim
 }
 
 // Explain renders the execution strategy for a query (join order with
@@ -242,13 +296,19 @@ func (s *SSDM) Prepare(src string) (*Prepared, error) {
 // Exec runs the prepared query with the given variables pre-bound
 // (nil for none). Like Query, it holds the operation read lock.
 func (p *Prepared) Exec(params map[string]rdf.Term) (*engine.Results, error) {
+	return p.ExecContext(context.Background(), params)
+}
+
+// ExecContext is Exec under a context; the instance's configured
+// guards apply as in Query.
+func (p *Prepared) ExecContext(ctx context.Context, params map[string]rdf.Term) (*engine.Results, error) {
 	initial := engine.Binding{}
 	for k, v := range params {
 		initial[k] = v
 	}
 	p.ssdm.op.RLock()
 	defer p.ssdm.op.RUnlock()
-	return p.ssdm.Engine.QueryWith(p.q, initial)
+	return p.ssdm.Engine.QueryWithContext(ctx, p.q, initial, p.ssdm.fillLimits(engine.Limits{}))
 }
 
 // Execute runs a sequence of SciSPARQL statements (queries and
@@ -258,16 +318,27 @@ func (p *Prepared) Exec(params map[string]rdf.Term) (*engine.Results, error) {
 // exclusively, so a long script of SELECTs never blocks concurrent
 // clients.
 func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
+	return s.ExecuteContext(context.Background(), src)
+}
+
+// ExecuteContext is Execute under a context, checked between
+// statements and inside each statement's evaluation; the instance's
+// configured guards apply to every query in the script.
+func (s *SSDM) ExecuteContext(ctx context.Context, src string) ([]*engine.Results, error) {
 	stmts, err := sparql.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
+	lim := s.fillLimits(engine.Limits{})
 	var out []*engine.Results
 	for _, st := range stmts {
+		if err := engine.ContextErr(ctx); err != nil {
+			return out, err
+		}
 		switch v := st.(type) {
 		case *sparql.Query:
 			s.op.RLock()
-			res, err := s.Engine.Query(v)
+			res, err := s.Engine.QueryContext(ctx, v, lim)
 			s.op.RUnlock()
 			if err != nil {
 				return out, err
@@ -282,7 +353,7 @@ func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
 			}
 		default:
 			s.op.Lock()
-			_, err := s.Engine.Update(st)
+			_, err := s.Engine.UpdateContext(ctx, st)
 			s.op.Unlock()
 			if err != nil {
 				return out, err
@@ -310,9 +381,23 @@ func redefinesFunctions(st sparql.Statement) bool {
 
 // Update runs a single update statement and reports affected triples.
 func (s *SSDM) Update(src string) (int, error) {
+	return s.UpdateContext(context.Background(), src)
+}
+
+// UpdateContext is Update under a context. Cancellation is honored
+// while matching the WHERE clause of DELETE/INSERT; the mutation phase
+// applies atomically once solutions are materialized (never a
+// half-applied statement). Options.QueryTimeout bounds the whole
+// statement.
+func (s *SSDM) UpdateContext(ctx context.Context, src string) (int, error) {
 	st, err := sparql.ParseStatement(src)
 	if err != nil {
 		return 0, err
+	}
+	if s.Opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Opts.QueryTimeout)
+		defer cancel()
 	}
 	s.op.Lock()
 	defer s.op.Unlock()
@@ -322,7 +407,7 @@ func (s *SSDM) Update(src string) (int, error) {
 	if redefinesFunctions(st) {
 		defer s.qcache.invalidate()
 	}
-	return s.Engine.Update(st)
+	return s.Engine.UpdateContext(ctx, st)
 }
 
 // execLoadLocked handles LOAD <source> [INTO GRAPH g]: sources are

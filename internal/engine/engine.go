@@ -157,6 +157,11 @@ type evalCtx struct {
 	graph *rdf.Graph
 	depth int // functional-view recursion guard
 
+	// guard is the cancellation/budget state of this execution; nil
+	// imposes nothing. Derived contexts share it so deadlines and
+	// budgets span nested views, GRAPH clauses and subqueries.
+	guard *queryGuard
+
 	// named restricts which named graphs GRAPH clauses may range over
 	// (the FROM NAMED dataset clause, §3.3.4); nil means all.
 	named map[rdf.IRI]bool
@@ -174,7 +179,7 @@ func (c *evalCtx) child() (*evalCtx, error) {
 	if c.depth+1 > maxCallDepth {
 		return nil, errf("function call nesting exceeds %d (recursive view?)", maxCallDepth)
 	}
-	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans()}, nil
+	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans(), guard: c.guard}, nil
 }
 
 // Results is a solution table: ordered column names plus rows aligned

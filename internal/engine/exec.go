@@ -304,6 +304,12 @@ func (c *evalCtx) matchTriple(tp sparql.TriplePattern, b Binding, yield func(Bin
 	oT := resolveNode(tp.O, b)
 
 	emit := func(s, p, o rdf.Term, withPred bool, predVar string) error {
+		// The innermost hot loop: every candidate solution passes
+		// through here, so this is where deadlines, cancellation and
+		// the bindings budget are enforced.
+		if err := c.guard.step(); err != nil {
+			return err
+		}
 		nb := b
 		owned := false
 		var okb bool
@@ -331,7 +337,7 @@ func (c *evalCtx) matchTriple(tp sparql.TriplePattern, b Binding, yield func(Bin
 	switch p := tp.Path.(type) {
 	case sparql.PathIRI:
 		var ierr error
-		c.graph.MatchTerms(sT, p.IRI, oT, func(s, _, o rdf.Term) bool {
+		c.graph.MatchTermsCtx(c.matchCtx(), sT, p.IRI, oT, func(s, _, o rdf.Term) bool {
 			if err := emit(s, nil, o, false, ""); err != nil {
 				ierr = err
 				return false
@@ -342,7 +348,7 @@ func (c *evalCtx) matchTriple(tp sparql.TriplePattern, b Binding, yield func(Bin
 	case sparql.PathVar:
 		pT := b[p.Name]
 		var ierr error
-		c.graph.MatchTerms(sT, pT, oT, func(s, pr, o rdf.Term) bool {
+		c.graph.MatchTermsCtx(c.matchCtx(), sT, pT, oT, func(s, pr, o rdf.Term) bool {
 			withPred := pT == nil
 			if err := emit(s, pr, o, withPred, p.Name); err != nil {
 				ierr = err
@@ -650,6 +656,9 @@ func (s *subSelectStep) run(c *evalCtx, b Binding, yield func(Binding) error) er
 		s.cached = res
 	}
 	for _, row := range s.cached.Rows {
+		if err := c.guard.step(); err != nil {
+			return err
+		}
 		nb := b
 		owned := false
 		ok := true
@@ -682,6 +691,9 @@ func (s *valuesStep) certainVars(map[string]bool) {}
 
 func (s *valuesStep) run(c *evalCtx, b Binding, yield func(Binding) error) error {
 	for _, row := range s.data.Rows {
+		if err := c.guard.step(); err != nil {
+			return err
+		}
 		nb := b
 		owned := false
 		ok := true
@@ -726,7 +738,7 @@ func (s *graphStep) run(c *evalCtx, b Binding, yield func(Binding) error) error 
 		if g == nil {
 			return nil
 		}
-		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans()}
+		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans(), guard: c.guard}
 		nb := b
 		if bind {
 			var ok bool

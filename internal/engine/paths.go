@@ -13,7 +13,7 @@ func (c *evalCtx) evalPath(p sparql.Path, s, o rdf.Term, yield func(s, o rdf.Ter
 	switch v := p.(type) {
 	case sparql.PathIRI:
 		var ierr error
-		c.graph.MatchTerms(s, v.IRI, o, func(ms, _, mo rdf.Term) bool {
+		c.graph.MatchTermsCtx(c.matchCtx(), s, v.IRI, o, func(ms, _, mo rdf.Term) bool {
 			if err := yield(ms, mo); err != nil {
 				ierr = err
 				return false
@@ -124,6 +124,11 @@ func (c *evalCtx) bfs(v sparql.PathRepeat, start rdf.Term, inverse bool, visit f
 	frontier := []rdf.Term{start}
 	steps := 0
 	for len(frontier) > 0 {
+		// Transitive expansion is the classic runaway: poll the guard
+		// once per frontier level and account each reached node below.
+		if err := c.guard.checkCtx(); err != nil {
+			return err
+		}
 		if c.eng.MaxPathSteps > 0 {
 			steps++
 			if steps > c.eng.MaxPathSteps {
@@ -146,6 +151,9 @@ func (c *evalCtx) bfs(v sparql.PathRepeat, start rdf.Term, inverse bool, visit f
 				}
 				if seen[reached.Key()] {
 					return nil
+				}
+				if err := c.guard.step(); err != nil {
+					return err
 				}
 				seen[reached.Key()] = true
 				next = append(next, reached)
@@ -181,7 +189,7 @@ func (c *evalCtx) evalNegated(v sparql.PathNegated, s, o rdf.Term, yield func(s,
 	}
 	if len(v.Fwd) > 0 || len(v.Inv) == 0 {
 		var ierr error
-		c.graph.MatchTerms(s, nil, o, func(ms, mp, mo rdf.Term) bool {
+		c.graph.MatchTermsCtx(c.matchCtx(), s, nil, o, func(ms, mp, mo rdf.Term) bool {
 			if inSet(v.Fwd, mp) {
 				return true
 			}
@@ -197,7 +205,7 @@ func (c *evalCtx) evalNegated(v sparql.PathNegated, s, o rdf.Term, yield func(s,
 	}
 	if len(v.Inv) > 0 {
 		var ierr error
-		c.graph.MatchTerms(o, nil, s, func(ms, mp, mo rdf.Term) bool {
+		c.graph.MatchTermsCtx(c.matchCtx(), o, nil, s, func(ms, mp, mo rdf.Term) bool {
 			if inSet(v.Inv, mp) {
 				return true
 			}
@@ -218,7 +226,7 @@ func (c *evalCtx) evalNegated(v sparql.PathNegated, s, o rdf.Term, yield func(s,
 // the active graph (the domain of zero-length paths).
 func (c *evalCtx) allNodes() []rdf.Term {
 	seen := map[string]rdf.Term{}
-	c.graph.Triples(func(s, _, o rdf.Term) bool {
+	c.graph.MatchTermsCtx(c.matchCtx(), nil, nil, nil, func(s, _, o rdf.Term) bool {
 		seen[s.Key()] = s
 		seen[o.Key()] = o
 		return true

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,27 +11,73 @@ import (
 	"scisparql/internal/sparql"
 )
 
-// Query executes a parsed query over the engine's dataset.
+// Query executes a parsed query over the engine's dataset with no
+// deadline or resource bounds.
 func (e *Engine) Query(q *sparql.Query) (*Results, error) {
-	ctx := &evalCtx{eng: e, graph: e.activeGraph(q)}
+	return e.QueryContext(context.Background(), q, Limits{})
+}
+
+// QueryContext executes a parsed query under a context and per-query
+// limits. Cancellation is cooperative: the binding-stream hot loops
+// (triple matching, property-path expansion, aggregation, projection)
+// and the graph's batched enumerations poll the context, so a
+// cancelled or timed-out query stops within one batch and returns
+// ErrQueryCancelled / ErrQueryTimeout. Panics anywhere inside
+// execution (including foreign functions) are trapped and surface as
+// ErrInternal with the stack logged.
+func (e *Engine) QueryContext(ctx context.Context, q *sparql.Query, lim Limits) (res *Results, err error) {
+	defer trapPanic("query", &err)
+	ctx, cancel := limitCtx(ctx, lim)
+	defer cancel()
+	gq := newQueryGuard(ctx, lim)
+	if err := gq.checkCtx(); err != nil {
+		return nil, err
+	}
+	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq}
 	if len(q.FromNamed) > 0 {
-		ctx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
+		ectx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
 		for _, n := range q.FromNamed {
-			ctx.named[n] = true
+			ectx.named[n] = true
 		}
 	}
 	switch q.Form {
 	case sparql.FormSelect:
-		return e.execSelect(ctx, q, Binding{})
+		res, err = e.execSelect(ectx, q, Binding{})
 	case sparql.FormAsk:
-		return e.execAsk(ctx, q)
+		res, err = e.execAsk(ectx, q)
 	case sparql.FormConstruct:
-		return e.execConstruct(ctx, q)
+		res, err = e.execConstruct(ectx, q)
 	case sparql.FormDescribe:
-		return e.execDescribe(ctx, q)
+		res, err = e.execDescribe(ectx, q)
 	default:
 		return nil, fmt.Errorf("engine: unknown query form")
 	}
+	if err != nil {
+		return nil, err
+	}
+	return capResultRows(res, lim)
+}
+
+// limitCtx applies Limits.Timeout on top of the caller's context; the
+// earlier deadline wins.
+func limitCtx(ctx context.Context, lim Limits) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if lim.Timeout > 0 {
+		return context.WithTimeout(ctx, lim.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// capResultRows enforces the result-row budget at the query boundary:
+// exceeding it is an error, not a silent truncation, so a client can
+// tell "the data has N rows" apart from "the query was cut off".
+func capResultRows(res *Results, lim Limits) (*Results, error) {
+	if lim.MaxResultRows > 0 && res != nil && len(res.Rows) > lim.MaxResultRows {
+		return nil, fmt.Errorf("%w: result rows exceed %d", ErrResourceLimit, lim.MaxResultRows)
+	}
+	return res, nil
 }
 
 // QueryString parses and executes a query.
@@ -45,17 +92,33 @@ func (e *Engine) QueryString(src string) (*Results, error) {
 // QueryWith executes a SELECT query with variables pre-bound — the
 // execution path of parameterized views and prepared statements.
 func (e *Engine) QueryWith(q *sparql.Query, initial Binding) (*Results, error) {
+	return e.QueryWithContext(context.Background(), q, initial, Limits{})
+}
+
+// QueryWithContext is QueryWith under a context and per-query limits.
+func (e *Engine) QueryWithContext(ctx context.Context, q *sparql.Query, initial Binding, lim Limits) (res *Results, err error) {
 	if q.Form != sparql.FormSelect {
 		return nil, fmt.Errorf("engine: parameterized execution requires a SELECT query")
 	}
-	ctx := &evalCtx{eng: e, graph: e.activeGraph(q)}
+	defer trapPanic("query", &err)
+	ctx, cancel := limitCtx(ctx, lim)
+	defer cancel()
+	gq := newQueryGuard(ctx, lim)
+	if err := gq.checkCtx(); err != nil {
+		return nil, err
+	}
+	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq}
 	if len(q.FromNamed) > 0 {
-		ctx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
+		ectx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
 		for _, n := range q.FromNamed {
-			ctx.named[n] = true
+			ectx.named[n] = true
 		}
 	}
-	return e.execSelect(ctx, q, initial)
+	res, err = e.execSelect(ectx, q, initial)
+	if err != nil {
+		return nil, err
+	}
+	return capResultRows(res, lim)
 }
 
 // activeGraph resolves the FROM clause: no FROM uses the default
@@ -212,6 +275,9 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 	}
 	rows := make([]outRow, 0, len(solutions))
 	for _, b := range solutions {
+		if err := ctx.guard.tick(); err != nil {
+			return nil, err
+		}
 		cells := make([]rdf.Term, len(vars))
 		extended := b
 		cloned := false
@@ -525,6 +591,11 @@ func (e *Engine) aggregateSolutions(ctx *evalCtx, q *sparql.Query, initial Bindi
 	var orderKeys []string
 
 	err := ctx.whereSolutions(q, initial, func(b Binding) error {
+		// Cancellation check per folded solution: aggregation consumes
+		// the full solution stream, so it must stop promptly too.
+		if err := ctx.guard.tick(); err != nil {
+			return err
+		}
 		// Group key.
 		var kb strings.Builder
 		keyVals := make([]rdf.Term, len(q.GroupBy))

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"scisparql/internal/rdf"
@@ -11,13 +12,31 @@ import (
 // handled here — file access policy belongs to the database manager
 // (package core), which dispatches it before delegating.
 func (e *Engine) Update(st sparql.Statement) (int, error) {
+	return e.UpdateContext(context.Background(), st)
+}
+
+// UpdateContext is Update under a context: the WHERE evaluation of
+// DELETE/INSERT honors cancellation and panics are trapped into
+// ErrInternal. The mutation phase itself is not interruptible — once
+// solutions are materialized, the statement applies atomically under
+// the caller's write lock rather than half-applying.
+func (e *Engine) UpdateContext(ctx context.Context, st sparql.Statement) (n int, err error) {
+	defer trapPanic("update", &err)
+	gq := newQueryGuard(ctx, Limits{})
+	if err := gq.checkCtx(); err != nil {
+		return 0, err
+	}
+	return e.update(gq, st)
+}
+
+func (e *Engine) update(gq *queryGuard, st sparql.Statement) (int, error) {
 	switch v := st.(type) {
 	case *sparql.InsertData:
 		return e.insertData(v)
 	case *sparql.DeleteData:
 		return e.deleteData(v)
 	case *sparql.Modify:
-		return e.modify(v)
+		return e.modify(gq, v)
 	case *sparql.Clear:
 		return e.clear(v)
 	case *sparql.DefineFunction:
@@ -111,9 +130,9 @@ func (e *Engine) deleteData(v *sparql.DeleteData) (int, error) {
 // modify implements DELETE/INSERT ... WHERE: solutions are fully
 // materialized first, then deletions and insertions are applied — the
 // standard SPARQL Update snapshot semantics.
-func (e *Engine) modify(v *sparql.Modify) (int, error) {
+func (e *Engine) modify(gq *queryGuard, v *sparql.Modify) (int, error) {
 	g := e.targetGraph(v.Graph)
-	ctx := &evalCtx{eng: e, graph: g}
+	ctx := &evalCtx{eng: e, graph: g, guard: gq}
 	var sols []Binding
 	if v.Where != nil {
 		err := ctx.evalGroup(v.Where, Binding{}, func(b Binding) error {

@@ -29,7 +29,10 @@ const (
 	OpStats       = "stats"        // server statistics snapshot -> Stats
 )
 
-// Request is one client request.
+// Request is one client request. The guard fields bound the request's
+// execution server-side; zero values fall back to the server's
+// configured defaults (they can tighten the defaults, never loosen
+// them).
 type Request struct {
 	Op       string `json:"op"`
 	Text     string `json:"text,omitempty"`
@@ -37,7 +40,37 @@ type Request struct {
 	Subject  string `json:"subject,omitempty"`
 	Property string `json:"property,omitempty"`
 	Array    string `json:"array,omitempty"` // base64(array.Marshal)
+
+	// TimeoutMS is the wall-clock deadline for this request in
+	// milliseconds (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRows caps result rows (0 = server default).
+	MaxRows int `json:"max_rows,omitempty"`
+	// MaxBindings caps intermediate bindings (0 = server default).
+	MaxBindings int64 `json:"max_bindings,omitempty"`
 }
+
+// Error codes carried in Response.Code so clients can classify
+// failures without parsing message text.
+const (
+	// CodeError is a generic request failure (parse error, unknown
+	// graph, bad payload, ...).
+	CodeError = "error"
+	// CodeTimeout reports that the query exceeded its deadline.
+	CodeTimeout = "timeout"
+	// CodeResourceLimit reports that a result-row or bindings budget
+	// was exceeded.
+	CodeResourceLimit = "resource_limit"
+	// CodeCancelled reports that the request's context was cancelled
+	// (client disconnect, server shutdown).
+	CodeCancelled = "cancelled"
+	// CodeInternal reports a trapped server-side panic; the server
+	// keeps serving.
+	CodeInternal = "internal"
+	// CodeShutdown reports that the server is draining and no longer
+	// accepts work.
+	CodeShutdown = "shutdown"
+)
 
 // Term is the JSON encoding of one RDF term.
 type Term struct {
@@ -54,6 +87,7 @@ type Term struct {
 type Response struct {
 	OK      bool     `json:"ok"`
 	Error   string   `json:"error,omitempty"`
+	Code    string   `json:"code,omitempty"` // error class, one of the Code constants
 	Vars    []string `json:"vars,omitempty"`
 	Rows    [][]Term `json:"rows,omitempty"`
 	Bool    bool     `json:"bool,omitempty"`

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -347,6 +348,16 @@ func putIDBuf(p *[]ID, buf []ID) {
 // bounded batches (see the Graph type comment for the consistency
 // contract).
 func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
+	g.MatchCtx(nil, s, p, o, yield)
+}
+
+// MatchCtx is Match with cooperative cancellation: between batches —
+// i.e. at every point where the read lock is dropped — the context is
+// polled and the enumeration stops early when it is done. A nil
+// context imposes nothing. The truncated enumeration is not an error
+// at this layer; callers that care (the query engine's guards) detect
+// the cancellation themselves.
+func (g *Graph) MatchCtx(ctx context.Context, s, p, o ID, yield func(Triple) bool) {
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		g.mu.RLock()
@@ -362,14 +373,19 @@ func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
 	case s != 0 && o != 0:
 		g.matchInner(idxOSP, o, s, Triple{S: s, O: o}, 1, yield)
 	case s != 0:
-		g.matchNested(idxSPO, s, Triple{S: s}, 1, 2, yield)
+		g.matchNested(ctx, idxSPO, s, Triple{S: s}, 1, 2, yield)
 	case p != 0:
-		g.matchNested(idxPSO, p, Triple{P: p}, 0, 2, yield)
+		g.matchNested(ctx, idxPSO, p, Triple{P: p}, 0, 2, yield)
 	case o != 0:
-		g.matchNested(idxOSP, o, Triple{O: o}, 0, 1, yield)
+		g.matchNested(ctx, idxOSP, o, Triple{O: o}, 0, 1, yield)
 	default:
-		g.matchAll(yield)
+		g.matchAll(ctx, yield)
 	}
+}
+
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // matchInner enumerates a bound-pair pattern: the matches are exactly
@@ -395,7 +411,7 @@ func (g *Graph) matchInner(k idxKind, a, b ID, base Triple, fillPos int, yield f
 // snapshotted once (IDs are never reused, so they stay resolvable),
 // then each outer key's inner set is gathered batch-by-batch under the
 // read lock and yielded outside it.
-func (g *Graph) matchNested(k idxKind, a ID, base Triple, outerPos, innerPos int, yield func(Triple) bool) {
+func (g *Graph) matchNested(ctx context.Context, k idxKind, a ID, base Triple, outerPos, innerPos int, yield func(Triple) bool) {
 	keysp := idPool.Get().(*[]ID)
 	keys := (*keysp)[:0]
 	g.mu.RLock()
@@ -408,6 +424,9 @@ func (g *Graph) matchNested(k idxKind, a ID, base Triple, outerPos, innerPos int
 	buf := (*bufp)[:0]
 	stopped := false
 	for i := 0; i < len(keys) && !stopped; {
+		if ctxDone(ctx) {
+			break
+		}
 		buf = buf[:0]
 		g.mu.RLock()
 		m1 := g.index(k)[a]
@@ -431,7 +450,7 @@ func (g *Graph) matchNested(k idxKind, a ID, base Triple, outerPos, innerPos int
 }
 
 // matchAll enumerates the whole graph, batched by subject.
-func (g *Graph) matchAll(yield func(Triple) bool) {
+func (g *Graph) matchAll(ctx context.Context, yield func(Triple) bool) {
 	keysp := idPool.Get().(*[]ID)
 	keys := (*keysp)[:0]
 	g.mu.RLock()
@@ -444,6 +463,9 @@ func (g *Graph) matchAll(yield func(Triple) bool) {
 	buf := (*bufp)[:0]
 	stopped := false
 	for i := 0; i < len(keys) && !stopped; {
+		if ctxDone(ctx) {
+			break
+		}
 		buf = buf[:0]
 		g.mu.RLock()
 		for i < len(keys) && len(buf) < matchBatchSize {
@@ -470,6 +492,12 @@ func (g *Graph) matchAll(yield func(Triple) bool) {
 // MatchTerms is Match with term-valued pattern positions; nil is a
 // wildcard. Unknown terms match nothing.
 func (g *Graph) MatchTerms(s, p, o Term, yield func(s, p, o Term) bool) {
+	g.MatchTermsCtx(nil, s, p, o, yield)
+}
+
+// MatchTermsCtx is MatchTerms with the cooperative cancellation of
+// MatchCtx.
+func (g *Graph) MatchTermsCtx(ctx context.Context, s, p, o Term, yield func(s, p, o Term) bool) {
 	var si, pi, oi ID
 	var ok bool
 	if s != nil {
@@ -487,7 +515,7 @@ func (g *Graph) MatchTerms(s, p, o Term, yield func(s, p, o Term) bool) {
 			return
 		}
 	}
-	g.Match(si, pi, oi, func(t Triple) bool {
+	g.MatchCtx(ctx, si, pi, oi, func(t Triple) bool {
 		return yield(g.TermOf(t.S), g.TermOf(t.P), g.TermOf(t.O))
 	})
 }

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scisparql/internal/core"
+	"scisparql/internal/engine"
+	"scisparql/internal/rdf"
+	"scisparql/internal/ssdmclient"
+)
+
+// crossProduct3 enumerates n^3 bindings — the runaway query of the
+// guard tests.
+const crossProduct3 = `SELECT * WHERE {
+  ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . ?c <http://ex/p> ?z }`
+
+// startBigServer serves a dataset with n fuel triples and returns the
+// server plus a connected-client factory.
+func startBigServer(t *testing.T, n int) (*Server, func() *ssdmclient.Client) {
+	t.Helper()
+	db := core.Open()
+	for i := 0; i < n; i++ {
+		db.Dataset.Default.Add(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), rdf.IRI("http://ex/p"), rdf.Integer(i))
+	}
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, func() *ssdmclient.Client {
+		cl, err := ssdmclient.Connect(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+}
+
+// TestWireDeadlineOnCrossProduct is the acceptance scenario: a SELECT
+// over a 3-way unbounded cross product with a 100ms per-request
+// deadline comes back as a timeout in well under 500ms — while
+// concurrent well-behaved queries on other connections complete
+// normally.
+func TestWireDeadlineOnCrossProduct(t *testing.T) {
+	_, connect := startBigServer(t, 300)
+
+	// Healthy traffic on four other connections, running throughout.
+	var wg sync.WaitGroup
+	healthyErr := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		cl := connect()
+		wg.Add(1)
+		go func(cl *ssdmclient.Client) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				res, err := cl.Query(`SELECT * WHERE { ?s <http://ex/p> ?v }`)
+				if err != nil {
+					healthyErr <- err
+					return
+				}
+				if res.Len() != 300 {
+					healthyErr <- fmt.Errorf("healthy query saw %d rows", res.Len())
+					return
+				}
+			}
+		}(cl)
+	}
+
+	cl := connect()
+	start := time.Now()
+	_, err := cl.QueryGuarded(context.Background(), crossProduct3,
+		ssdmclient.Guards{Timeout: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if !errors.Is(err, engine.ErrQueryTimeout) {
+		t.Fatalf("want ErrQueryTimeout over the wire, got %v", err)
+	}
+	var se *ssdmclient.ServerError
+	if !errors.As(err, &se) || se.Code != "timeout" {
+		t.Fatalf("want wire code %q, got %+v", "timeout", err)
+	}
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("timeout response took %v, want <500ms", elapsed)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-healthyErr:
+		t.Fatalf("concurrent healthy query failed: %v", err)
+	default:
+	}
+}
+
+// TestWireResourceLimit: per-request row and bindings caps come back
+// with the resource_limit code.
+func TestWireResourceLimit(t *testing.T) {
+	_, connect := startBigServer(t, 100)
+	cl := connect()
+	_, err := cl.QueryGuarded(context.Background(),
+		`SELECT * WHERE { ?s <http://ex/p> ?v }`, ssdmclient.Guards{MaxRows: 10})
+	if !errors.Is(err, engine.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit, got %v", err)
+	}
+	_, err = cl.QueryGuarded(context.Background(), crossProduct3,
+		ssdmclient.Guards{MaxBindings: 1000})
+	if !errors.Is(err, engine.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit for bindings budget, got %v", err)
+	}
+}
+
+// TestForeignPanicIsolated is the second acceptance scenario: a panic
+// inside a registered foreign function yields an error response with
+// the internal code, and the server keeps serving — on the same
+// connection and on new ones.
+func TestForeignPanicIsolated(t *testing.T) {
+	db := core.Open()
+	db.Dataset.Default.Add(rdf.IRI("http://ex/s"), rdf.IRI("http://ex/p"), rdf.Integer(1))
+	db.RegisterForeign("boom", 1, 1, func(args []rdf.Term) (rdf.Term, error) {
+		panic("deliberate test panic")
+	})
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := ssdmclient.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	_, err = cl.Query(`SELECT (boom(?v) AS ?b) WHERE { ?s <http://ex/p> ?v }`)
+	if !errors.Is(err, engine.ErrInternal) {
+		t.Fatalf("want ErrInternal from panicking function, got %v", err)
+	}
+	// Same connection still serves.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server died after trapped panic: %v", err)
+	}
+	res, err := cl.Query(`SELECT * WHERE { ?s <http://ex/p> ?v }`)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("query after panic: %v", err)
+	}
+	// And new connections are accepted.
+	cl2, err := ssdmclient.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.Ping(); err != nil {
+		t.Fatalf("new connection after panic: %v", err)
+	}
+}
+
+// TestUnencodableTermAllOrNothing: a result containing a term with no
+// wire representation (a closure) is a pure error response — never OK
+// with partial rows.
+func TestUnencodableTermAllOrNothing(t *testing.T) {
+	_, connect := startBigServer(t, 3)
+	cl := connect()
+	cl.SetReconnect(0, 0) // a partial response would desync; keep it visible
+	_, err := cl.Query(`SELECT (abs(_) AS ?f) WHERE { ?s <http://ex/p> ?v }`)
+	if err == nil {
+		t.Fatal("want encoding error for closure-valued result")
+	}
+	if !strings.Contains(err.Error(), "cannot encode") {
+		t.Fatalf("want encode failure, got %v", err)
+	}
+	// The stream stayed aligned (the error was a well-formed response,
+	// not a truncated row dump): the connection keeps working.
+	res, err := cl.Query(`SELECT * WHERE { ?s <http://ex/p> ?v }`)
+	if err != nil || res.Len() != 3 {
+		t.Fatalf("connection unusable after encode error: %v", err)
+	}
+}
+
+// encodeRows unit coverage: one bad term anywhere fails the whole
+// result with zero rows committed.
+func TestEncodeRowsAllOrNothing(t *testing.T) {
+	rows := [][]rdf.Term{
+		{rdf.Integer(1)},
+		{engine.Closure{Fn: "abs", Bound: []rdf.Term{nil}, Holes: []int{0}}},
+	}
+	out, err := encodeRows(rows)
+	if err == nil {
+		t.Fatal("want error for unencodable term")
+	}
+	if out != nil {
+		t.Fatalf("rows must not be partially committed, got %d", len(out))
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown cancels an in-flight runaway
+// query (its client receives a cancellation error response, not a cut
+// stream), refuses new connections, and returns once drained — well
+// before the drain deadline.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, connect := startBigServer(t, 300)
+	cl := connect()
+	cl.SetReconnect(0, 0) // the server is going away; don't redial
+
+	type result struct{ err error }
+	got := make(chan result, 1)
+	go func() {
+		_, err := cl.QueryContext(context.Background(), crossProduct3)
+		got <- result{err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the query reach the engine
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("drain took %v", elapsed)
+	}
+
+	r := <-got
+	if !errors.Is(r.err, engine.ErrQueryCancelled) {
+		t.Fatalf("in-flight query should see cancellation, got %v", r.err)
+	}
+}

@@ -6,11 +6,17 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"log"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scisparql/internal/core"
 	"scisparql/internal/engine"
@@ -25,13 +31,29 @@ import (
 // and loads are exclusive. Requests within one connection are handled
 // in arrival order, preserving read-your-writes semantics for a client
 // that pipelines an update before a query.
+//
+// Failure containment: every request executes under a context derived
+// from the server's base context plus any per-request deadline, so
+// shutdown and timeouts cancel in-flight queries cooperatively; panics
+// inside request handling are trapped per request (stack logged, error
+// response sent) and can never take down the process.
 type Server struct {
 	DB *core.SSDM
 
-	mu       sync.Mutex // guards listener and closed
+	mu       sync.Mutex // guards listener, closed and conns
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+	conns    map[net.Conn]struct{}
+
+	// baseCtx parents every request context; baseCancel aborts all
+	// in-flight work on shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// draining is set when Shutdown/Close begins: connections finish
+	// the request in flight, then close instead of reading the next.
+	draining atomic.Bool
 }
 
 // ErrClosed is returned by Listen on a server that has been Closed.
@@ -39,7 +61,8 @@ var ErrClosed = errors.New("server: closed")
 
 // New creates a server over an SSDM instance.
 func New(db *core.SSDM) *Server {
-	return &Server{DB: db}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{DB: db, conns: make(map[net.Conn]struct{}), baseCtx: ctx, baseCancel: cancel}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
@@ -64,20 +87,77 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for active connections. It is
-// idempotent; the server cannot be reused afterwards.
+// Shutdown gracefully stops the server: it stops accepting new
+// connections, cancels the contexts of in-flight queries (they return
+// cancellation errors to their clients), and lets connections finish
+// writing the response in flight before closing them. It waits for
+// the drain to complete or for ctx to expire, whichever comes first;
+// on expiry remaining connections are force-closed and ctx's error is
+// returned. The server cannot be reused afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ln := s.beginShutdown()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	// Unblock connections idle in Decode: an immediately expiring read
+	// deadline fails the pending (or next) read while leaving writes —
+	// the response being flushed to a draining client — unaffected.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceCloseConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: the listener is closed,
+// in-flight query contexts are cancelled, and every connection is
+// force-closed. It is idempotent; the server cannot be reused
+// afterwards.
 func (s *Server) Close() error {
+	ln := s.beginShutdown()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.forceCloseConns()
+	s.wg.Wait()
+	return err
+}
+
+// beginShutdown marks the server closed and draining, cancels
+// in-flight request contexts, and detaches the listener (returned for
+// the caller to close outside the lock).
+func (s *Server) beginShutdown() net.Listener {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
 	s.listener = nil
 	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
+	s.draining.Store(true)
+	s.baseCancel()
+	return ln
+}
+
+func (s *Server) forceCloseConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
 	}
-	s.wg.Wait()
-	return err
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -87,28 +167,54 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.serve(conn)
 		}()
 	}
 }
 
+// serve runs one connection's request loop. Responses go through a
+// buffered writer flushed once per response, so a row batch costs one
+// syscall instead of one per JSON encoder write.
 func (s *Server) serve(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
 	for {
 		var req protocol.Request
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				_ = enc.Encode(protocol.Response{OK: false, Error: "bad request: " + err.Error()})
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.draining.Load() {
+				_ = enc.Encode(protocol.Response{OK: false, Error: "bad request: " + err.Error(), Code: protocol.CodeError})
+				_ = bw.Flush()
 			}
 			return
 		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if s.draining.Load() {
+			// Finish the request in flight, then drain: the client gets
+			// its response and a clean EOF instead of a mid-frame cut.
 			return
 		}
 	}
@@ -117,19 +223,39 @@ func (s *Server) serve(conn net.Conn) {
 // handle executes one request against the SSDM instance. It takes no
 // server-level lock: concurrency control lives in core.SSDM, whose
 // reader-writer lock lets queries from many connections run in
-// parallel.
-func (s *Server) handle(req *protocol.Request) *protocol.Response {
+// parallel. A panic while handling becomes an error response with the
+// stack logged — one hostile or buggy request never kills the server.
+func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("server: panic handling %q: %v\n%s", req.Op, r, debug.Stack())
+			resp = &protocol.Response{
+				OK:    false,
+				Error: fmt.Sprintf("internal error handling %s: %v", req.Op, r),
+				Code:  protocol.CodeInternal,
+			}
+		}
+	}()
+	ctx := s.baseCtx
+	if err := ctx.Err(); err != nil {
+		return &protocol.Response{OK: false, Error: "server shutting down", Code: protocol.CodeShutdown}
+	}
+	lim := engine.Limits{
+		MaxResultRows: req.MaxRows,
+		MaxBindings:   req.MaxBindings,
+		Timeout:       time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
 	switch req.Op {
 	case protocol.OpPing:
 		return &protocol.Response{OK: true}
 	case protocol.OpQuery:
-		res, err := s.DB.Query(req.Text)
+		res, err := s.DB.QueryLimits(ctx, req.Text, lim)
 		if err != nil {
 			return fail(err)
 		}
 		return encodeResults(res)
 	case protocol.OpExecute:
-		results, err := s.DB.Execute(req.Text)
+		results, err := s.DB.ExecuteContext(ctx, req.Text)
 		if err != nil {
 			return fail(err)
 		}
@@ -138,7 +264,7 @@ func (s *Server) handle(req *protocol.Request) *protocol.Response {
 		}
 		return encodeResults(results[len(results)-1])
 	case protocol.OpUpdate:
-		n, err := s.DB.Update(req.Text)
+		n, err := s.DB.UpdateContext(ctx, req.Text)
 		if err != nil {
 			return fail(err)
 		}
@@ -178,29 +304,65 @@ func (s *Server) handle(req *protocol.Request) *protocol.Response {
 			Triples:      s.DB.Dataset.Default.Size(),
 		}}
 	default:
-		return &protocol.Response{OK: false, Error: "unknown op " + req.Op}
+		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}
 	}
 }
 
 func fail(err error) *protocol.Response {
-	return &protocol.Response{OK: false, Error: err.Error()}
+	return &protocol.Response{OK: false, Error: err.Error(), Code: errorCode(err)}
 }
 
-func encodeResults(res *engine.Results) *protocol.Response {
-	out := &protocol.Response{OK: true, Vars: res.Vars, Bool: res.Bool}
-	for _, row := range res.Rows {
-		wire := make([]protocol.Term, len(row))
-		for i, t := range row {
-			wt, err := protocol.EncodeTerm(t)
-			if err != nil {
-				return fail(err)
-			}
-			wire[i] = wt
-		}
-		out.Rows = append(out.Rows, wire)
+// errorCode maps the engine's typed errors to wire error codes so
+// clients can distinguish "your query timed out" from "your query is
+// malformed" without parsing message text.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrQueryTimeout) || errors.Is(err, context.DeadlineExceeded):
+		return protocol.CodeTimeout
+	case errors.Is(err, engine.ErrResourceLimit):
+		return protocol.CodeResourceLimit
+	case errors.Is(err, engine.ErrQueryCancelled) || errors.Is(err, context.Canceled):
+		return protocol.CodeCancelled
+	case errors.Is(err, engine.ErrInternal):
+		return protocol.CodeInternal
+	default:
+		return protocol.CodeError
 	}
+}
+
+// encodeResults converts a solution table to its wire form. All rows
+// are encoded before the response is assembled, so an encoding failure
+// on any row yields a pure error response — never an OK response with
+// rows partially committed.
+func encodeResults(res *engine.Results) *protocol.Response {
+	rows, err := encodeRows(res.Rows)
+	if err != nil {
+		return fail(err)
+	}
+	out := &protocol.Response{OK: true, Vars: res.Vars, Bool: res.Bool, Rows: rows}
 	if res.Graph != nil {
 		out.Count = res.Graph.Size()
 	}
 	return out
+}
+
+// encodeRows encodes every row or none: the first term that cannot be
+// represented on the wire fails the whole result.
+func encodeRows(rows [][]rdf.Term) ([][]protocol.Term, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([][]protocol.Term, 0, len(rows))
+	for _, row := range rows {
+		wire := make([]protocol.Term, len(row))
+		for i, t := range row {
+			wt, err := protocol.EncodeTerm(t)
+			if err != nil {
+				return nil, err
+			}
+			wire[i] = wt
+		}
+		out = append(out, wire)
+	}
+	return out, nil
 }

@@ -1,0 +1,41 @@
+package sparql
+
+import "testing"
+
+// FuzzParseQuery asserts the query parser never panics: arbitrary
+// input must come back as a parse tree or an error, even when the
+// server-side panic trap would contain a crash — parsers face raw
+// network input and get no second chance.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`PREFIX ex: <http://ex/> SELECT ?v WHERE { ex:s ex:p ?v . FILTER(?v > 3) }`,
+		`SELECT (asum(?a[1,:]) AS ?row) WHERE { ?m <http://ex/data> ?a }`,
+		`SELECT ?n (COUNT(?f) AS ?c) WHERE { ?p <http://ex/knows> ?f ; <http://ex/name> ?n }
+		 GROUP BY ?n HAVING (COUNT(?f) > 1) ORDER BY DESC(?c) LIMIT 3`,
+		`ASK { ?s a <http://ex/Person> }`,
+		`CONSTRUCT { ?s <http://ex/q> ?o } WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?x WHERE { ?x <http://ex/knows>+ ?y . FILTER NOT EXISTS { ?y a <http://ex/Robot> } }`,
+		`SELECT ?s WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 2 } UNION { ?s a ?c } }`,
+		`SELECT (abs(_) AS ?f) WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { VALUES (?x ?y) { (1 2) (3 4) } OPTIONAL { ?x <http://ex/p> ?z } }`,
+		`INSERT DATA { <http://ex/s> <http://ex/p> 1 , 2 }`,
+		`DELETE { ?s ?p ?o } WHERE { ?s ?p ?o . FILTER(?o < 0) }`,
+		`DEFINE FUNCTION ex:sq(?x) AS ?x * ?x`,
+		`SELECT ?v WHERE { GRAPH <http://ex/g> { ?s ?p ?v } }`,
+		"SELECT * WHERE { ?s ?p \"litt\\u00e9ral\"@fr }",
+		`SELECT * WHERE { ?s ?p '''multi
+		line''' }`,
+		`SELECT * WHERE { ?a (<http://ex/p>|^<http://ex/q>)* ?b }`,
+		`SELECT * WHERE { ?s ?p ?a . FILTER(?a[2:4, ::2] > 0) }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Errors are expected; panics are the bug under test. Both
+		// entry points must be total.
+		_, _ = ParseQuery(src)
+		_, _ = ParseAll(src)
+	})
+}

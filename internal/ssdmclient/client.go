@@ -8,6 +8,7 @@ package ssdmclient
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"scisparql/internal/array"
+	"scisparql/internal/engine"
 	"scisparql/internal/protocol"
 	"scisparql/internal/rdf"
 )
@@ -26,19 +28,39 @@ import (
 // The protocol is a framed JSON stream with no request IDs, so after a
 // transport-level encode or decode failure the stream may be
 // desynchronized (a partial frame on the wire would pair responses
-// with the wrong requests). The client therefore marks itself broken
-// on the first such failure, closes the connection, and fails every
-// subsequent call fast with an error wrapping the original cause.
-// Server-reported errors (resp.OK == false) leave the stream aligned
-// and do not break the client.
+// with the wrong requests). The client marks itself broken on such a
+// failure and closes the connection — but unlike a hard failure, a
+// broken client heals: the next call redials the server (any
+// operation is safe to issue on a fresh connection, since the broken
+// request was never delivered on it), and idempotent operations
+// (Ping, Query, Stats) additionally retry with exponential backoff
+// when the failure happened mid-round-trip. Non-idempotent operations
+// (Update, StoreArray, ...) never auto-retry after a send: the server
+// may have applied them. Server-reported errors (resp.OK == false)
+// leave the stream aligned and neither break the client nor trigger
+// reconnects.
 type Client struct {
 	mu      sync.Mutex
+	addr    string
 	conn    net.Conn
 	enc     *json.Encoder
 	dec     *json.Decoder
 	timeout time.Duration
 	broken  error // first transport failure; nil while usable
+
+	// Reconnect policy (SetReconnect): attempts is the total number of
+	// tries per idempotent call; backoff is the first retry delay,
+	// doubling per retry.
+	attempts int
+	backoff  time.Duration
 }
+
+// Default reconnect policy: up to 3 tries per idempotent call, with
+// 50ms → 100ms backoff between them.
+const (
+	defaultAttempts = 3
+	defaultBackoff  = 50 * time.Millisecond
+)
 
 // Connect dials an SSDM server.
 func Connect(addr string) (*Client, error) {
@@ -46,37 +68,172 @@ func Connect(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}, nil
+	c := &Client{addr: addr, attempts: defaultAttempts, backoff: defaultBackoff}
+	c.install(conn)
+	return c, nil
+}
+
+// install wires a fresh connection into the client. Caller holds c.mu
+// (or is the constructor).
+func (c *Client) install(conn net.Conn) {
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.broken = nil
 }
 
 // SetTimeout bounds each subsequent round trip: the deadline covers
 // writing the request and reading the response. Zero (the default)
-// means no deadline. A timed-out round trip breaks the client like any
-// other transport failure, since the response may still be in flight.
+// means no deadline. A timed-out round trip breaks the connection like
+// any other transport failure (the response may still be in flight),
+// after which the reconnect policy applies.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.timeout = d
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req *protocol.Request) (*protocol.Response, error) {
+// SetReconnect configures the automatic reconnect policy: attempts is
+// the total number of tries an idempotent call may use (1 = never
+// retry after a failure mid-call, but still redial a known-broken
+// connection at call start); backoff is the delay before the first
+// retry, doubling on each subsequent one. attempts <= 0 disables
+// reconnection entirely, restoring fail-fast semantics: once broken,
+// every call fails with the original cause.
+func (c *Client) SetReconnect(attempts int, backoff time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken != nil {
-		return nil, fmt.Errorf("ssdm: connection broken by earlier failure: %w", c.broken)
+	c.attempts = attempts
+	c.backoff = backoff
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = fmt.Errorf("ssdm: client closed")
+	c.attempts = 0 // closed is deliberate: never auto-redial
+	return c.conn.Close()
+}
+
+// ServerError is a failure reported by the server with the stream
+// still aligned. Its Code (one of the protocol.Code constants) makes
+// it classifiable with errors.Is against the engine's typed errors:
+//
+//	errors.Is(err, engine.ErrQueryTimeout)  // code "timeout"
+//	errors.Is(err, engine.ErrResourceLimit) // code "resource_limit"
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return "ssdm: " + e.Msg }
+
+// Is maps wire error codes back onto the engine's sentinel errors.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case engine.ErrQueryTimeout:
+		return e.Code == protocol.CodeTimeout
+	case engine.ErrResourceLimit:
+		return e.Code == protocol.CodeResourceLimit
+	case engine.ErrQueryCancelled:
+		return e.Code == protocol.CodeCancelled
+	case engine.ErrInternal:
+		return e.Code == protocol.CodeInternal
 	}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, c.breakConn(err)
+	return false
+}
+
+// Guards are per-request execution bounds shipped with a query. Zero
+// fields defer to the server's configured defaults; non-zero fields
+// can tighten them, never loosen.
+type Guards struct {
+	Timeout     time.Duration // wall-clock deadline for the request
+	MaxRows     int           // cap on result rows
+	MaxBindings int64         // cap on intermediate bindings
+}
+
+func (g Guards) apply(req *protocol.Request) {
+	req.TimeoutMS = int64(g.Timeout / time.Millisecond)
+	req.MaxRows = g.MaxRows
+	req.MaxBindings = g.MaxBindings
+}
+
+// roundTrip issues one request and reads its response, redialing and
+// retrying per the reconnect policy. idempotent marks requests that
+// are safe to re-send after a mid-call transport failure.
+func (c *Client) roundTrip(ctx context.Context, req *protocol.Request, idempotent bool) (*protocol.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tries := c.attempts
+	if tries < 1 {
+		tries = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < tries; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff before each retry.
+			if err := sleepCtx(ctx, c.backoff<<(attempt-1)); err != nil {
+				return nil, ctxError(ctx)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, ctxError(ctx)
+		}
+		if c.broken != nil {
+			// The request has not been sent on this connection, so a
+			// redial is safe for any operation — but only when the
+			// policy allows reconnection at all.
+			if c.attempts <= 0 {
+				return nil, fmt.Errorf("ssdm: connection broken by earlier failure: %w", c.broken)
+			}
+			if err := c.redial(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.attemptLocked(ctx, req)
+		if err == nil {
+			if !resp.OK {
+				return nil, &ServerError{Code: resp.Code, Msg: resp.Error}
+			}
+			return resp, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The transport error is collateral of our own deadline
+			// poke or cancellation; report the context cause.
+			return nil, ctxError(ctx)
+		}
+		lastErr = err
+		if !idempotent {
+			// The request may have reached the server; re-sending could
+			// apply it twice. Leave the client broken (a later call
+			// redials) and surface the failure.
+			return nil, err
 		}
 	}
+	return nil, fmt.Errorf("ssdm: giving up after %d attempts: %w", tries, lastErr)
+}
+
+// attemptLocked performs one encode/decode round trip on the current
+// connection, breaking it on transport failure. Caller holds c.mu.
+func (c *Client) attemptLocked(ctx context.Context, req *protocol.Request) (*protocol.Response, error) {
+	deadline := time.Time{}
+	if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, c.breakConn(err)
+	}
+	// Mid-round-trip cancellation: poke the connection deadline so a
+	// blocked read returns promptly instead of waiting out the server.
+	stop := context.AfterFunc(ctx, func() {
+		_ = c.conn.SetDeadline(time.Now())
+	})
+	defer stop()
 	if err := c.enc.Encode(req); err != nil {
 		return nil, c.breakConn(err)
 	}
@@ -84,31 +241,66 @@ func (c *Client) roundTrip(req *protocol.Request) (*protocol.Response, error) {
 	if err := c.dec.Decode(&resp); err != nil {
 		return nil, c.breakConn(err)
 	}
-	if !resp.OK {
-		return nil, fmt.Errorf("ssdm: %s", resp.Error)
-	}
 	return &resp, nil
 }
 
-// breakConn records the first transport failure and closes the
-// connection so in-flight server work cannot write into a stream
-// nobody is aligned with anymore. The caller holds c.mu.
+// redial replaces a broken connection with a fresh one. Caller holds
+// c.mu.
+func (c *Client) redial(ctx context.Context) error {
+	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.install(conn)
+	return nil
+}
+
+// breakConn records the transport failure and closes the connection so
+// in-flight server work cannot write into a stream nobody is aligned
+// with anymore. The caller holds c.mu.
 func (c *Client) breakConn(err error) error {
 	c.broken = err
 	c.conn.Close()
 	return err
 }
 
+// ctxError maps a finished context to the engine's typed errors, so a
+// client-side deadline reads the same as a server-side one.
+func ctxError(ctx context.Context) error {
+	if err := engine.ContextErr(ctx); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // Ping checks connectivity.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(&protocol.Request{Op: protocol.OpPing})
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext is Ping under a context. Idempotent: retried with
+// backoff per the reconnect policy.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpPing}, true)
 	return err
 }
 
 // Stats fetches the server statistics snapshot: compiled-query cache
 // counters and the default-graph size.
-func (c *Client) Stats() (*protocol.Stats, error) {
-	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpStats})
+func (c *Client) Stats() (*protocol.Stats, error) { return c.StatsContext(context.Background()) }
+
+// StatsContext is Stats under a context. Idempotent.
+func (c *Client) StatsContext(ctx context.Context) (*protocol.Stats, error) {
+	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpStats}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +348,22 @@ func decodeResult(resp *protocol.Response) (*Result, error) {
 
 // Query runs a SciSPARQL query on the server.
 func (c *Client) Query(q string) (*Result, error) {
-	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Text: q})
+	return c.QueryGuarded(context.Background(), q, Guards{})
+}
+
+// QueryContext is Query under a context. Queries are read-only, hence
+// idempotent: a query cut off by a transport failure is retried on a
+// fresh connection with exponential backoff.
+func (c *Client) QueryContext(ctx context.Context, q string) (*Result, error) {
+	return c.QueryGuarded(ctx, q, Guards{})
+}
+
+// QueryGuarded is QueryContext with per-request execution bounds
+// enforced server-side.
+func (c *Client) QueryGuarded(ctx context.Context, q string, g Guards) (*Result, error) {
+	req := &protocol.Request{Op: protocol.OpQuery, Text: q}
+	g.apply(req)
+	resp, err := c.roundTrip(ctx, req, true)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +373,14 @@ func (c *Client) Query(q string) (*Result, error) {
 // Execute runs ';'-separated statements; the last query's result is
 // returned (nil when none).
 func (c *Client) Execute(text string) (*Result, error) {
-	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpExecute, Text: text})
+	return c.ExecuteContext(context.Background(), text)
+}
+
+// ExecuteContext is Execute under a context. Scripts may contain
+// updates, so Execute is NOT retried after a mid-call transport
+// failure (the server may have run part of the script).
+func (c *Client) ExecuteContext(ctx context.Context, text string) (*Result, error) {
+	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpExecute, Text: text}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +389,13 @@ func (c *Client) Execute(text string) (*Result, error) {
 
 // Update runs one update statement and reports affected triples.
 func (c *Client) Update(text string) (int, error) {
-	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpUpdate, Text: text})
+	return c.UpdateContext(context.Background(), text)
+}
+
+// UpdateContext is Update under a context. Not idempotent: never
+// auto-retried after a send.
+func (c *Client) UpdateContext(ctx context.Context, text string) (int, error) {
+	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpUpdate, Text: text}, false)
 	if err != nil {
 		return 0, err
 	}
@@ -185,18 +405,30 @@ func (c *Client) Update(text string) (int, error) {
 // LoadTurtle ships a Turtle document to the server ("" = default
 // graph).
 func (c *Client) LoadTurtle(doc string, graph rdf.IRI) error {
-	_, err := c.roundTrip(&protocol.Request{Op: protocol.OpLoadTurtle, Text: doc, Graph: string(graph)})
+	return c.LoadTurtleContext(context.Background(), doc, graph)
+}
+
+// LoadTurtleContext is LoadTurtle under a context. Not idempotent
+// (documents with blank nodes load fresh nodes each time).
+func (c *Client) LoadTurtleContext(ctx context.Context, doc string, graph rdf.IRI) error {
+	_, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpLoadTurtle, Text: doc, Graph: string(graph)}, false)
 	return err
 }
 
 // StoreArray uploads an array to the server's storage back-end and
 // returns its array ID.
 func (c *Client) StoreArray(a *array.Array) (int64, error) {
+	return c.StoreArrayContext(context.Background(), a)
+}
+
+// StoreArrayContext is StoreArray under a context. Not idempotent: a
+// retry would allocate a second array ID.
+func (c *Client) StoreArrayContext(ctx context.Context, a *array.Array) (int64, error) {
 	payload, err := protocol.EncodeArray(a)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(&protocol.Request{Op: protocol.OpStoreArray, Array: payload})
+	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpStoreArray, Array: payload}, false)
 	if err != nil {
 		return 0, err
 	}
@@ -207,15 +439,21 @@ func (c *Client) StoreArray(a *array.Array) (int64, error) {
 // property, array) in the server's default graph — the one-call path a
 // workflow uses to publish a result with its metadata handle.
 func (c *Client) AddArrayTriple(subject, property rdf.IRI, a *array.Array) error {
+	return c.AddArrayTripleContext(context.Background(), subject, property, a)
+}
+
+// AddArrayTripleContext is AddArrayTriple under a context. Not
+// idempotent.
+func (c *Client) AddArrayTripleContext(ctx context.Context, subject, property rdf.IRI, a *array.Array) error {
 	payload, err := protocol.EncodeArray(a)
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(&protocol.Request{
+	_, err = c.roundTrip(ctx, &protocol.Request{
 		Op:       protocol.OpArrayTriple,
 		Subject:  string(subject),
 		Property: string(property),
 		Array:    payload,
-	})
+	}, false)
 	return err
 }

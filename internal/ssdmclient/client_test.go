@@ -2,16 +2,20 @@ package ssdmclient
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"scisparql/internal/engine"
 	"scisparql/internal/protocol"
 )
 
-// garbageServer accepts one connection and answers every request with
+// garbageServer accepts connections and answers every request with
 // bytes that are not valid protocol JSON, desynchronizing the stream.
 func garbageServer(t *testing.T) string {
 	t.Helper()
@@ -21,30 +25,33 @@ func garbageServer(t *testing.T) string {
 	}
 	t.Cleanup(func() { ln.Close() })
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		r := bufio.NewReader(conn)
-		dec := json.NewDecoder(r)
 		for {
-			var req protocol.Request
-			if err := dec.Decode(&req); err != nil {
+			conn, err := ln.Accept()
+			if err != nil {
 				return
 			}
-			if _, err := conn.Write([]byte("!!not json!!\n")); err != nil {
-				return
-			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := json.NewDecoder(bufio.NewReader(conn))
+				for {
+					var req protocol.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if _, err := conn.Write([]byte("!!not json!!\n")); err != nil {
+						return
+					}
+				}
+			}(conn)
 		}
 	}()
 	return ln.Addr().String()
 }
 
-// TestBrokenStreamFailsFast: after a decode failure the stream cannot
-// be trusted, so the client must refuse further round trips with an
-// error naming the original cause instead of pairing responses with
-// the wrong requests.
+// TestBrokenStreamFailsFast: with reconnection disabled, a decode
+// failure permanently breaks the client — the stream cannot be
+// trusted, so further round trips are refused with an error naming the
+// original cause instead of pairing responses with the wrong requests.
 func TestBrokenStreamFailsFast(t *testing.T) {
 	addr := garbageServer(t)
 	cl, err := Connect(addr)
@@ -52,6 +59,7 @@ func TestBrokenStreamFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	cl.SetReconnect(0, 0)
 	if err := cl.Ping(); err == nil {
 		t.Fatal("expected decode error from garbage response")
 	}
@@ -64,8 +72,114 @@ func TestBrokenStreamFailsFast(t *testing.T) {
 	}
 }
 
+// TestReconnectHealsBrokenStream: with the default policy a broken
+// client redials. The flaky server poisons its first connection with
+// garbage but serves later connections correctly, so the same Ping
+// call that hits the poison recovers within its retry budget.
+func TestReconnectHealsBrokenStream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			poisoned := conns.Add(1) == 1
+			go func(conn net.Conn, poisoned bool) {
+				defer conn.Close()
+				dec := json.NewDecoder(bufio.NewReader(conn))
+				enc := json.NewEncoder(conn)
+				for {
+					var req protocol.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if poisoned {
+						conn.Write([]byte("!!not json!!\n"))
+						return
+					}
+					enc.Encode(protocol.Response{OK: true})
+				}
+			}(conn, poisoned)
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping should heal through reconnect, got %v", err)
+	}
+	if got := conns.Load(); got < 2 {
+		t.Fatalf("expected a redial, saw %d connections", got)
+	}
+}
+
+// TestNonIdempotentNotRetried: an update cut off mid-round-trip must
+// not be re-sent — the server may have applied it. The next call is
+// free to redial (nothing has been sent on the fresh connection).
+func TestNonIdempotentNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var updates atomic.Int64
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			poisoned := conns.Add(1) == 1
+			go func(conn net.Conn, poisoned bool) {
+				defer conn.Close()
+				dec := json.NewDecoder(bufio.NewReader(conn))
+				enc := json.NewEncoder(conn)
+				for {
+					var req protocol.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if req.Op == protocol.OpUpdate {
+						updates.Add(1)
+					}
+					if poisoned {
+						conn.Write([]byte("!!not json!!\n"))
+						return
+					}
+					enc.Encode(protocol.Response{OK: true})
+				}
+			}(conn, poisoned)
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Update("DELETE DATA { <s> <p> <o> }"); err == nil {
+		t.Fatal("expected transport error from poisoned connection")
+	}
+	if got := updates.Load(); got != 1 {
+		t.Fatalf("update must be sent exactly once, server saw %d", got)
+	}
+	// The client heals on the next call via a fresh connection.
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping after broken update should redial, got %v", err)
+	}
+}
+
 // TestServerErrorDoesNotBreakClient: a server-reported error is a
-// well-formed response; the stream stays aligned and usable.
+// well-formed response; the stream stays aligned and usable, and no
+// reconnect or retry is triggered.
 func TestServerErrorDoesNotBreakClient(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -107,9 +221,48 @@ func TestServerErrorDoesNotBreakClient(t *testing.T) {
 	}
 }
 
-// TestTimeoutBreaksClient: a server that never answers trips the
-// configured deadline; the timed-out client is broken (the response
-// may still arrive later, into a stream nobody is aligned with).
+// TestWireCodeMapsToTypedError: error codes on the wire classify with
+// errors.Is against the engine's sentinel errors.
+func TestWireCodeMapsToTypedError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	codes := []string{protocol.CodeTimeout, protocol.CodeResourceLimit, protocol.CodeInternal}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		enc := json.NewEncoder(conn)
+		for _, code := range codes {
+			var req protocol.Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			enc.Encode(protocol.Response{OK: false, Error: "synthetic " + code, Code: code})
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, want := range []error{engine.ErrQueryTimeout, engine.ErrResourceLimit, engine.ErrInternal} {
+		_, err := cl.Query("SELECT * WHERE { ?s ?p ?o }")
+		if !errors.Is(err, want) {
+			t.Fatalf("want errors.Is(err, %v), got %v", want, err)
+		}
+	}
+}
+
+// TestTimeoutBreaksClient: with reconnection disabled, a server that
+// never answers trips the configured deadline and the timed-out client
+// stays broken (the response may still arrive later, into a stream
+// nobody is aligned with).
 func TestTimeoutBreaksClient(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -131,6 +284,7 @@ func TestTimeoutBreaksClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	cl.SetReconnect(0, 0)
 	cl.SetTimeout(50 * time.Millisecond)
 	start := time.Now()
 	if err := cl.Ping(); err == nil {
@@ -141,5 +295,43 @@ func TestTimeoutBreaksClient(t *testing.T) {
 	}
 	if err := cl.Ping(); err == nil || !strings.Contains(err.Error(), "connection broken") {
 		t.Fatalf("want fail-fast after timeout, got %v", err)
+	}
+}
+
+// TestContextCancelMidCall: cancelling the call context while the
+// server sits on the request unblocks the client promptly and reports
+// the typed cancellation error, not a raw i/o error.
+func TestContextCancelMidCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	hold := make(chan struct{})
+	t.Cleanup(func() { close(hold) })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			<-hold // never respond
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.QueryContext(ctx, "SELECT * WHERE { ?s ?p ?o }")
+	if !errors.Is(err, engine.ErrQueryTimeout) {
+		t.Fatalf("want ErrQueryTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took too long: %v", elapsed)
 	}
 }

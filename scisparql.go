@@ -43,6 +43,27 @@ type Results = engine.Results
 // parameter bindings.
 type Prepared = core.Prepared
 
+// Limits are per-call execution bounds for DB.QueryLimits; zero fields
+// fall back to the instance Options.
+type Limits = engine.Limits
+
+// Typed failure classes, classifiable with errors.Is. Queries
+// interrupted by deadline, cancellation or a resource budget — and
+// panics trapped inside the engine — report these rather than plain
+// text-only errors.
+var (
+	// ErrQueryTimeout reports a query that exceeded its wall-clock
+	// deadline (Options.QueryTimeout or a per-call limit).
+	ErrQueryTimeout = engine.ErrQueryTimeout
+	// ErrQueryCancelled reports a query whose context was cancelled.
+	ErrQueryCancelled = engine.ErrQueryCancelled
+	// ErrResourceLimit reports a query that exceeded a result-row or
+	// intermediate-bindings budget.
+	ErrResourceLimit = engine.ErrResourceLimit
+	// ErrInternal reports a panic trapped inside query execution.
+	ErrInternal = engine.ErrInternal
+)
+
 // Term is an RDF term (IRI, blank node, literal or array value).
 type Term = rdf.Term
 
