@@ -213,9 +213,10 @@ func (s *SSDM) QueryContext(ctx context.Context, src string) (*engine.Results, e
 }
 
 // QueryLimits is QueryContext with explicit per-call limits. Zero
-// fields fall back to the instance Options, so a caller can tighten
-// the server-wide guards per request but a zero-valued Limits never
-// loosens them beyond the configured defaults.
+// fields fall back to the instance Options, and non-zero fields are
+// clamped to the stricter of the call and the configured default — a
+// caller can tighten the server-wide guards per request but never
+// loosen them.
 func (s *SSDM) QueryLimits(ctx context.Context, src string, lim engine.Limits) (*engine.Results, error) {
 	q, err := s.parseQueryCached(src)
 	if err != nil {
@@ -226,19 +227,28 @@ func (s *SSDM) QueryLimits(ctx context.Context, src string, lim engine.Limits) (
 	return s.Engine.QueryContext(ctx, q, s.fillLimits(lim))
 }
 
-// fillLimits resolves zero-valued per-call limits to the instance
-// defaults.
+// fillLimits resolves per-call limits against the instance defaults.
+// A zero field takes the default; when both the call and the default
+// set a bound, the stricter one wins — per-call limits can tighten the
+// operator-configured guards, never loosen them.
 func (s *SSDM) fillLimits(lim engine.Limits) engine.Limits {
-	if lim.Timeout == 0 {
-		lim.Timeout = s.Opts.QueryTimeout
-	}
-	if lim.MaxResultRows == 0 {
-		lim.MaxResultRows = s.Opts.MaxResultRows
-	}
-	if lim.MaxBindings == 0 {
-		lim.MaxBindings = s.Opts.MaxBindings
-	}
+	lim.Timeout = tighter(lim.Timeout, s.Opts.QueryTimeout)
+	lim.MaxResultRows = tighter(lim.MaxResultRows, s.Opts.MaxResultRows)
+	lim.MaxBindings = tighter(lim.MaxBindings, s.Opts.MaxBindings)
 	return lim
+}
+
+// tighter combines a per-call bound with an instance default: zero (or
+// negative, which the wire could carry) defers to the default, and two
+// set bounds resolve to the smaller.
+func tighter[T int | int64 | time.Duration](call, def T) T {
+	if call <= 0 {
+		return def
+	}
+	if def > 0 && def < call {
+		return def
+	}
+	return call
 }
 
 // Explain renders the execution strategy for a query (join order with
@@ -325,11 +335,21 @@ func (s *SSDM) Execute(src string) ([]*engine.Results, error) {
 // statements and inside each statement's evaluation; the instance's
 // configured guards apply to every query in the script.
 func (s *SSDM) ExecuteContext(ctx context.Context, src string) ([]*engine.Results, error) {
+	return s.ExecuteLimits(ctx, src, engine.Limits{})
+}
+
+// ExecuteLimits is ExecuteContext with explicit per-call limits,
+// resolved against the instance defaults as in QueryLimits. The
+// resolved guards bound each statement in the script individually —
+// queries and the WHERE evaluation of updates alike — so a script's
+// DELETE/INSERT is subject to the same timeout and bindings budget as
+// a standalone query.
+func (s *SSDM) ExecuteLimits(ctx context.Context, src string, lim engine.Limits) ([]*engine.Results, error) {
 	stmts, err := sparql.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
-	lim := s.fillLimits(engine.Limits{})
+	lim = s.fillLimits(lim)
 	var out []*engine.Results
 	for _, st := range stmts {
 		if err := engine.ContextErr(ctx); err != nil {
@@ -353,7 +373,7 @@ func (s *SSDM) ExecuteContext(ctx context.Context, src string) ([]*engine.Result
 			}
 		default:
 			s.op.Lock()
-			_, err := s.Engine.UpdateContext(ctx, st)
+			_, err := s.Engine.UpdateLimits(ctx, st, lim)
 			s.op.Unlock()
 			if err != nil {
 				return out, err
@@ -387,18 +407,22 @@ func (s *SSDM) Update(src string) (int, error) {
 // UpdateContext is Update under a context. Cancellation is honored
 // while matching the WHERE clause of DELETE/INSERT; the mutation phase
 // applies atomically once solutions are materialized (never a
-// half-applied statement). Options.QueryTimeout bounds the whole
-// statement.
+// half-applied statement). Options.QueryTimeout and
+// Options.MaxBindings bound the statement.
 func (s *SSDM) UpdateContext(ctx context.Context, src string) (int, error) {
+	return s.UpdateLimits(ctx, src, engine.Limits{})
+}
+
+// UpdateLimits is UpdateContext with explicit per-call limits,
+// resolved against the instance defaults as in QueryLimits: the
+// timeout and bindings budget bound the statement's WHERE evaluation
+// (MaxResultRows does not apply — updates return no rows).
+func (s *SSDM) UpdateLimits(ctx context.Context, src string, lim engine.Limits) (int, error) {
 	st, err := sparql.ParseStatement(src)
 	if err != nil {
 		return 0, err
 	}
-	if s.Opts.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.Opts.QueryTimeout)
-		defer cancel()
-	}
+	lim = s.fillLimits(lim)
 	s.op.Lock()
 	defer s.op.Unlock()
 	if ld, ok := st.(*sparql.Load); ok {
@@ -407,7 +431,7 @@ func (s *SSDM) UpdateContext(ctx context.Context, src string) (int, error) {
 	if redefinesFunctions(st) {
 		defer s.qcache.invalidate()
 	}
-	return s.Engine.UpdateContext(ctx, st)
+	return s.Engine.UpdateLimits(ctx, st, lim)
 }
 
 // execLoadLocked handles LOAD <source> [INTO GRAPH g]: sources are

@@ -74,6 +74,7 @@ type queryGuard struct {
 	ctx         context.Context
 	done        <-chan struct{}
 	maxBindings int64
+	maxRows     int
 	bindings    int64
 	polls       uint64
 	failed      error // first violation; re-returned on every check
@@ -83,7 +84,23 @@ func newQueryGuard(ctx context.Context, lim Limits) *queryGuard {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &queryGuard{ctx: ctx, done: ctx.Done(), maxBindings: lim.MaxBindings}
+	return &queryGuard{ctx: ctx, done: ctx.Done(), maxBindings: lim.MaxBindings, maxRows: lim.MaxResultRows}
+}
+
+// resultRowCap returns the result-row budget (0 = unlimited), letting
+// the execution pipeline fail a row overrun while building rows rather
+// than after the whole result set is materialized.
+func (gq *queryGuard) resultRowCap() int {
+	if gq == nil {
+		return 0
+	}
+	return gq.maxRows
+}
+
+// errResultRows is the typed failure for a result-row overrun, shared
+// by the incremental check and the final boundary check.
+func errResultRows(cap int) error {
+	return fmt.Errorf("%w: result rows exceed %d", ErrResourceLimit, cap)
 }
 
 // step accounts one intermediate binding against the budget and

@@ -171,3 +171,65 @@ func TestZeroLimitsUnbounded(t *testing.T) {
 		t.Fatalf("unbounded query failed: %v, %d rows", err, res.Len())
 	}
 }
+
+// TestMaxResultRowsIncremental: the row cap fires while rows are being
+// built, not after the whole result set is materialized — a cross
+// product that would produce 2.7e7 rows with no bindings budget set
+// must fail in bounded time, proving the overrun was caught at the
+// cap, not post-hoc.
+func TestMaxResultRowsIncremental(t *testing.T) {
+	e := bigEngine(t, 300)
+	start := time.Now()
+	_, err := e.QueryContext(context.Background(), parse(t, crossProduct3), Limits{MaxResultRows: 100})
+	if !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("row cap enforced post-hoc: took %v", elapsed)
+	}
+}
+
+// TestMaxResultRowsNotEagerWithLimitOrDistinct: the incremental check
+// must not fail queries whose final output a later stage trims back
+// under the cap — LIMIT below the cap and DISTINCT deduplication both
+// keep the result legal even when intermediate rows exceed it.
+func TestMaxResultRowsNotEagerWithLimitOrDistinct(t *testing.T) {
+	ds := rdf.NewDataset()
+	for i := 0; i < 100; i++ {
+		ds.Default.Add(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), rdf.IRI("http://ex/p"), rdf.Integer(i%3))
+	}
+	e := New(ds)
+
+	res, err := e.QueryContext(context.Background(),
+		parse(t, `SELECT * WHERE { ?s <http://ex/p> ?v } LIMIT 5`), Limits{MaxResultRows: 10})
+	if err != nil || res.Len() != 5 {
+		t.Fatalf("LIMIT below the cap must pass: %v, %d rows", err, res.Len())
+	}
+
+	res, err = e.QueryContext(context.Background(),
+		parse(t, `SELECT DISTINCT ?v WHERE { ?s <http://ex/p> ?v }`), Limits{MaxResultRows: 10})
+	if err != nil || res.Len() != 3 {
+		t.Fatalf("DISTINCT under the cap must pass: %v, %d rows", err, res.Len())
+	}
+}
+
+// TestUpdateLimitsBoundsWhere: the bindings budget and deadline guard
+// the WHERE evaluation of DELETE/INSERT exactly as they guard a query.
+func TestUpdateLimitsBoundsWhere(t *testing.T) {
+	e := bigEngine(t, 300)
+	st, err := sparql.ParseStatement(
+		`INSERT { ?a <http://ex/q> ?y } WHERE { ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . ?c <http://ex/p> ?z }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UpdateLimits(context.Background(), st, Limits{MaxBindings: 10_000}); !errors.Is(err, ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit from update WHERE, got %v", err)
+	}
+	start := time.Now()
+	if _, err := e.UpdateLimits(context.Background(), st, Limits{Timeout: 100 * time.Millisecond}); !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("want ErrQueryTimeout from update WHERE, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("update deadline overshoot: %v", elapsed)
+	}
+}

@@ -72,10 +72,13 @@ func limitCtx(ctx context.Context, lim Limits) (context.Context, context.CancelF
 
 // capResultRows enforces the result-row budget at the query boundary:
 // exceeding it is an error, not a silent truncation, so a client can
-// tell "the data has N rows" apart from "the query was cut off".
+// tell "the data has N rows" apart from "the query was cut off". It is
+// the authoritative check; execSelect additionally fails an overrun
+// incrementally whenever no later pipeline stage could shrink the
+// output back under the budget.
 func capResultRows(res *Results, lim Limits) (*Results, error) {
 	if lim.MaxResultRows > 0 && res != nil && len(res.Rows) > lim.MaxResultRows {
-		return nil, fmt.Errorf("%w: result rows exceed %d", ErrResourceLimit, lim.MaxResultRows)
+		return nil, errResultRows(lim.MaxResultRows)
 	}
 	return res, nil
 }
@@ -160,6 +163,18 @@ func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, yield func(Bi
 // -> HAVING -> projection -> ORDER BY -> DISTINCT -> OFFSET/LIMIT
 // (§3.5, §3.7).
 func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Results, error) {
+	// Incremental result-row cap: once the output can no longer shrink
+	// back under the budget (no DISTINCT to dedupe, no LIMIT at or
+	// below the cap to trim), an overrun is fatal the moment it occurs
+	// — fail then, instead of materializing the full result set first
+	// and checking post-hoc. HAVING is handled at each check site: the
+	// budget only counts solutions that survived it.
+	rowCap := ctx.guard.resultRowCap()
+	earlyCap := -1
+	if rowCap > 0 && !q.Distinct && (q.Limit < 0 || q.Limit > rowCap) {
+		earlyCap = rowCap + q.Offset
+	}
+
 	grouped := len(q.GroupBy) > 0
 	if !grouped {
 		for _, it := range q.Items {
@@ -200,6 +215,9 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 		}
 		err := ctx.whereSolutions(q, initial, func(b Binding) error {
 			solutions = append(solutions, b)
+			if earlyCap >= 0 && len(q.Having) == 0 && len(solutions) > earlyCap {
+				return errResultRows(rowCap)
+			}
 			if stopAt >= 0 && len(solutions) >= stopAt {
 				return errStop
 			}
@@ -303,6 +321,12 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			}
 		}
 		rows = append(rows, outRow{cells: cells, bind: extended})
+		// HAVING has been applied on both paths by now, so every row
+		// built here reaches the output (modulo DISTINCT/LIMIT, which
+		// disable earlyCap).
+		if earlyCap >= 0 && len(rows) > earlyCap {
+			return nil, errResultRows(rowCap)
+		}
 	}
 
 	// ORDER BY over the extended bindings (aliases visible).

@@ -20,9 +20,19 @@ func (e *Engine) Update(st sparql.Statement) (int, error) {
 // ErrInternal. The mutation phase itself is not interruptible — once
 // solutions are materialized, the statement applies atomically under
 // the caller's write lock rather than half-applying.
-func (e *Engine) UpdateContext(ctx context.Context, st sparql.Statement) (n int, err error) {
+func (e *Engine) UpdateContext(ctx context.Context, st sparql.Statement) (int, error) {
+	return e.UpdateLimits(ctx, st, Limits{})
+}
+
+// UpdateLimits is UpdateContext under per-statement limits: the
+// timeout and bindings budget guard the WHERE evaluation exactly as
+// they guard a query (MaxResultRows is ignored — updates produce no
+// result rows).
+func (e *Engine) UpdateLimits(ctx context.Context, st sparql.Statement, lim Limits) (n int, err error) {
 	defer trapPanic("update", &err)
-	gq := newQueryGuard(ctx, Limits{})
+	ctx, cancel := limitCtx(ctx, lim)
+	defer cancel()
+	gq := newQueryGuard(ctx, lim)
 	if err := gq.checkCtx(); err != nil {
 		return 0, err
 	}

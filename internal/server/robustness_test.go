@@ -230,3 +230,93 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("in-flight query should see cancellation, got %v", r.err)
 	}
 }
+
+// startGuardedServer is startBigServer with explicit instance options,
+// for tests pinning the server-side guard configuration.
+func startGuardedServer(t *testing.T, opts core.Options, n int) func() *ssdmclient.Client {
+	t.Helper()
+	db := core.OpenWith(opts)
+	for i := 0; i < n; i++ {
+		db.Dataset.Default.Add(rdf.IRI(fmt.Sprintf("http://ex/s%d", i)), rdf.IRI("http://ex/p"), rdf.Integer(i))
+	}
+	srv := New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return func() *ssdmclient.Client {
+		cl, err := ssdmclient.Connect(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+}
+
+// TestWireGuardsCannotLoosenDefaults: a remote client sending guard
+// fields larger than the operator-configured limits must not bypass
+// them — the per-request fields can only tighten the server's DoS
+// guards.
+func TestWireGuardsCannotLoosenDefaults(t *testing.T) {
+	connect := startGuardedServer(t,
+		core.Options{QueryTimeout: 100 * time.Millisecond, MaxBindings: 10_000}, 300)
+	cl := connect()
+	start := time.Now()
+	_, err := cl.QueryGuarded(context.Background(), crossProduct3,
+		ssdmclient.Guards{Timeout: time.Hour, MaxBindings: 1 << 60})
+	if !errors.Is(err, engine.ErrQueryTimeout) && !errors.Is(err, engine.ErrResourceLimit) {
+		t.Fatalf("want a guard violation despite loose request guards, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("request guards loosened the server deadline: ran %v", elapsed)
+	}
+
+	rowConnect := startGuardedServer(t, core.Options{MaxResultRows: 5}, 50)
+	rcl := rowConnect()
+	_, err = rcl.QueryGuarded(context.Background(),
+		`SELECT * WHERE { ?s <http://ex/p> ?v }`, ssdmclient.Guards{MaxRows: 1000})
+	if !errors.Is(err, engine.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit under the server row cap, got %v", err)
+	}
+}
+
+// TestWireGuardsOnExecuteAndUpdate: the per-request guard fields bound
+// execute and update ops, not just query — a script or DELETE/INSERT
+// with a runaway WHERE comes back with the matching wire code.
+func TestWireGuardsOnExecuteAndUpdate(t *testing.T) {
+	connect := startGuardedServer(t, core.Options{}, 300)
+	cl := connect()
+
+	start := time.Now()
+	_, err := cl.ExecuteGuarded(context.Background(), crossProduct3,
+		ssdmclient.Guards{Timeout: 100 * time.Millisecond})
+	var se *ssdmclient.ServerError
+	if !errors.As(err, &se) || se.Code != "timeout" {
+		t.Fatalf("want wire code %q on execute, got %v", "timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("execute deadline overshoot: %v", elapsed)
+	}
+
+	const runawayUpdate = `INSERT { ?a <http://ex/q> ?y } WHERE {
+	  ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . ?c <http://ex/p> ?z }`
+	_, err = cl.UpdateGuarded(context.Background(), runawayUpdate,
+		ssdmclient.Guards{MaxBindings: 1000})
+	if !errors.As(err, &se) || se.Code != "resource_limit" {
+		t.Fatalf("want wire code %q on update, got %v", "resource_limit", err)
+	}
+
+	// Update inside an execute script is bounded too.
+	_, err = cl.ExecuteGuarded(context.Background(), runawayUpdate,
+		ssdmclient.Guards{MaxBindings: 1000})
+	if !errors.Is(err, engine.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit on script update, got %v", err)
+	}
+
+	// The connection stays healthy for well-behaved traffic afterwards.
+	if _, err := cl.Update(`INSERT DATA { <http://ex/a> <http://ex/p> 1 }`); err != nil {
+		t.Fatalf("client should stay usable after guard violations: %v", err)
+	}
+}

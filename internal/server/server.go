@@ -255,7 +255,7 @@ func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
 		}
 		return encodeResults(res)
 	case protocol.OpExecute:
-		results, err := s.DB.ExecuteContext(ctx, req.Text)
+		results, err := s.DB.ExecuteLimits(ctx, req.Text, lim)
 		if err != nil {
 			return fail(err)
 		}
@@ -264,7 +264,7 @@ func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
 		}
 		return encodeResults(results[len(results)-1])
 	case protocol.OpUpdate:
-		n, err := s.DB.UpdateContext(ctx, req.Text)
+		n, err := s.DB.UpdateLimits(ctx, req.Text, lim)
 		if err != nil {
 			return fail(err)
 		}

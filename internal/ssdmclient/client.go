@@ -218,6 +218,10 @@ func (c *Client) roundTrip(ctx context.Context, req *protocol.Request, idempoten
 // attemptLocked performs one encode/decode round trip on the current
 // connection, breaking it on transport failure. Caller holds c.mu.
 func (c *Client) attemptLocked(ctx context.Context, req *protocol.Request) (*protocol.Response, error) {
+	// Capture the connection this attempt runs on: the cancellation
+	// callback below fires without c.mu, so it must poke this conn, not
+	// whatever c.conn has been replaced with by a later redial.
+	conn := c.conn
 	deadline := time.Time{}
 	if c.timeout > 0 {
 		deadline = time.Now().Add(c.timeout)
@@ -225,15 +229,24 @@ func (c *Client) attemptLocked(ctx context.Context, req *protocol.Request) (*pro
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
+	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, c.breakConn(err)
 	}
 	// Mid-round-trip cancellation: poke the connection deadline so a
 	// blocked read returns promptly instead of waiting out the server.
+	pokeDone := make(chan struct{})
 	stop := context.AfterFunc(ctx, func() {
-		_ = c.conn.SetDeadline(time.Now())
+		defer close(pokeDone)
+		_ = conn.SetDeadline(time.Now())
 	})
-	defer stop()
+	defer func() {
+		if !stop() {
+			// The poke is running (or already ran); wait it out so a late
+			// SetDeadline cannot clobber the deadline a subsequent round
+			// trip installs on this conn.
+			<-pokeDone
+		}
+	}()
 	if err := c.enc.Encode(req); err != nil {
 		return nil, c.breakConn(err)
 	}
@@ -380,7 +393,16 @@ func (c *Client) Execute(text string) (*Result, error) {
 // updates, so Execute is NOT retried after a mid-call transport
 // failure (the server may have run part of the script).
 func (c *Client) ExecuteContext(ctx context.Context, text string) (*Result, error) {
-	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpExecute, Text: text}, false)
+	return c.ExecuteGuarded(ctx, text, Guards{})
+}
+
+// ExecuteGuarded is ExecuteContext with per-request execution bounds
+// enforced server-side on every statement in the script — queries and
+// the WHERE evaluation of updates alike.
+func (c *Client) ExecuteGuarded(ctx context.Context, text string, g Guards) (*Result, error) {
+	req := &protocol.Request{Op: protocol.OpExecute, Text: text}
+	g.apply(req)
+	resp, err := c.roundTrip(ctx, req, false)
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +417,16 @@ func (c *Client) Update(text string) (int, error) {
 // UpdateContext is Update under a context. Not idempotent: never
 // auto-retried after a send.
 func (c *Client) UpdateContext(ctx context.Context, text string) (int, error) {
-	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpUpdate, Text: text}, false)
+	return c.UpdateGuarded(ctx, text, Guards{})
+}
+
+// UpdateGuarded is UpdateContext with per-request execution bounds
+// enforced server-side: the timeout and bindings budget bound the
+// statement's WHERE evaluation (MaxRows does not apply to updates).
+func (c *Client) UpdateGuarded(ctx context.Context, text string, g Guards) (int, error) {
+	req := &protocol.Request{Op: protocol.OpUpdate, Text: text}
+	g.apply(req)
+	resp, err := c.roundTrip(ctx, req, false)
 	if err != nil {
 		return 0, err
 	}

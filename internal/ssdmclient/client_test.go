@@ -335,3 +335,57 @@ func TestContextCancelMidCall(t *testing.T) {
 		t.Fatalf("cancellation took too long: %v", elapsed)
 	}
 }
+
+// TestLatePokeDoesNotClobberNextRoundTrip: the cancellation poke of a
+// finished round trip must neither race with a redial replacing the
+// connection nor expire the deadline a subsequent round trip installs.
+// The server answers after a short delay and the call deadlines
+// straddle it, so pokes land in every phase: before the response,
+// racing it, and after. Retries are disabled — a single spurious
+// transport failure on the follow-up Ping fails the test. Run with
+// -race to also catch the unsynchronized conn access itself.
+func TestLatePokeDoesNotClobberNextRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := json.NewDecoder(bufio.NewReader(conn))
+				enc := json.NewEncoder(conn)
+				for {
+					var req protocol.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					if enc.Encode(protocol.Response{OK: true}) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	cl, err := Connect(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetReconnect(1, 0) // redial broken conns, never retry mid-call
+	for i := 0; i < 100; i++ {
+		d := time.Duration(200+i*137%2000) * time.Microsecond
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		_, _ = cl.QueryContext(ctx, "SELECT * WHERE { ?s ?p ?o }") // may time out
+		cancel()
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("iteration %d: ping after cancelled call failed: %v", i, err)
+		}
+	}
+}
