@@ -16,6 +16,7 @@ package scisparql
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -31,6 +32,19 @@ import (
 	"scisparql/internal/storage/filestore"
 	"scisparql/internal/storage/relbackend"
 )
+
+// TestMain lets CI pin the fetch worker pool width for the whole
+// benchmark run (SSDM_PARALLELISM=1 vs =N smoke both code paths: the
+// sequential fast path and the worker pool).
+func TestMain(m *testing.M) {
+	if env := os.Getenv("SSDM_PARALLELISM"); env != "" {
+		var width int
+		if _, err := fmt.Sscanf(env, "%d", &width); err == nil {
+			storage.SetParallelism(width)
+		}
+	}
+	os.Exit(m.Run())
+}
 
 // benchRTT simulates the per-SQL-statement round trip; kept small so
 // the full suite stays fast while preserving the strategy crossovers.

@@ -8,14 +8,24 @@
 //	-exp 5   RDF collection consolidation (§5.3.2)
 //	-exp 6   client/server workflow round trips (chapter 7)
 //	-exp 7   BISTAB dataset scaling
+//	-exp 8   parallel chunk retrieval: fetch worker pool sweep
 //	-exp a1  ablation: cost-based join ordering
 //	-exp a2  ablation: sequence pattern detection
 //	-exp a3  ablation: aggregate pushdown (AAPR)
 //	-exp all everything, in order
 //
-// Scale knobs: -rtt (simulated per-SQL-statement round trip), -iters,
-// -rows/-cols/-arrays (mini-benchmark), -cases/-realizations/-steps
-// (BISTAB).
+// Scale knobs: -rtt (simulated per-SQL-statement round trip),
+// -file-latency (simulated per-request latency of the file store in
+// the parallelism sweep), -iters, -rows/-cols/-arrays
+// (mini-benchmark), -cases/-realizations/-steps (BISTAB).
+//
+// Retrieval tuning: -par pins the fetch worker pool width for the
+// non-sweep experiments (0 = GOMAXPROCS; the SSDM_PARALLELISM
+// environment variable is the fallback when the flag is absent) and
+// -chunk-cache sets the shared chunk-cache byte budget.
+//
+// -json FILE additionally measures experiments 1 and 8 and writes
+// their cells as a machine-readable JSON report (see BENCH_pr4.json).
 package main
 
 import (
@@ -25,12 +35,18 @@ import (
 	"strings"
 	"time"
 
+	"scisparql/internal/array"
 	"scisparql/internal/experiments"
+	"scisparql/internal/storage"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: 1..6, a1..a3, or all")
+	exp := flag.String("exp", "all", "experiment id: 1..8, a1..a3, or all")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated SQL statement round trip")
+	fileLatency := flag.Duration("file-latency", 200*time.Microsecond, "simulated per-request file store latency (E8)")
+	par := flag.Int("par", 0, "fetch worker pool width outside the E8 sweep (0 = GOMAXPROCS / $SSDM_PARALLELISM)")
+	chunkCache := flag.Int64("chunk-cache", 0, "shared chunk cache byte budget (0 = default, negative = unlimited)")
+	jsonOut := flag.String("json", "", "write a JSON report of experiments 1 and 8 to this file")
 	iters := flag.Int("iters", 5, "timed iterations per cell")
 	rows := flag.Int("rows", 256, "mini-benchmark array rows")
 	cols := flag.Int("cols", 256, "mini-benchmark array cols")
@@ -47,8 +63,20 @@ func main() {
 	}
 	defer os.RemoveAll(tmp)
 
+	width := *par
+	if width == 0 {
+		if env := os.Getenv("SSDM_PARALLELISM"); env != "" {
+			fmt.Sscanf(env, "%d", &width)
+		}
+	}
+	storage.SetParallelism(width)
+	if *chunkCache != 0 {
+		array.SharedChunkCache().SetBudget(*chunkCache)
+	}
+
 	o := experiments.DefaultOptions(tmp)
 	o.RoundTripDelay = *rtt
+	o.FileLatency = *fileLatency
 	o.Iters = *iters
 	o.Workload.Rows = *rows
 	o.Workload.Cols = *cols
@@ -71,6 +99,7 @@ func main() {
 		{"5", func() error { return experiments.E5(os.Stdout, o) }},
 		{"6", func() error { return experiments.E6(os.Stdout, o) }},
 		{"7", func() error { return experiments.E7(os.Stdout, o) }},
+		{"8", func() error { return experiments.E8(os.Stdout, o) }},
 		{"a1", func() error { return experiments.A1(os.Stdout, o) }},
 		{"a2", func() error { return experiments.A2(os.Stdout, o) }},
 		{"a3", func() error { return experiments.A3(os.Stdout, o) }},
@@ -88,8 +117,27 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if !matched {
+	if !matched && *jsonOut == "" {
 		fatalf("unknown experiment %q", *exp)
+	}
+
+	if *jsonOut != "" {
+		rep, err := experiments.BuildReport(o)
+		if err != nil {
+			fatalf("json report: %v", err)
+		}
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "JSON report written to %s\n", *jsonOut)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	ssdm-server [-addr 127.0.0.1:7564] [-load data.ttl]...
 //	            [-store dir | -sql single|buffer|spd]
 //	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
+//	            [-chunk-cache 64MiB] [-parallelism N]
 //	            [-drain-timeout 10s]
 //
 // -store attaches a binary-file array back-end rooted at dir; -sql
@@ -34,6 +35,7 @@ import (
 	"scisparql/internal/core"
 	"scisparql/internal/relstore"
 	"scisparql/internal/server"
+	"scisparql/internal/storage"
 	"scisparql/internal/storage/filestore"
 	"scisparql/internal/storage/relbackend"
 )
@@ -46,6 +48,8 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "default wall-clock deadline per query (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "default cap on result rows per query (0 = unlimited)")
 	maxBindings := flag.Int64("max-bindings", 0, "default cap on intermediate bindings per query (0 = unlimited)")
+	chunkCache := flag.Int64("chunk-cache", 0, "byte budget of the shared array chunk cache (0 = default 64MiB, negative = unlimited)")
+	par := flag.Int("parallelism", 0, "fetch worker pool width per chunk retrieval (0 = GOMAXPROCS, capped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	var loads []string
 	flag.Func("load", "Turtle file to load (repeatable)", func(v string) error {
@@ -58,6 +62,8 @@ func main() {
 	opts.QueryTimeout = *queryTimeout
 	opts.MaxResultRows = *maxRows
 	opts.MaxBindings = *maxBindings
+	opts.ChunkCacheBytes = *chunkCache
+	storage.SetParallelism(*par)
 	db := core.OpenWith(opts)
 	switch {
 	case *storeDir != "" && *sqlStrat != "":

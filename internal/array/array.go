@@ -19,6 +19,7 @@
 package array
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -309,17 +310,45 @@ func (a *Array) SetAt(v Number, idx ...int) error {
 
 // Each iterates over the view in row-major order of the *view's* index
 // space, calling f with the multi-index (reused between calls — copy if
-// retained) and the element value. Proxied chunks needed by the
-// iteration are prefetched in one batch first.
+// retained) and the element value. Proxied elements are fetched through
+// the chunk pipeline; see EachCtx.
 func (a *Array) Each(f func(idx []int, v Number) error) error {
-	if !a.Base.Resident() {
-		if err := a.Prefetch(); err != nil {
+	return a.EachCtx(context.Background(), f)
+}
+
+// ctxCheckMask paces cancellation polls in element loops: positions are
+// checked every (mask+1) elements, keeping the per-element cost to a
+// counter test.
+const ctxCheckMask = 4095
+
+// EachCtx is Each under a context. For a contiguous view of a proxied
+// array the iteration *streams*: chunks are fetched through the
+// back-end's worker pool while earlier chunks are being folded, so
+// back-end latency overlaps with computation and memory stays bounded
+// by the pipeline window rather than the view size. Non-contiguous
+// proxied views are prefetched in one batched fetch first; resident
+// views iterate directly with periodic cancellation checks.
+func (a *Array) EachCtx(ctx context.Context, f func(idx []int, v Number) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := a.Base
+	if !b.Resident() {
+		if a.IsContiguous() {
+			return a.eachStream(ctx, f)
+		}
+		if err := a.PrefetchCtx(ctx); err != nil {
 			return err
 		}
 	}
 	idx := make([]int, len(a.Shape))
 	n := a.Count()
 	for i := 0; i < n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		lin, _ := a.LinearIndex(idx)
 		v, err := a.atLinear(lin)
 		if err != nil {
@@ -331,6 +360,47 @@ func (a *Array) Each(f func(idx []int, v Number) error) error {
 		incIndex(idx, a.Shape)
 	}
 	return nil
+}
+
+// eachStream iterates a contiguous proxied view chunk by chunk as the
+// payloads arrive from the streaming fetch pipeline. Contiguity means
+// view position i lives at base linear position Offset+i, so each
+// chunk's slice of the view is decoded in place without going back
+// through the cache per element.
+func (a *Array) eachStream(ctx context.Context, f func(idx []int, v Number) error) error {
+	p := a.Base.Proxy
+	etype := a.Base.Etype
+	n := a.Count()
+	ce := p.ChunkElems
+	first := a.Offset / ce
+	last := (a.Offset + n - 1) / ce
+	chunkNos := make([]int, 0, last-first+1)
+	for c := first; c <= last; c++ {
+		chunkNos = append(chunkNos, c)
+	}
+	idx := make([]int, len(a.Shape))
+	return p.StreamChunks(ctx, chunkNos, func(cn int, data []byte) error {
+		linStart := cn * ce
+		lo := a.Offset - linStart
+		if lo < 0 {
+			lo = 0
+		}
+		hi := a.Offset + n - linStart
+		if hi > ce {
+			hi = ce
+		}
+		for e := lo; e < hi; e++ {
+			off := e * ElemSize
+			if off+ElemSize > len(data) {
+				return fmt.Errorf("array: element %d beyond end of chunk %d (len %d)", linStart+e, cn, len(data))
+			}
+			if err := f(idx, DecodeElem(data[off:off+ElemSize], etype)); err != nil {
+				return err
+			}
+			incIndex(idx, a.Shape)
+		}
+		return nil
+	})
 }
 
 // incIndex advances a multi-index odometer-style within shape.
@@ -345,8 +415,14 @@ func incIndex(idx, shape []int) {
 }
 
 // Materialize copies the view into a fresh resident dense array of the
-// same shape, resolving proxies in a single batched fetch.
+// same shape, resolving proxies through the chunk pipeline.
 func (a *Array) Materialize() (*Array, error) {
+	return a.MaterializeCtx(context.Background())
+}
+
+// MaterializeCtx is Materialize under a context (see EachCtx for the
+// streaming behavior on proxied views).
+func (a *Array) MaterializeCtx(ctx context.Context) (*Array, error) {
 	var out *Array
 	if a.Base.Etype == Int {
 		out = NewInt(a.Shape...)
@@ -354,7 +430,7 @@ func (a *Array) Materialize() (*Array, error) {
 		out = NewFloat(a.Shape...)
 	}
 	i := 0
-	err := a.Each(func(_ []int, v Number) error {
+	err := a.EachCtx(ctx, func(_ []int, v Number) error {
 		if out.Base.Etype == Int {
 			out.Base.I[i] = v.I
 		} else {

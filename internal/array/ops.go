@@ -1,6 +1,7 @@
 package array
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -323,6 +324,13 @@ func (s *AggState) Result(op AggOp) (Number, error) {
 // computation is delegated (AAPR) so that no chunk data crosses the
 // storage boundary.
 func (a *Array) Aggregate(op AggOp) (Number, error) {
+	return a.AggregateCtx(context.Background(), op)
+}
+
+// AggregateCtx is Aggregate under a context. Without AAPR delegation
+// the fold consumes chunks as they stream in from the back-end (see
+// EachCtx), overlapping fetch latency with the accumulation.
+func (a *Array) AggregateCtx(ctx context.Context, op AggOp) (Number, error) {
 	if p := a.Base.Proxy; p != nil && a.IsWholeBase() {
 		if st, ok, err := p.aggregateWhole(); err != nil {
 			return Number{}, err
@@ -331,7 +339,7 @@ func (a *Array) Aggregate(op AggOp) (Number, error) {
 		}
 	}
 	st := NewAggState()
-	err := a.Each(func(_ []int, v Number) error {
+	err := a.EachCtx(ctx, func(_ []int, v Number) error {
 		st.Add(v)
 		return nil
 	})

@@ -1,6 +1,7 @@
 package array
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -25,24 +26,47 @@ type ChunkSource interface {
 	AggregateWhole(arrayID int64) (st *AggState, ok bool, err error)
 }
 
+// ChunkSourceCtx is the streaming extension of ChunkSource: back-ends
+// that implement it deliver chunk payloads through emit as they
+// arrive — typically from a bounded pool of fetch workers — instead of
+// materializing the whole response map first. emit is called serially
+// on the goroutine that called ReadChunksCtx; an emit error or a ctx
+// cancellation stops the in-flight workers. Proxies use this interface
+// when present to overlap back-end latency with computation, and fall
+// back to ReadChunks otherwise.
+type ChunkSourceCtx interface {
+	ReadChunksCtx(ctx context.Context, arrayID int64, runs []spd.Run, emit func(chunkNo int, data []byte) error) error
+}
+
 // Proxy stands in for the elements of an externally stored array
 // (dissertation §5.2, §6.1). Elements are fetched lazily in chunks of
-// ChunkElems elements; fetched chunks are kept in a bounded FIFO cache.
+// ChunkElems elements; fetched chunks live in a chunk cache — by
+// default the process-wide memory-budgeted LRU shared by all proxies.
 //
-// A Proxy is safe for concurrent readers: cache hits share a read
-// lock, and concurrent misses on the same chunk may fetch it twice but
-// insert it once. Chunk payloads are immutable once cached — callers
-// must treat the returned bytes as read-only. Source, ArrayID,
-// ChunkElems and CacheCap must be set before the proxy is shared.
+// A Proxy is safe for concurrent readers: cache hits share the cache
+// lock briefly, and concurrent misses on the same chunk coalesce into
+// a single back-end fetch (singleflight). Chunk payloads are immutable
+// once cached — callers must treat the returned bytes as read-only.
+// Source, ArrayID, ChunkElems, CacheCap and Cache must be set before
+// the proxy is shared.
 type Proxy struct {
 	Source     ChunkSource
 	ArrayID    int64
 	ChunkElems int
-	CacheCap   int // maximum cached chunks; 0 means unlimited
 
-	mu    sync.RWMutex
-	cache map[int][]byte
-	fifo  []int
+	// CacheCap, when positive, gives this proxy a private cache bounded
+	// to that many chunks instead of the shared byte-budgeted cache —
+	// the legacy per-proxy bound, kept for callers that need strict
+	// per-array chunk counts.
+	CacheCap int
+
+	// Cache overrides the chunk cache used by this proxy. nil selects
+	// the process-wide shared cache (or a private cache when CacheCap
+	// is set).
+	Cache *ChunkCache
+
+	mu      sync.Mutex
+	private *ChunkCache
 }
 
 // NewProxy creates a proxy for array arrayID on the given source with
@@ -54,24 +78,40 @@ func NewProxy(src ChunkSource, arrayID int64, chunkElems int) *Proxy {
 	return &Proxy{Source: src, ArrayID: arrayID, ChunkElems: chunkElems}
 }
 
-// CachedChunks reports how many chunks are currently cached.
-func (p *Proxy) CachedChunks() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.cache)
+// cacheRef resolves the chunk cache this proxy stores into.
+func (p *Proxy) cacheRef() *ChunkCache {
+	if p.Cache != nil {
+		return p.Cache
+	}
+	if p.CacheCap > 0 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.private == nil {
+			p.private = newChunkCacheChunks(p.CacheCap)
+		}
+		return p.private
+	}
+	return sharedChunkCache
 }
 
-// DropCache discards all cached chunks.
+func (p *Proxy) key(chunkNo int) cacheKey {
+	return cacheKey{src: p.Source, arrayID: p.ArrayID, chunkNo: chunkNo}
+}
+
+// CachedChunks reports how many of this array's chunks are currently
+// cached.
+func (p *Proxy) CachedChunks() int {
+	return p.cacheRef().countFor(p.Source, p.ArrayID)
+}
+
+// DropCache discards this array's cached chunks.
 func (p *Proxy) DropCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cache = nil
-	p.fifo = nil
+	p.cacheRef().purge(p.Source, p.ArrayID)
 }
 
 func (p *Proxy) elementAt(lin int, etype ElemType) (Number, error) {
 	chunkNo := lin / p.ChunkElems
-	data, err := p.chunk(chunkNo)
+	data, err := p.chunkCtx(context.Background(), chunkNo)
 	if err != nil {
 		return Number{}, err
 	}
@@ -82,76 +122,289 @@ func (p *Proxy) elementAt(lin int, etype ElemType) (Number, error) {
 	return DecodeElem(data[off:off+ElemSize], etype), nil
 }
 
-// chunk returns the payload of one chunk, fetching it if absent.
-func (p *Proxy) chunk(chunkNo int) ([]byte, error) {
-	p.mu.RLock()
-	if data, ok := p.cache[chunkNo]; ok {
-		p.mu.RUnlock()
+// chunkCtx returns the payload of one chunk: from the cache, by
+// joining another reader's in-flight fetch, or by fetching it.
+func (p *Proxy) chunkCtx(ctx context.Context, chunkNo int) ([]byte, error) {
+	c := p.cacheRef()
+	data, fl, claimed := c.lookupOrClaim(p.key(chunkNo))
+	if data != nil {
 		return data, nil
 	}
-	p.mu.RUnlock()
-	got, err := p.Source.ReadChunks(p.ArrayID, []spd.Run{{Start: chunkNo, Stride: 1, Count: 1}})
-	if err != nil {
-		return nil, err
+	if claimed {
+		return p.readOneClaim(ctx, chunkNo, fl)
 	}
-	data, ok := got[chunkNo]
-	if !ok {
-		return nil, fmt.Errorf("array: back-end did not return chunk %d of array %d", chunkNo, p.ArrayID)
-	}
-	p.insert(chunkNo, data)
-	return data, nil
+	return p.awaitFlight(ctx, chunkNo, fl)
 }
 
-func (p *Proxy) insert(chunkNo int, data []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cache == nil {
-		p.cache = make(map[int][]byte)
+// readOneClaim fetches a single claimed chunk and completes its flight.
+func (p *Proxy) readOneClaim(ctx context.Context, chunkNo int, fl *flight) ([]byte, error) {
+	p.readClaims(ctx, []int{chunkNo}, map[int]*flight{chunkNo: fl}, nil)
+	if fl.err != nil {
+		return nil, fl.err
 	}
-	// A concurrent fetch of the same chunk may have won the race;
-	// keeping the first insert keeps the FIFO list duplicate-free.
-	if _, ok := p.cache[chunkNo]; ok {
-		return
-	}
-	if p.CacheCap > 0 {
-		for len(p.cache) >= p.CacheCap && len(p.fifo) > 0 {
-			evict := p.fifo[0]
-			p.fifo = p.fifo[1:]
-			delete(p.cache, evict)
-		}
-	}
-	p.cache[chunkNo] = data
-	p.fifo = append(p.fifo, chunkNo)
+	return fl.data, nil
 }
 
-// fetchMissing retrieves the listed chunk numbers that are not already
-// cached, detecting sequence patterns so the back-end receives compact
-// run descriptions rather than per-chunk requests.
-func (p *Proxy) fetchMissing(chunkNos []int) error {
-	p.mu.RLock()
-	missing := make([]int, 0, len(chunkNos))
-	for _, c := range chunkNos {
-		if _, ok := p.cache[c]; !ok {
-			missing = append(missing, c)
+// awaitFlight waits for another reader's fetch of chunkNo. If that
+// reader fails — its query may simply have been cancelled — the wait
+// retries by fetching the chunk under this reader's own context, so
+// one query's failure cannot poison another's.
+func (p *Proxy) awaitFlight(ctx context.Context, chunkNo int, fl *flight) ([]byte, error) {
+	c := p.cacheRef()
+	for {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
+		if fl.err == nil {
+			return fl.data, nil
+		}
+		data, fl2, claimed := c.lookupOrClaim(p.key(chunkNo))
+		if data != nil {
+			return data, nil
+		}
+		if claimed {
+			return p.readOneClaim(ctx, chunkNo, fl2)
+		}
+		fl = fl2
 	}
-	p.mu.RUnlock()
-	if len(missing) == 0 {
+}
+
+// readClaims fetches the claimed chunks (sorted ascending) in one
+// back-end interaction — streaming when the source supports it — and
+// completes every claim's flight: resolved with its payload as it
+// arrives, or failed so that coalesced waiters never hang. deliver,
+// when non-nil, additionally receives each fetched payload on the
+// calling goroutine. The returned error is the back-end's; a chunk the
+// back-end silently omitted fails only that chunk's flight.
+func (p *Proxy) readClaims(ctx context.Context, claims []int, claimFl map[int]*flight, deliver func(chunkNo int, data []byte) error) error {
+	if len(claims) == 0 {
 		return nil
 	}
-	runs := spd.Detect(missing)
+	c := p.cacheRef()
+	runs := spd.Detect(claims)
+	resolved := make(map[int]bool, len(claims))
+	// Whatever happens — error return, even a back-end panic — every
+	// claim in this batch must complete, or waiters block forever.
+	var finalErr error
+	defer func() {
+		for _, cn := range claims {
+			if resolved[cn] {
+				continue
+			}
+			err := finalErr
+			if err == nil {
+				err = fmt.Errorf("array: back-end did not return chunk %d of array %d", cn, p.ArrayID)
+			}
+			c.fail(p.key(cn), claimFl[cn], err)
+		}
+	}()
+	emit := func(chunkNo int, data []byte) error {
+		if fl, ok := claimFl[chunkNo]; ok && !resolved[chunkNo] {
+			resolved[chunkNo] = true
+			c.resolve(p.key(chunkNo), fl, data)
+		}
+		if deliver != nil {
+			return deliver(chunkNo, data)
+		}
+		return nil
+	}
+	if cs, ok := p.Source.(ChunkSourceCtx); ok {
+		finalErr = cs.ReadChunksCtx(ctx, p.ArrayID, runs, emit)
+		return finalErr
+	}
 	got, err := p.Source.ReadChunks(p.ArrayID, runs)
 	if err != nil {
+		finalErr = err
 		return err
 	}
-	for c, data := range got {
-		p.insert(c, data)
+	for _, cn := range claims {
+		if data, ok := got[cn]; ok {
+			if err := emit(cn, data); err != nil {
+				finalErr = err
+				return err
+			}
+		}
 	}
 	return nil
 }
 
+// fetchMissingCtx retrieves the listed chunk numbers (sorted,
+// deduplicated) that are not already cached, detecting sequence
+// patterns so the back-end receives compact run descriptions rather
+// than per-chunk requests. Chunks another reader is already fetching
+// are waited on rather than fetched again.
+func (p *Proxy) fetchMissingCtx(ctx context.Context, chunkNos []int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := p.cacheRef()
+	var claims []int
+	var claimFl map[int]*flight
+	var waits map[int]*flight
+	for _, cn := range chunkNos {
+		data, fl, claimed := c.lookupOrClaim(p.key(cn))
+		switch {
+		case data != nil:
+		case claimed:
+			if claimFl == nil {
+				claimFl = make(map[int]*flight)
+			}
+			claims = append(claims, cn)
+			claimFl[cn] = fl
+		default:
+			if waits == nil {
+				waits = make(map[int]*flight)
+			}
+			waits[cn] = fl
+		}
+	}
+	if err := p.readClaims(ctx, claims, claimFl, nil); err != nil {
+		return err
+	}
+	for cn, fl := range waits {
+		if _, err := p.awaitFlight(ctx, cn, fl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchMissing is fetchMissingCtx without cancellation (legacy entry).
+func (p *Proxy) fetchMissing(chunkNos []int) error {
+	return p.fetchMissingCtx(context.Background(), chunkNos)
+}
+
 func (p *Proxy) aggregateWhole() (*AggState, bool, error) {
 	return p.Source.AggregateWhole(p.ArrayID)
+}
+
+// streamWindowBytes bounds how much fetched-but-unconsumed payload one
+// StreamChunks pipeline keeps in flight (per window; two windows are
+// scheduled ahead).
+const streamWindowBytes = 4 << 20
+
+// streamWindows cuts the claimed chunks into fetch windows of roughly
+// streamWindowBytes each, never splitting a detected run across
+// windows — so the back-end sees the same compact run descriptions
+// (and issues the same statements) as a non-streaming fetch.
+func streamWindows(claims []int, chunkBytes int) [][]int {
+	if len(claims) == 0 {
+		return nil
+	}
+	perWindow := streamWindowBytes / chunkBytes
+	if perWindow < 16 {
+		perWindow = 16
+	}
+	if len(claims) <= perWindow {
+		return [][]int{claims}
+	}
+	var windows [][]int
+	var cur []int
+	for _, r := range spd.Detect(claims) {
+		cur = append(cur, r.Expand(nil)...)
+		if len(cur) >= perWindow {
+			windows = append(windows, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		windows = append(windows, cur)
+	}
+	return windows
+}
+
+// StreamChunks delivers the payloads of the given chunk numbers to f
+// in ascending chunk order, fetching missing chunks through the
+// back-end while earlier chunks are being consumed. Fetching runs in
+// bounded windows pipelined two ahead of consumption, so memory stays
+// bounded for scans larger than the chunk cache while back-end latency
+// overlaps with the consumer's computation. Concurrent readers of the
+// same chunks coalesce onto one fetch. Cancelling ctx stops the
+// in-flight fetch workers; StreamChunks does not return until they
+// have exited.
+//
+// Sources that do not implement ChunkSourceCtx are read in a single
+// batched ReadChunks call, preserving their one-interaction contract.
+func (p *Proxy) StreamChunks(ctx context.Context, chunkNos []int, f func(chunkNo int, data []byte) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunkNos = spd.Normalize(append([]int(nil), chunkNos...))
+	if len(chunkNos) == 0 {
+		return nil
+	}
+	c := p.cacheRef()
+	type slot struct {
+		data []byte
+		fl   *flight
+		ours bool
+	}
+	slots := make(map[int]slot, len(chunkNos))
+	var claims []int
+	claimFl := make(map[int]*flight)
+	for _, cn := range chunkNos {
+		data, fl, claimed := c.lookupOrClaim(p.key(cn))
+		slots[cn] = slot{data: data, fl: fl, ours: claimed}
+		if claimed {
+			claims = append(claims, cn)
+			claimFl[cn] = fl
+		}
+	}
+
+	var windows [][]int
+	if _, streaming := p.Source.(ChunkSourceCtx); streaming {
+		windows = streamWindows(claims, p.ChunkElems*ElemSize)
+	} else if len(claims) > 0 {
+		windows = [][]int{claims}
+	}
+	claimWin := make(map[int]int, len(claims))
+	for w, win := range windows {
+		for _, cn := range win {
+			claimWin[cn] = w
+		}
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	scheduled := 0
+	schedule := func(upTo int) {
+		for scheduled <= upTo && scheduled < len(windows) {
+			win := windows[scheduled]
+			scheduled++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.readClaims(fctx, win, claimFl, nil)
+			}()
+		}
+	}
+	schedule(1) // two windows in flight before consumption starts
+
+	for _, cn := range chunkNos {
+		s := slots[cn]
+		data := s.data
+		if data == nil {
+			if s.ours {
+				// Keep the pipeline one window ahead of consumption.
+				schedule(claimWin[cn] + 1)
+			}
+			var err error
+			data, err = p.awaitFlight(ctx, cn, s.fl)
+			if err != nil {
+				return err
+			}
+		}
+		if err := f(cn, data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PrefetchChunks fetches the given chunk numbers (duplicates and
@@ -159,7 +412,13 @@ func (p *Proxy) aggregateWhole() (*AggState, bool, error) {
 // interaction. It is the entry point for resolving bags of array
 // proxies accumulated across query solutions (§6.2.4).
 func (p *Proxy) PrefetchChunks(chunks []int) error {
-	return p.fetchMissing(spd.Normalize(append([]int(nil), chunks...)))
+	return p.PrefetchChunksCtx(context.Background(), chunks)
+}
+
+// PrefetchChunksCtx is PrefetchChunks under a context: cancelling ctx
+// stops the back-end's in-flight fetch workers.
+func (p *Proxy) PrefetchChunksCtx(ctx context.Context, chunks []int) error {
+	return p.fetchMissingCtx(ctx, spd.Normalize(append([]int(nil), chunks...)))
 }
 
 // Prefetch resolves, in one batched back-end interaction, every chunk
@@ -167,12 +426,17 @@ func (p *Proxy) PrefetchChunks(chunks []int) error {
 // described in §6.2.4; bags of proxies accumulated across query
 // solutions are batched at the engine level.
 func (a *Array) Prefetch() error {
+	return a.PrefetchCtx(context.Background())
+}
+
+// PrefetchCtx is Prefetch under a context.
+func (a *Array) PrefetchCtx(ctx context.Context) error {
 	p := a.Base.Proxy
 	if p == nil {
 		return nil
 	}
 	chunks := a.TouchedChunks(p.ChunkElems)
-	return p.fetchMissing(chunks)
+	return p.fetchMissingCtx(ctx, chunks)
 }
 
 // TouchedChunks returns the sorted, deduplicated chunk numbers covered

@@ -1,6 +1,7 @@
 package array
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -14,6 +15,14 @@ type Mapper func(args []Number) (Number, error)
 // second-order function, §4.3.1). The result is an integer array when
 // every produced value is an integer, otherwise a float array.
 func Map(f Mapper, arrays ...*Array) (*Array, error) {
+	return MapCtx(context.Background(), f, arrays...)
+}
+
+// MapCtx is Map under a context. The first array's elements stream
+// through the chunk pipeline while f executes, overlapping back-end
+// latency with the (possibly expensive) mapped function; additional
+// argument arrays are materialized up front.
+func MapCtx(ctx context.Context, f Mapper, arrays ...*Array) (*Array, error) {
 	if len(arrays) == 0 {
 		return nil, fmt.Errorf("array: MAP needs at least one array")
 	}
@@ -23,34 +32,41 @@ func Map(f Mapper, arrays ...*Array) (*Array, error) {
 			return nil, fmt.Errorf("array: MAP shape mismatch %v vs %v", shape, a.Shape)
 		}
 	}
-	mats := make([]*Array, len(arrays))
-	for i, a := range arrays {
-		m, err := a.Materialize()
+	rest := make([]*Array, len(arrays)-1)
+	for i, a := range arrays[1:] {
+		m, err := a.MaterializeCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
-		mats[i] = m
+		rest[i] = m
 	}
 	n := Prod(shape)
 	vals := make([]Number, n)
 	args := make([]Number, len(arrays))
 	allInt := true
-	for i := 0; i < n; i++ {
-		for k, m := range mats {
+	i := 0
+	err := arrays[0].EachCtx(ctx, func(_ []int, v0 Number) error {
+		args[0] = v0
+		for k, m := range rest {
 			if m.Base.Etype == Int {
-				args[k] = IntN(m.Base.I[i])
+				args[k+1] = IntN(m.Base.I[i])
 			} else {
-				args[k] = FloatN(m.Base.F[i])
+				args[k+1] = FloatN(m.Base.F[i])
 			}
 		}
 		v, err := f(args)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vals[i] = v
 		if v.T != Int {
 			allInt = false
 		}
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out *Array
 	if allInt {
@@ -75,9 +91,15 @@ type Reducer func(acc, v Number) (Number, error)
 // the reducer (the Array-Algebra CONDENSE second-order function,
 // §4.3.1). Empty views cannot occur (shapes have positive extents).
 func Condense(f Reducer, a *Array) (Number, error) {
+	return CondenseCtx(context.Background(), f, a)
+}
+
+// CondenseCtx is Condense under a context; the fold consumes chunks as
+// they stream in (see EachCtx).
+func CondenseCtx(ctx context.Context, f Reducer, a *Array) (Number, error) {
 	var acc Number
 	first := true
-	err := a.Each(func(_ []int, v Number) error {
+	err := a.EachCtx(ctx, func(_ []int, v Number) error {
 		if first {
 			acc = v
 			first = false
@@ -124,6 +146,11 @@ func Build(etype ElemType, shape []int, f Generator) (*Array, error) {
 // 1-element vector when the input is 1-D). This implements the
 // intra-array computations of §4.1.5.
 func (a *Array) AggregateAlong(op AggOp, dim int) (*Array, error) {
+	return a.AggregateAlongCtx(context.Background(), op, dim)
+}
+
+// AggregateAlongCtx is AggregateAlong under a context.
+func (a *Array) AggregateAlongCtx(ctx context.Context, op AggOp, dim int) (*Array, error) {
 	if dim < 0 || dim >= len(a.Shape) {
 		return nil, fmt.Errorf("array: aggregation dimension %d out of range", dim)
 	}
@@ -136,7 +163,7 @@ func (a *Array) AggregateAlong(op AggOp, dim int) (*Array, error) {
 	if len(outShape) == 0 {
 		outShape = []int{1}
 	}
-	if err := a.Prefetch(); err != nil {
+	if err := a.PrefetchCtx(ctx); err != nil {
 		return nil, err
 	}
 	return Build(Float, outShape, func(idx []int) (Number, error) {

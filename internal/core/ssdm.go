@@ -51,6 +51,13 @@ type Options struct {
 	// while enumerating solutions (0 = unlimited) — the budget against
 	// runaway joins and property-path expansions.
 	MaxBindings int64
+
+	// ChunkCacheBytes sets the byte budget of the process-wide chunk
+	// cache array proxies fetch into: 0 leaves the current budget
+	// (array.DefaultChunkCacheBytes unless already reconfigured),
+	// negative means unlimited. The cache is shared by every SSDM
+	// instance in the process, so the last instance opened wins.
+	ChunkCacheBytes int64
 }
 
 // Typed failure classes re-exported from the engine so callers holding
@@ -109,6 +116,9 @@ func Open() *SSDM {
 func OpenWith(opts Options) *SSDM {
 	if opts.ChunkBytes <= 0 {
 		opts.ChunkBytes = storage.DefaultChunkBytes
+	}
+	if opts.ChunkCacheBytes != 0 {
+		array.SharedChunkCache().SetBudget(opts.ChunkCacheBytes)
 	}
 	ds := rdf.NewDataset()
 	return &SSDM{
@@ -284,6 +294,13 @@ func (s *SSDM) parseQueryCached(src string) (*sparql.Query, error) {
 // misses, resident entries, invalidation epoch).
 func (s *SSDM) QueryCacheStats() CacheStats {
 	return s.qcache.stats()
+}
+
+// ChunkCacheStats reports the counters of the process-wide chunk cache
+// array proxies fetch into (hits, misses, coalesced fetches,
+// evictions, resident bytes and high-water mark).
+func (s *SSDM) ChunkCacheStats() array.ChunkCacheStats {
+	return array.SharedChunkCache().Stats()
 }
 
 // Prepared is a parsed query that can be executed repeatedly with

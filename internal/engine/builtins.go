@@ -398,7 +398,7 @@ func bACount(_ *evalCtx, args []rdf.Term) (rdf.Term, error) {
 // arrayAgg makes asum/aavg/amin/amax: over the whole array, or along a
 // 1-based dimension when a second argument is given (§4.1.5).
 func arrayAgg(op array.AggOp) func(*evalCtx, []rdf.Term) (rdf.Term, error) {
-	return func(_ *evalCtx, args []rdf.Term) (rdf.Term, error) {
+	return func(c *evalCtx, args []rdf.Term) (rdf.Term, error) {
 		a, err := asArray(args[0])
 		if err != nil {
 			return nil, err
@@ -408,13 +408,13 @@ func arrayAgg(op array.AggOp) func(*evalCtx, []rdf.Term) (rdf.Term, error) {
 			if !ok {
 				return nil, errf("aggregation dimension must be numeric")
 			}
-			res, err := a.AggregateAlong(op, int(d.Intval())-1)
+			res, err := a.AggregateAlongCtx(c.matchCtx(), op, int(d.Intval())-1)
 			if err != nil {
 				return nil, &exprError{msg: err.Error()}
 			}
 			return rdf.NewArray(res), nil
 		}
-		n, err := a.Aggregate(op)
+		n, err := a.AggregateCtx(c.matchCtx(), op)
 		if err != nil {
 			return nil, &exprError{msg: err.Error()}
 		}
@@ -590,7 +590,7 @@ func bMap(c *evalCtx, args []rdf.Term) (rdf.Term, error) {
 		}
 		return n, nil
 	}
-	out, err := array.Map(mapper, arrays...)
+	out, err := array.MapCtx(c.matchCtx(), mapper, arrays...)
 	if err != nil {
 		return nil, &exprError{msg: err.Error()}
 	}
@@ -616,7 +616,7 @@ func bCondense(c *evalCtx, args []rdf.Term) (rdf.Term, error) {
 		}
 		return n, nil
 	}
-	n, err := array.Condense(reducer, a)
+	n, err := array.CondenseCtx(c.matchCtx(), reducer, a)
 	if err != nil {
 		return nil, &exprError{msg: err.Error()}
 	}

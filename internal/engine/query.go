@@ -280,7 +280,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			}
 		}
 		for p, chunks := range pending {
-			if err := p.PrefetchChunks(chunks); err != nil {
+			if err := p.PrefetchChunksCtx(ctx.matchCtx(), chunks); err != nil {
 				return nil, err
 			}
 		}

@@ -40,6 +40,10 @@ type Options struct {
 	// Bandwidth is the simulated result-transfer rate of the relational
 	// back-end in bytes/second; 0 disables the volume cost.
 	Bandwidth int64
+	// FileLatency is the simulated per-request latency of the file
+	// back-end in the parallelism sweep (E8), modeling a remote chunk
+	// store; 0 leaves the file config page-cache bound.
+	FileLatency time.Duration
 	// Iters is the number of timed queries per cell.
 	Iters int
 	// Workload scales the mini-benchmark dataset.
@@ -55,6 +59,7 @@ func DefaultOptions(tempDir string) Options {
 	return Options{
 		RoundTripDelay: 200 * time.Microsecond,
 		Bandwidth:      100 << 20, // 100 MB/s
+		FileLatency:    200 * time.Microsecond,
 		Iters:          5,
 		Workload:       minibench.DefaultWorkload(),
 		Bistab:         bistab.DefaultConfig(),
@@ -120,22 +125,44 @@ func timeQueries(db *core.SSDM, p minibench.Pattern, w minibench.Workload, param
 func E1(w io.Writer, o Options) error {
 	fmt.Fprintf(w, "Experiment 1: retrieval strategies (arrays %dx%d, chunk %d B, RTT %v)\n",
 		o.Workload.Rows, o.Workload.Cols, o.Workload.ChunkBytes, o.RoundTripDelay)
-	configs, err := BuildConfigs(o, 256)
+	cells, err := E1Report(o)
 	if err != nil {
 		return err
 	}
+	// cells are ordered pattern-major in config order.
+	perPattern := len(cells) / len(minibench.AllPatterns)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "pattern")
-	for _, c := range configs {
-		fmt.Fprintf(tw, "\t%s", c.Name)
+	for _, c := range cells[:perPattern] {
+		fmt.Fprintf(tw, "\t%s", c.Config)
 	}
 	fmt.Fprintf(tw, "\t(stmts single/buf/spd)\n")
+	for pi, p := range minibench.AllPatterns {
+		fmt.Fprintf(tw, "%s", p)
+		var stmts []int64
+		for _, c := range cells[pi*perPattern : (pi+1)*perPattern] {
+			fmt.Fprintf(tw, "\t%v", time.Duration(c.NanosPerQ).Round(10*time.Microsecond))
+			if c.Config != "RESIDENT" && c.Config != "MEMORY" && c.Config != "FILE" {
+				stmts = append(stmts, c.StmtsPerQ)
+			}
+		}
+		fmt.Fprintf(tw, "\t%v\n", stmts)
+	}
+	return tw.Flush()
+}
 
+// E1Report is the machine-readable form of Experiment 1: one Cell per
+// pattern × configuration, pattern-major in configuration order.
+func E1Report(o Options) ([]Cell, error) {
+	configs, err := BuildConfigs(o, 256)
+	if err != nil {
+		return nil, err
+	}
 	dbs := make([]*core.SSDM, len(configs))
 	for i, c := range configs {
 		db, err := minibench.Build(o.Workload, c.Backend)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if c.DB != nil {
 			c.DB.RoundTripDelay = o.RoundTripDelay
@@ -143,9 +170,8 @@ func E1(w io.Writer, o Options) error {
 		}
 		dbs[i] = db
 	}
+	var cells []Cell
 	for _, p := range minibench.AllPatterns {
-		fmt.Fprintf(tw, "%s", p)
-		var stmts []int64
 		for i, c := range configs {
 			var before relstore.Stats
 			if c.DB != nil {
@@ -153,17 +179,20 @@ func E1(w io.Writer, o Options) error {
 			}
 			d, err := timeQueries(dbs[i], p, o.Workload, 4, o.Iters)
 			if err != nil {
-				return fmt.Errorf("%s/%s: %w", c.Name, p, err)
+				return nil, fmt.Errorf("%s/%s: %w", c.Name, p, err)
 			}
-			fmt.Fprintf(tw, "\t%v", d.Round(10*time.Microsecond))
+			cell := Cell{Experiment: "1", Pattern: p.String(), Config: c.Name, NanosPerQ: int64(d)}
 			if c.DB != nil {
 				after := c.DB.StatsSnapshot()
-				stmts = append(stmts, (after.Statements-before.Statements)/int64(o.Iters))
+				cell.StmtsPerQ = (after.Statements - before.Statements) / int64(o.Iters)
 			}
+			if c.Backend != nil {
+				cell.InflightPeak = inflightPeak(c.Backend)
+			}
+			cells = append(cells, cell)
 		}
-		fmt.Fprintf(tw, "\t%v\n", stmts)
 	}
-	return tw.Flush()
+	return cells, nil
 }
 
 // E2 — Varying the Buffer Size (§6.3.3): the buffered IN-list strategy

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"scisparql/internal/minibench"
+	"scisparql/internal/relstore"
+	"scisparql/internal/storage"
+	"scisparql/internal/storage/filestore"
+	"scisparql/internal/storage/relbackend"
+)
+
+// ParallelismLevels is the fetch-worker sweep of Experiment 8.
+var ParallelismLevels = []int{1, 2, 4, 8, 16}
+
+// Cell is one machine-readable measurement, shared by the JSON report
+// (ssdm-bench -json) and the printed tables.
+type Cell struct {
+	Experiment   string  `json:"experiment"`
+	Pattern      string  `json:"pattern"`
+	Config       string  `json:"config"`
+	Workers      int     `json:"workers,omitempty"`
+	NanosPerQ    int64   `json:"nanos_per_query"`
+	StmtsPerQ    int64   `json:"stmts_per_query,omitempty"`
+	InflightPeak int64   `json:"inflight_peak,omitempty"`
+	SpeedupVs1   float64 `json:"speedup_vs_1,omitempty"`
+}
+
+// Report is the JSON document ssdm-bench -json writes: the workload
+// scale plus the cells of the retrieval-strategy comparison (E1) and
+// the parallelism sweep (E8).
+type Report struct {
+	RTTNanos         int64  `json:"rtt_nanos"`
+	FileLatencyNanos int64  `json:"file_latency_nanos"`
+	ChunkBytes       int    `json:"chunk_bytes"`
+	Rows             int    `json:"rows"`
+	Cols             int    `json:"cols"`
+	NumArrays        int    `json:"num_arrays"`
+	Iters            int    `json:"iters"`
+	MaxParallelism   int    `json:"max_parallelism"`
+	GeneratedAt      string `json:"generated_at,omitempty"`
+	Cells            []Cell `json:"cells"`
+}
+
+// BuildReport measures experiments 1 and 8 and assembles the JSON
+// report (the caller stamps GeneratedAt).
+func BuildReport(o Options) (*Report, error) {
+	e1, err := E1Report(o)
+	if err != nil {
+		return nil, err
+	}
+	e8, err := E8Report(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		RTTNanos:         int64(o.RoundTripDelay),
+		FileLatencyNanos: int64(o.FileLatency),
+		ChunkBytes:       o.Workload.ChunkBytes,
+		Rows:             o.Workload.Rows,
+		Cols:             o.Workload.Cols,
+		NumArrays:        o.Workload.NumArrays,
+		Iters:            o.Iters,
+		MaxParallelism:   storage.MaxParallelism,
+		Cells:            append(e1, e8...),
+	}, nil
+}
+
+// WriteJSON marshals the report, indented.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// e8Patterns are the access patterns swept by Experiment 8: the
+// sequential scan, the maximally strided column, and the scattered
+// random pattern.
+var e8Patterns = []minibench.Pattern{
+	minibench.PatternFull, minibench.PatternColumn, minibench.PatternRandom,
+}
+
+// e8ConfigNames are the storage configurations swept by Experiment 8.
+var e8ConfigNames = []string{"RESIDENT", "MEMORY", "FILE", "SQL-SINGLE", "SQL-SPD"}
+
+// e8Config builds one fresh storage configuration, so per-level
+// counters and inflight gauges start from zero.
+func e8Config(o Options, name, tmpSub string) (Config, error) {
+	switch name {
+	case "RESIDENT":
+		return Config{Name: name}, nil
+	case "MEMORY":
+		return Config{Name: name, Backend: storage.NewMemory()}, nil
+	case "FILE":
+		fs, err := filestore.New(o.TempDir + "/" + tmpSub)
+		if err != nil {
+			return Config{}, err
+		}
+		// Charge a per-request latency so the file config models a
+		// remote chunk store (the scenario a fetch pool helps); local
+		// zero-latency files are page-cache bound and stay flat.
+		fs.SimulatedLatency = o.FileLatency
+		return Config{Name: name, Backend: fs, Store: fs}, nil
+	case "SQL-SINGLE", "SQL-SPD":
+		db := relstore.NewDatabase()
+		rb, err := relbackend.New(db)
+		if err != nil {
+			return Config{}, err
+		}
+		if name == "SQL-SINGLE" {
+			rb.Strategy = relbackend.StrategySingle
+		} else {
+			rb.Strategy = relbackend.StrategySPD
+		}
+		rb.Aggregable = false // measure retrieval, not AAPR
+		db.RoundTripDelay = 0 // loading is not timed with latency
+		return Config{Name: name, Backend: rb, DB: db}, nil
+	default:
+		return Config{}, fmt.Errorf("experiments: unknown E8 config %q", name)
+	}
+}
+
+// inflightPeak reads a back-end's concurrent-fetch high-water mark.
+func inflightPeak(b storage.Backend) int64 {
+	if v, ok := b.(interface{ InflightPeak() int64 }); ok {
+		return v.InflightPeak()
+	}
+	return 0
+}
+
+func e8Param(p minibench.Pattern) int {
+	if p == minibench.PatternRandom {
+		return 64
+	}
+	return 4
+}
+
+// E8Report runs the parallelism sweep: every configuration × pattern ×
+// worker-pool width, each cell on a freshly built store. The global
+// parallelism knob is restored afterwards.
+func E8Report(o Options) ([]Cell, error) {
+	defer storage.SetParallelism(0)
+	var cells []Cell
+	for _, name := range e8ConfigNames {
+		for _, p := range e8Patterns {
+			var base time.Duration
+			for _, lvl := range ParallelismLevels {
+				storage.SetParallelism(lvl)
+				cfg, err := e8Config(o, name, fmt.Sprintf("e8-%s-%s-w%d", name, p, lvl))
+				if err != nil {
+					return nil, err
+				}
+				db, err := minibench.Build(o.Workload, cfg.Backend)
+				if err != nil {
+					return nil, err
+				}
+				if cfg.DB != nil {
+					cfg.DB.RoundTripDelay = o.RoundTripDelay
+					cfg.DB.Bandwidth = o.Bandwidth
+				}
+				d, err := timeQueries(db, p, o.Workload, e8Param(p), o.Iters)
+				if err != nil {
+					return nil, fmt.Errorf("E8 %s/%s w=%d: %w", name, p, lvl, err)
+				}
+				if lvl == ParallelismLevels[0] {
+					base = d
+				}
+				cell := Cell{
+					Experiment: "8",
+					Pattern:    p.String(),
+					Config:     name,
+					Workers:    lvl,
+					NanosPerQ:  int64(d),
+				}
+				if cfg.Backend != nil {
+					cell.InflightPeak = inflightPeak(cfg.Backend)
+				}
+				if cfg.DB != nil {
+					st := cfg.DB.StatsSnapshot()
+					cell.StmtsPerQ = st.Statements / int64(o.Iters)
+				}
+				if base > 0 && d > 0 {
+					cell.SpeedupVs1 = float64(base) / float64(d)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// E8 — parallel, pipelined chunk retrieval: query time as the fetch
+// worker pool widens, per storage configuration and access pattern.
+// Latency-bound back-ends (FILE against a simulated remote store, the
+// SQL strategies with a round-trip delay) should improve until the
+// pool covers the pattern's fetch units; RESIDENT and MEMORY have no
+// latency to hide and must stay flat.
+func E8(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 8: parallel chunk retrieval (RTT %v, file latency %v, chunk %d B)\n",
+		o.RoundTripDelay, o.FileLatency, o.Workload.ChunkBytes)
+	cells, err := E8Report(o)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "config\tpattern")
+	for _, lvl := range ParallelismLevels {
+		fmt.Fprintf(tw, "\tw=%d", lvl)
+	}
+	fmt.Fprintf(tw, "\tspeedup\tpeak\n")
+	// cells are ordered config-major, pattern, then level.
+	i := 0
+	for _, name := range e8ConfigNames {
+		for _, p := range e8Patterns {
+			fmt.Fprintf(tw, "%s\t%s", name, p)
+			var last Cell
+			for range ParallelismLevels {
+				c := cells[i]
+				i++
+				fmt.Fprintf(tw, "\t%v", time.Duration(c.NanosPerQ).Round(10*time.Microsecond))
+				last = c
+			}
+			fmt.Fprintf(tw, "\t%.2fx\t%d\n", last.SpeedupVs1, last.InflightPeak)
+		}
+	}
+	return tw.Flush()
+}

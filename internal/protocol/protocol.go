@@ -97,15 +97,26 @@ type Response struct {
 }
 
 // Stats is the server statistics snapshot returned for OpStats:
-// compiled-query cache counters plus the default-graph size, the
-// numbers an operator watches to confirm hot queries are being served
-// from cache.
+// compiled-query cache counters, chunk-cache counters and the
+// default-graph size — the numbers an operator watches to confirm hot
+// queries are being served from cache and the array chunk cache is
+// sized right.
 type Stats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheEpoch   uint64 `json:"cache_epoch"`
 	Triples      int    `json:"triples"`
+
+	// Shared chunk-cache counters (see array.ChunkCacheStats).
+	ChunkCacheHits      int64 `json:"chunk_cache_hits"`
+	ChunkCacheMisses    int64 `json:"chunk_cache_misses"`
+	ChunkCacheCoalesced int64 `json:"chunk_cache_coalesced"`
+	ChunkCacheEvictions int64 `json:"chunk_cache_evictions"`
+	ChunkCacheEntries   int64 `json:"chunk_cache_entries"`
+	ChunkCacheBytes     int64 `json:"chunk_cache_bytes"`
+	ChunkCachePeakBytes int64 `json:"chunk_cache_peak_bytes"`
+	ChunkCacheBudget    int64 `json:"chunk_cache_budget"`
 }
 
 // EncodeTerm converts an RDF term to its wire form.

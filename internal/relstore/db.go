@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -103,7 +104,6 @@ func (db *Database) Exec(sql string, params ...Value) (*Result, error) {
 		return nil, fmt.Errorf("relstore: statement has %d parameters, %d supplied", st.nparams, len(params))
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.stats.Statements++
 	bytesBefore := db.stats.BytesReturned
 	var res *Result
@@ -117,15 +117,24 @@ func (db *Database) Exec(sql string, params ...Value) (*Result, error) {
 	case stmtDelete:
 		res, err = db.execDelete(st, params)
 	default:
-		return nil, fmt.Errorf("relstore: unsupported statement")
+		err = fmt.Errorf("relstore: unsupported statement")
 	}
+	var delay time.Duration
 	if err == nil {
-		delay := db.RoundTripDelay
+		delay = db.RoundTripDelay
 		if db.Bandwidth > 0 {
 			if delta := db.stats.BytesReturned - bytesBefore; delta > 0 {
 				delay += time.Duration(delta * int64(time.Second) / db.Bandwidth)
 			}
 		}
+	}
+	// The simulated round trip happens *outside* db.mu: the lock
+	// protects table data, not the wire. Concurrent statements — the
+	// parallel chunk-retrieval pipeline issues them — serialize only on
+	// the table operation (microseconds) while their simulated network
+	// latencies overlap, just as round trips to a real DBMS would.
+	db.mu.Unlock()
+	if err == nil {
 		simulateDelay(delay)
 	}
 	return res, err
@@ -133,7 +142,16 @@ func (db *Database) Exec(sql string, params ...Value) (*Result, error) {
 
 // simulateDelay models client/server latency. time.Sleep granularity
 // can exceed a millisecond, which would swamp sub-millisecond
-// round-trip costs, so short delays spin on the monotonic clock.
+// round-trip costs, so short delays wait on the monotonic clock in a
+// yield loop (runtime.Gosched) rather than sleeping. Yielding — unlike
+// a hard spin — lets concurrent statements' delays overlap even on a
+// single-core host: every waiter's deadline advances on the shared
+// wall clock while the scheduler round-robins the loop, so N
+// concurrent round trips cost ~one delay, not N. The worst case is a
+// runnable goroutine that never blocks; it can hold the core for a
+// scheduler slice (~10ms) and stretch a sub-millisecond wait, but the
+// pipeline's consumers block on channels between chunks, so in
+// practice the wait stays accurate.
 func simulateDelay(d time.Duration) {
 	if d <= 0 {
 		return
@@ -144,6 +162,7 @@ func simulateDelay(d time.Duration) {
 	}
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 

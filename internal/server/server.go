@@ -296,12 +296,22 @@ func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
 		return &protocol.Response{OK: true, Count: 1}
 	case protocol.OpStats:
 		cs := s.DB.QueryCacheStats()
+		cc := s.DB.ChunkCacheStats()
 		return &protocol.Response{OK: true, Stats: &protocol.Stats{
 			CacheHits:    cs.Hits,
 			CacheMisses:  cs.Misses,
 			CacheEntries: cs.Entries,
 			CacheEpoch:   cs.Epoch,
 			Triples:      s.DB.Dataset.Default.Size(),
+
+			ChunkCacheHits:      cc.Hits,
+			ChunkCacheMisses:    cc.Misses,
+			ChunkCacheCoalesced: cc.Coalesced,
+			ChunkCacheEvictions: cc.Evictions,
+			ChunkCacheEntries:   cc.Entries,
+			ChunkCacheBytes:     cc.Bytes,
+			ChunkCachePeakBytes: cc.PeakBytes,
+			ChunkCacheBudget:    cc.Budget,
 		}}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}

@@ -211,3 +211,50 @@ func TestStatsOverWire(t *testing.T) {
 		t.Fatalf("entries %d, want 1", st.CacheEntries)
 	}
 }
+
+func TestChunkCacheStatsOverWire(t *testing.T) {
+	// The chunk cache is process-wide; start from clean counters so the
+	// assertions below are about this test's traffic.
+	array.SharedChunkCache().Reset()
+	_, cl := startServer(t)
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	a, _ := array.FromFloats(data, 4096)
+	if err := cl.AddArrayTriple("http://ex/run1", "http://ex/result", a); err != nil {
+		t.Fatal(err)
+	}
+	const q = `PREFIX ex: <http://ex/>
+SELECT (?r[10] AS ?v) WHERE { ?run ex:result ?r }`
+	// First query faults the chunk in (miss); the repeat hits the cache.
+	for i := 0; i < 2; i++ {
+		res, err := cl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// SciSPARQL subscripts are 1-based: ?r[10] is data[9].
+		if res.Len() != 1 || res.Get(0, "v") != rdf.Float(9) {
+			t.Fatalf("%v", res.Rows)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunkCacheMisses == 0 {
+		t.Fatalf("stats %+v: first element access should be a chunk-cache miss", st)
+	}
+	if st.ChunkCacheHits == 0 {
+		t.Fatalf("stats %+v: repeated element access should be a chunk-cache hit", st)
+	}
+	if st.ChunkCacheEntries == 0 || st.ChunkCacheBytes == 0 {
+		t.Fatalf("stats %+v: cached chunk not visible over the wire", st)
+	}
+	if st.ChunkCacheBudget == 0 {
+		t.Fatalf("stats %+v: budget should report the default", st)
+	}
+	if st.ChunkCachePeakBytes < st.ChunkCacheBytes {
+		t.Fatalf("stats %+v: peak below resident bytes", st)
+	}
+}

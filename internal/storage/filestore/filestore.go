@@ -8,14 +8,18 @@
 package filestore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"time"
 
 	"scisparql/internal/array"
 	"scisparql/internal/spd"
+	"scisparql/internal/storage"
 )
 
 const magic = uint32(0x53534d41) // "SSMA"
@@ -31,6 +35,16 @@ func headerSize(ndims int) int64 { return 4 + 1 + 1 + 2 + 4 + 8*int64(ndims) }
 type Store struct {
 	dir string
 
+	// SimulatedLatency, when positive, charges this much wall-clock
+	// latency to every physical read request, modeling a store where
+	// each chunk fetch is a network round trip (NFS, object storage)
+	// rather than a page-cache hit. With it set, contiguous runs are
+	// *not* coalesced into one pread — each chunk is an independent
+	// request, as it would be against a chunk-per-object store — which
+	// is what gives the fetch worker pool latency to hide. Set it
+	// before the store is shared.
+	SimulatedLatency time.Duration
+
 	mu     sync.Mutex
 	nextID int64
 	open   map[int64]*os.File
@@ -38,6 +52,8 @@ type Store struct {
 	// Counters for experiments; guarded by mu (see Stats).
 	ReadCalls int64
 	BytesRead int64
+
+	inflight storage.InflightGauge
 }
 
 // New creates (or reuses) a directory-backed store. Existing array
@@ -209,81 +225,112 @@ func (s *Store) Close() error {
 	return first
 }
 
-// ReadChunks implements array.ChunkSource with positioned reads. Each
-// contiguous run becomes a single ReadAt; strided runs read chunk by
-// chunk.
+// ReadChunks implements array.ChunkSource with positioned reads.
 func (s *Store) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
-	m, err := s.meta(arrayID)
+	out := make(map[int][]byte)
+	err := s.ReadChunksCtx(context.Background(), arrayID, runs, func(chunkNo int, data []byte) error {
+		out[chunkNo] = data
+		return nil
+	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// readUnit is one physical read request: a span of count consecutive
+// chunks starting at chunk start (count 1 for strided access).
+type readUnit struct {
+	start, count int
+}
+
+// ReadChunksCtx implements array.ChunkSourceCtx. The runs are cut into
+// read units — one pread per contiguous run, one per chunk when runs
+// are strided or SimulatedLatency models per-request cost — and the
+// units are issued concurrently by up to storage.Parallelism() workers
+// sharing the array's file handle via ReadAt, which is safe and
+// position-independent. Payloads are emitted serially on the calling
+// goroutine; cancelling ctx stops the in-flight workers.
+func (s *Store) ReadChunksCtx(ctx context.Context, arrayID int64, runs []spd.Run, emit func(chunkNo int, data []byte) error) error {
+	m, err := s.meta(arrayID)
+	if err != nil {
+		return err
 	}
 	f, err := s.file(arrayID)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	chunkBytes := m.chunkElems * array.ElemSize
 	totalBytes := m.nelems * array.ElemSize
-	out := make(map[int][]byte)
-	readOne := func(c int) error {
-		off := c * chunkBytes
-		if off >= totalBytes {
-			return fmt.Errorf("filestore: chunk %d out of range for array %d", c, arrayID)
+
+	var units []readUnit
+	for _, r := range runs {
+		switch {
+		case r.Stride == 1 && r.Count > 1 && s.SimulatedLatency <= 0:
+			units = append(units, readUnit{start: r.Start, count: r.Count})
+		default:
+			for _, c := range r.Expand(nil) {
+				units = append(units, readUnit{start: c, count: 1})
+			}
 		}
-		n := chunkBytes
+	}
+
+	return storage.RunUnits(ctx, len(units), &s.inflight, func(ctx context.Context, i int) ([]storage.Chunk, error) {
+		u := units[i]
+		off := u.start * chunkBytes
+		if off >= totalBytes {
+			return nil, fmt.Errorf("filestore: chunk %d out of range for array %d", u.start, arrayID)
+		}
+		n := u.count * chunkBytes
 		if off+n > totalBytes {
 			n = totalBytes - off
 		}
 		buf := make([]byte, n)
 		if _, err := f.ReadAt(buf, m.dataOff+int64(off)); err != nil {
-			return err
+			return nil, err
 		}
+		simulateLatency(s.SimulatedLatency)
 		s.mu.Lock()
 		s.ReadCalls++
 		s.BytesRead += int64(n)
 		s.mu.Unlock()
-		out[c] = buf
-		return nil
-	}
-	for _, r := range runs {
-		if r.Stride == 1 && r.Count > 1 {
-			// One sequential read covering the whole run.
-			off := r.Start * chunkBytes
-			if off >= totalBytes {
-				return nil, fmt.Errorf("filestore: chunk %d out of range for array %d", r.Start, arrayID)
+		chunks := make([]storage.Chunk, 0, u.count)
+		for i := 0; i < u.count; i++ {
+			lo := i * chunkBytes
+			if lo >= n {
+				break
 			}
-			n := r.Count * chunkBytes
-			if off+n > totalBytes {
-				n = totalBytes - off
+			hi := lo + chunkBytes
+			if hi > n {
+				hi = n
 			}
-			buf := make([]byte, n)
-			if _, err := f.ReadAt(buf, m.dataOff+int64(off)); err != nil {
-				return nil, err
-			}
-			s.mu.Lock()
-			s.ReadCalls++
-			s.BytesRead += int64(n)
-			s.mu.Unlock()
-			for i := 0; i < r.Count; i++ {
-				lo := i * chunkBytes
-				if lo >= n {
-					break
-				}
-				hi := lo + chunkBytes
-				if hi > n {
-					hi = n
-				}
-				out[r.Start+i] = buf[lo:hi]
-			}
-			continue
+			chunks = append(chunks, storage.Chunk{No: u.start + i, Data: buf[lo:hi]})
 		}
-		for _, c := range r.Expand(nil) {
-			if err := readOne(c); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
+		return chunks, nil
+	}, emit)
 }
+
+// simulateLatency charges the per-request latency of a remote store.
+// Short waits use a Gosched yield loop rather than time.Sleep (whose
+// granularity exceeds a millisecond) so that concurrent requests'
+// latencies overlap even on a single-core host.
+func simulateLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= 2*time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// InflightPeak returns the high-water mark of concurrently in-flight
+// read units, verifying the worker pool's fan-out in experiments.
+func (s *Store) InflightPeak() int64 { return s.inflight.Peak() }
 
 // AggregateWhole implements array.ChunkSource. Plain files offer no
 // computation capability, so the proxy falls back to chunk fetches —

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxParallelism caps the fetch worker pool regardless of GOMAXPROCS:
+// chunk retrieval is latency-bound, and beyond a modest fan-out the
+// extra workers only add scheduling and memory pressure.
+const MaxParallelism = 16
+
+// parallelism is the configured worker count; 0 selects the default.
+var parallelism atomic.Int32
+
+// Parallelism returns the number of concurrent fetch workers a
+// back-end may use per retrieval (the bound on in-flight preads or SQL
+// statements during one ReadChunksCtx call). The default is
+// GOMAXPROCS capped at MaxParallelism; SetParallelism overrides it.
+func Parallelism() int {
+	if v := parallelism.Load(); v > 0 {
+		return int(v)
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxParallelism {
+		n = MaxParallelism
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetParallelism sets the fetch worker bound for all back-ends.
+// n <= 0 restores the default. Values above MaxParallelism are capped.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxParallelism {
+		n = MaxParallelism
+	}
+	parallelism.Store(int32(n))
+}
+
+// Chunk is one fetched chunk payload, the unit a fetch unit returns.
+type Chunk struct {
+	No   int
+	Data []byte
+}
+
+// InflightGauge tracks how many fetch units a back-end has in flight,
+// and the high-water mark, so experiments can verify that the worker
+// pool actually fans out.
+type InflightGauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Enter marks one unit in flight and updates the peak.
+func (g *InflightGauge) Enter() {
+	if g == nil {
+		return
+	}
+	cur := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if cur <= p || g.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// Exit marks one unit done.
+func (g *InflightGauge) Exit() {
+	if g == nil {
+		return
+	}
+	g.cur.Add(-1)
+}
+
+// Peak returns the high-water mark of concurrently in-flight units.
+func (g *InflightGauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// RunUnits executes n independent fetch units on a bounded worker pool
+// and delivers every fetched chunk to emit. fetch runs on pool workers
+// (concurrently, in any order); emit runs only on the calling
+// goroutine, serially, in unit arrival order. The first error — from
+// fetch, emit, or ctx — cancels the remaining work; RunUnits does not
+// return until every worker has exited, so no goroutines leak.
+//
+// The pool width is min(Parallelism(), n); with a width of one the
+// units run inline on the caller with no goroutines at all.
+func RunUnits(ctx context.Context, n int, g *InflightGauge, fetch func(ctx context.Context, unit int) ([]Chunk, error), emit func(chunkNo int, data []byte) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g.Enter()
+			chunks, err := fetch(ctx, i)
+			g.Exit()
+			if err != nil {
+				return err
+			}
+			for _, c := range chunks {
+				if err := emit(c.No, c.Data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	units := make(chan int)
+	results := make(chan []Chunk, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range units {
+				g.Enter()
+				chunks, err := fetch(wctx, i)
+				g.Exit()
+				if err != nil {
+					errs <- err
+					cancel()
+					return
+				}
+				select {
+				case results <- chunks:
+				case <-wctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	// Feed unit indices until done or cancelled.
+	go func() {
+		defer close(units)
+		for i := 0; i < n; i++ {
+			select {
+			case units <- i:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+	// Close results once every worker has exited so the drain loop
+	// below terminates.
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	for chunks := range results {
+		if firstErr != nil {
+			continue // drain after failure
+		}
+		for _, c := range chunks {
+			if err := emit(c.No, c.Data); err != nil {
+				firstErr = err
+				cancel()
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	return ctx.Err()
+}

@@ -21,10 +21,12 @@
 package relbackend
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"scisparql/internal/array"
 	"scisparql/internal/relstore"
@@ -70,6 +72,9 @@ type Backend struct {
 	mu     sync.Mutex
 	nextID int64
 	metas  map[int64]*meta
+
+	readCalls atomic.Int64
+	inflight  storage.InflightGauge
 }
 
 type meta struct {
@@ -213,21 +218,42 @@ func (b *Backend) Delete(id int64) error {
 // to the configured strategy.
 func (b *Backend) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
 	out := make(map[int][]byte)
-	aid := relstore.I64(arrayID)
-	collect := func(res *relstore.Result) {
-		for _, row := range res.Rows {
-			out[int(row[0].Int())] = row[1].Bytes()
-		}
+	err := b.ReadChunksCtx(context.Background(), arrayID, runs, func(chunkNo int, data []byte) error {
+		out[chunkNo] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// unitStmt is the SQL of one retrieval unit under the strategy: a
+// per-chunk point SELECT (SINGLE and SPD singletons), an IN list
+// (BUFFER), or a BETWEEN range with an optional MOD stride filter
+// (SPD).
+type unitStmt struct {
+	sql    string
+	params []relstore.Value
+}
+
+// ReadChunksCtx implements array.ChunkSourceCtx. Retrieval units —
+// one statement under the strategy's formulation rules — execute
+// concurrently on up to storage.Parallelism() workers, so independent
+// statement round trips overlap and row decoding of one result set
+// proceeds while other statements are still on the simulated wire.
+// Cancelling ctx stops issuing further statements within one unit.
+func (b *Backend) ReadChunksCtx(ctx context.Context, arrayID int64, runs []spd.Run, emit func(chunkNo int, data []byte) error) error {
+	b.readCalls.Add(1)
+	aid := relstore.I64(arrayID)
+	var units []unitStmt
 	switch b.Strategy {
 	case StrategySingle:
 		for _, c := range spd.Expand(runs) {
-			res, err := b.DB.Exec(`SELECT cno, data FROM chunks WHERE aid = ? AND cno = ?`,
-				aid, relstore.I64(int64(c)))
-			if err != nil {
-				return nil, err
-			}
-			collect(res)
+			units = append(units, unitStmt{
+				sql:    `SELECT cno, data FROM chunks WHERE aid = ? AND cno = ?`,
+				params: []relstore.Value{aid, relstore.I64(int64(c))},
+			})
 		}
 	case StrategyBuffered:
 		bufSize := b.BufferSize
@@ -242,45 +268,62 @@ func (b *Backend) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, err
 			}
 			batch := all[lo:hi]
 			placeholders := strings.Repeat("?, ", len(batch)-1) + "?"
-			sql := `SELECT cno, data FROM chunks WHERE aid = ? AND cno IN (` + placeholders + `)`
 			params := make([]relstore.Value, 0, len(batch)+1)
 			params = append(params, aid)
 			for _, c := range batch {
 				params = append(params, relstore.I64(int64(c)))
 			}
-			res, err := b.DB.Exec(sql, params...)
-			if err != nil {
-				return nil, err
-			}
-			collect(res)
+			units = append(units, unitStmt{
+				sql:    `SELECT cno, data FROM chunks WHERE aid = ? AND cno IN (` + placeholders + `)`,
+				params: params,
+			})
 		}
 	case StrategySPD:
 		for _, r := range runs {
-			var res *relstore.Result
-			var err error
 			switch {
 			case r.Count == 1:
-				res, err = b.DB.Exec(`SELECT cno, data FROM chunks WHERE aid = ? AND cno = ?`,
-					aid, relstore.I64(int64(r.Start)))
+				units = append(units, unitStmt{
+					sql:    `SELECT cno, data FROM chunks WHERE aid = ? AND cno = ?`,
+					params: []relstore.Value{aid, relstore.I64(int64(r.Start))},
+				})
 			case r.Stride == 1:
-				res, err = b.DB.Exec(`SELECT cno, data FROM chunks WHERE aid = ? AND cno BETWEEN ? AND ?`,
-					aid, relstore.I64(int64(r.Start)), relstore.I64(int64(r.Last())))
+				units = append(units, unitStmt{
+					sql:    `SELECT cno, data FROM chunks WHERE aid = ? AND cno BETWEEN ? AND ?`,
+					params: []relstore.Value{aid, relstore.I64(int64(r.Start)), relstore.I64(int64(r.Last()))},
+				})
 			default:
-				res, err = b.DB.Exec(
-					`SELECT cno, data FROM chunks WHERE aid = ? AND cno BETWEEN ? AND ? AND MOD(cno - ?, ?) = 0`,
-					aid, relstore.I64(int64(r.Start)), relstore.I64(int64(r.Last())),
-					relstore.I64(int64(r.Start)), relstore.I64(int64(r.Stride)))
+				units = append(units, unitStmt{
+					sql: `SELECT cno, data FROM chunks WHERE aid = ? AND cno BETWEEN ? AND ? AND MOD(cno - ?, ?) = 0`,
+					params: []relstore.Value{aid, relstore.I64(int64(r.Start)), relstore.I64(int64(r.Last())),
+						relstore.I64(int64(r.Start)), relstore.I64(int64(r.Stride))},
+				})
 			}
-			if err != nil {
-				return nil, err
-			}
-			collect(res)
 		}
 	default:
-		return nil, fmt.Errorf("relbackend: unknown strategy %v", b.Strategy)
+		return fmt.Errorf("relbackend: unknown strategy %v", b.Strategy)
 	}
-	return out, nil
+
+	return storage.RunUnits(ctx, len(units), &b.inflight, func(_ context.Context, i int) ([]storage.Chunk, error) {
+		res, err := b.DB.Exec(units[i].sql, units[i].params...)
+		if err != nil {
+			return nil, err
+		}
+		chunks := make([]storage.Chunk, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			chunks = append(chunks, storage.Chunk{No: int(row[0].Int()), Data: row[1].Bytes()})
+		}
+		return chunks, nil
+	}, emit)
 }
+
+// ReadCalls returns how many chunk-retrieval calls the back-end served
+// (each may span many SQL statements; see the database's Statements
+// counter for those).
+func (b *Backend) ReadCalls() int64 { return b.readCalls.Load() }
+
+// InflightPeak returns the high-water mark of concurrently in-flight
+// retrieval statements, verifying the worker pool's fan-out.
+func (b *Backend) InflightPeak() int64 { return b.inflight.Peak() }
 
 // AggregateWhole implements array.ChunkSource: when the ELEM* UDFs are
 // available, whole-array aggregates are computed inside the database

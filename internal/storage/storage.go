@@ -13,6 +13,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -102,6 +103,8 @@ type Memory struct {
 	ReadCalls    int64
 	ChunksServed int64
 	BytesServed  int64
+
+	inflight InflightGauge
 }
 
 // NewMemory creates an empty in-memory back-end.
@@ -170,26 +173,49 @@ func (m *Memory) Delete(id int64) error {
 
 // ReadChunks implements array.ChunkSource.
 func (m *Memory) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
-	sa, err := m.get(arrayID)
+	out := make(map[int][]byte)
+	err := m.ReadChunksCtx(context.Background(), arrayID, runs, func(chunkNo int, data []byte) error {
+		out[chunkNo] = data
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int][]byte)
+	return out, nil
+}
+
+// ReadChunksCtx implements array.ChunkSourceCtx. Chunks already live in
+// process memory, so there is no latency to hide: payloads are emitted
+// sequentially with a cancellation check per chunk. The inflight gauge
+// tracks concurrent ReadChunksCtx calls (parallel queries), not worker
+// fan-out.
+func (m *Memory) ReadChunksCtx(ctx context.Context, arrayID int64, runs []spd.Run, emit func(chunkNo int, data []byte) error) error {
+	m.inflight.Enter()
+	defer m.inflight.Exit()
+	sa, err := m.get(arrayID)
+	if err != nil {
+		return err
+	}
 	var served, bytes int64
 	for _, c := range spd.Expand(runs) {
-		if c < 0 || c >= len(sa.chunks) {
-			return nil, fmt.Errorf("storage: chunk %d out of range for array %d", c, arrayID)
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		out[c] = sa.chunks[c]
+		if c < 0 || c >= len(sa.chunks) {
+			return fmt.Errorf("storage: chunk %d out of range for array %d", c, arrayID)
+		}
 		served++
 		bytes += int64(len(sa.chunks[c]))
+		if err := emit(c, sa.chunks[c]); err != nil {
+			return err
+		}
 	}
 	m.mu.Lock()
 	m.ReadCalls++
 	m.ChunksServed += served
 	m.BytesServed += bytes
 	m.mu.Unlock()
-	return out, nil
+	return nil
 }
 
 // Stats returns a consistent snapshot of the experiment counters; use
@@ -199,6 +225,9 @@ func (m *Memory) Stats() (readCalls, chunksServed, bytesServed int64) {
 	defer m.mu.Unlock()
 	return m.ReadCalls, m.ChunksServed, m.BytesServed
 }
+
+// InflightPeak returns the high-water mark of concurrent read calls.
+func (m *Memory) InflightPeak() int64 { return m.inflight.Peak() }
 
 // AggregateWhole implements array.ChunkSource: the memory back-end is
 // aggregation-capable.
