@@ -26,17 +26,25 @@
 //
 // -json FILE additionally measures experiments 1 and 8 and writes
 // their cells as a machine-readable JSON report (see BENCH_pr4.json).
+//
+// -metrics-addr starts the same HTTP observability listener as
+// ssdm-server (/metrics, /debug/vars, /debug/pprof/*) for profiling a
+// long benchmark run while it executes.
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the default HTTP mux
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default HTTP mux
 	"os"
 	"strings"
 	"time"
 
 	"scisparql/internal/array"
 	"scisparql/internal/experiments"
+	"scisparql/internal/metrics"
 	"scisparql/internal/storage"
 )
 
@@ -55,7 +63,17 @@ func main() {
 	cases := flag.Int("cases", 8, "BISTAB parameter cases")
 	realizations := flag.Int("realizations", 4, "BISTAB realizations per case")
 	steps := flag.Int("steps", 2048, "BISTAB trajectory length")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener while benchmarks run: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		http.Handle("/metrics", metrics.Default().Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ssdm-bench: metrics listener: %v\n", err)
+			}
+		}()
+	}
 
 	tmp, err := os.MkdirTemp("", "ssdm-bench")
 	if err != nil {

@@ -10,10 +10,19 @@
 //	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
 //	            [-chunk-cache 64MiB] [-parallelism N]
 //	            [-drain-timeout 10s]
+//	            [-metrics-addr 127.0.0.1:9090] [-slow-query 500ms]
+//	            [-log-format text|json]
 //
 // -store attaches a binary-file array back-end rooted at dir; -sql
 // attaches a relational back-end (embedded) with the given retrieval
 // strategy. Without either, arrays are held resident.
+//
+// -metrics-addr starts an HTTP observability listener serving
+// /metrics (Prometheus text format), /debug/vars (expvar) and
+// /debug/pprof/* (profiling). -slow-query logs every query-class
+// request at or above the threshold as one structured record with the
+// query text, duration, row count and guard outcome; -log-format
+// selects text or JSON for all server log output.
 //
 // The guard flags bound every query the server runs (clients can
 // tighten them per request, never loosen them). On SIGINT/SIGTERM the
@@ -24,8 +33,12 @@ package main
 
 import (
 	"context"
+	_ "expvar" // registers /debug/vars on the metrics mux's default handler
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +46,7 @@ import (
 	"time"
 
 	"scisparql/internal/core"
+	"scisparql/internal/metrics"
 	"scisparql/internal/relstore"
 	"scisparql/internal/server"
 	"scisparql/internal/storage"
@@ -51,12 +65,27 @@ func main() {
 	chunkCache := flag.Int64("chunk-cache", 0, "byte budget of the shared array chunk cache (0 = default 64MiB, negative = unlimited)")
 	par := flag.Int("parallelism", 0, "fetch worker pool width per chunk retrieval (0 = GOMAXPROCS, capped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration (0 = disabled)")
+	logFormat := flag.String("log-format", "text", "server log format: text or json")
 	var loads []string
 	flag.Func("load", "Turtle file to load (repeatable)", func(v string) error {
 		loads = append(loads, v)
 		return nil
 	})
 	flag.Parse()
+
+	var handler slog.Handler
+	switch strings.ToLower(*logFormat) {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatalf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	opts := core.DefaultOptions()
 	opts.QueryTimeout = *queryTimeout
@@ -106,12 +135,27 @@ func main() {
 	}
 
 	srv := server.New(db)
+	srv.Logger = logger
+	srv.SlowQuery = *slowQuery
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "ssdm-server listening on %s (%d triples loaded)\n",
 		bound, db.Dataset.Default.Size())
+
+	if *metricsAddr != "" {
+		// The default mux already carries /debug/vars (expvar) and
+		// /debug/pprof/* (net/http/pprof) via their import side effects;
+		// add the Prometheus-text endpoint alongside them.
+		http.Handle("/metrics", metrics.Default().Handler())
+		go func() {
+			logger.Info("metrics listener starting", "addr", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				logger.Error("metrics listener failed", "err", err.Error())
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	ssdm [-load data.ttl]... [-e 'SELECT ...'] [-f script.sparql] [-i]
+//	     [-explain 'SELECT ...'] [-analyze 'SELECT ...']
+//
+// -explain prints the execution strategy for a query without running
+// it; -analyze (EXPLAIN ANALYZE) runs the query and prints the
+// executed plan annotated with per-step counters, per-phase timings
+// and the chunk-fetch profile, followed by the results.
 //
 // With neither -e nor -f, ssdm reads statements from standard input;
 // statements are terminated by a line containing only ';;'.
@@ -13,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +44,7 @@ func main() {
 	var loads loadList
 	exec := flag.String("e", "", "execute the given SciSPARQL statements and exit")
 	explain := flag.String("explain", "", "print the execution strategy for a query and exit")
+	analyze := flag.String("analyze", "", "run a query and print its executed plan with timings and counters (EXPLAIN ANALYZE), then exit")
 	file := flag.String("f", "", "execute statements from a file and exit")
 	interactive := flag.Bool("i", false, "interactive mode after -load/-e/-f")
 	loadImage := flag.String("image", "", "restore a snapshot image before anything else")
@@ -67,6 +75,18 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Print(out)
+		ran = true
+	}
+	if *analyze != "" {
+		res, tr, err := db.QueryAnalyze(context.Background(), *analyze, engine.Limits{})
+		if tr != nil {
+			fmt.Print(tr.String())
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println()
+		printResults(res)
 		ran = true
 	}
 	if *file != "" {

@@ -38,6 +38,7 @@ const (
 // ElemSize is the on-wire and on-disk size of one element in bytes.
 const ElemSize = 8
 
+// String names the element type as it appears in query output.
 func (t ElemType) String() string {
 	switch t {
 	case Int:
@@ -79,6 +80,7 @@ func (n Number) Intval() int64 {
 	return int64(n.F)
 }
 
+// String formats the number in its own type's notation.
 func (n Number) String() string {
 	if n.T == Int {
 		return fmt.Sprintf("%d", n.I)

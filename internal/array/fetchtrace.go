@@ -1,0 +1,56 @@
+package array
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// FetchStats accumulates the chunk-retrieval profile of one traced
+// query: how many chunks were fetched from a back-end on the query's
+// behalf and how long the query's consuming goroutine was blocked
+// waiting for chunk data. Fields are atomics because streamed
+// retrievals resolve chunks on worker goroutines.
+//
+// A FetchStats travels in the query's context (WithFetchStats); the
+// proxy retrieval paths record into it when present and do nothing —
+// beyond one context lookup per cache miss — when absent.
+type FetchStats struct {
+	// Fetched counts chunks this query claimed and read from the
+	// back-end (cache hits and coalesced waits are not fetches).
+	Fetched atomic.Int64
+	// WaitNanos is the time the consuming goroutine spent blocked on
+	// chunk retrieval — back-end reads it performed itself plus waits on
+	// another reader's (or a fetch worker's) in-flight read.
+	WaitNanos atomic.Int64
+}
+
+type fetchStatsKey struct{}
+
+// WithFetchStats returns a context carrying fs; proxy retrievals under
+// that context record their chunk-fetch profile into it.
+func WithFetchStats(ctx context.Context, fs *FetchStats) context.Context {
+	return context.WithValue(ctx, fetchStatsKey{}, fs)
+}
+
+// fetchStatsFrom extracts the stats collector, nil when the context is
+// untraced.
+func fetchStatsFrom(ctx context.Context) *FetchStats {
+	if ctx == nil {
+		return nil
+	}
+	fs, _ := ctx.Value(fetchStatsKey{}).(*FetchStats)
+	return fs
+}
+
+// timeWait starts timing a consumer-side blocking section; the returned
+// func adds the elapsed time. A nil receiver is a no-op.
+func (fs *FetchStats) timeWait() func() {
+	if fs == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { fs.WaitNanos.Add(time.Since(t0).Nanoseconds()) }
+}
+
+func noopStop() {}

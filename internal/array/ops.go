@@ -11,15 +11,17 @@ import (
 // array arithmetic).
 type Op uint8
 
+// The elementwise binary operations.
 const (
-	OpAdd Op = iota
-	OpSub
-	OpMul
-	OpDiv
-	OpMod
-	OpPow
+	OpAdd Op = iota // +
+	OpSub           // -
+	OpMul           // *
+	OpDiv           // /
+	OpMod           // MOD
+	OpPow           // ^
 )
 
+// String renders the operator in SciSPARQL surface syntax.
 func (op Op) String() string {
 	switch op {
 	case OpAdd:
@@ -197,6 +199,7 @@ func (a *Array) storeLinear(i int, v Number) {
 // AggOp identifies a whole-array aggregate.
 type AggOp uint8
 
+// The whole-array aggregates.
 const (
 	AggSum AggOp = iota
 	AggMin
@@ -205,6 +208,7 @@ const (
 	AggCount
 )
 
+// String names the aggregate as in the builtin function table.
 func (op AggOp) String() string {
 	switch op {
 	case AggSum:

@@ -130,6 +130,7 @@ func (p *Proxy) chunkCtx(ctx context.Context, chunkNo int) ([]byte, error) {
 	if data != nil {
 		return data, nil
 	}
+	defer fetchStatsFrom(ctx).timeWait()()
 	if claimed {
 		return p.readOneClaim(ctx, chunkNo, fl)
 	}
@@ -181,6 +182,9 @@ func (p *Proxy) awaitFlight(ctx context.Context, chunkNo int, fl *flight) ([]byt
 func (p *Proxy) readClaims(ctx context.Context, claims []int, claimFl map[int]*flight, deliver func(chunkNo int, data []byte) error) error {
 	if len(claims) == 0 {
 		return nil
+	}
+	if fs := fetchStatsFrom(ctx); fs != nil {
+		fs.Fetched.Add(int64(len(claims)))
 	}
 	c := p.cacheRef()
 	runs := spd.Detect(claims)
@@ -260,6 +264,10 @@ func (p *Proxy) fetchMissingCtx(ctx context.Context, chunkNos []int) error {
 			waits[cn] = fl
 		}
 	}
+	if len(claims) == 0 && len(waits) == 0 {
+		return nil
+	}
+	defer fetchStatsFrom(ctx).timeWait()()
 	if err := p.readClaims(ctx, claims, claimFl, nil); err != nil {
 		return err
 	}
@@ -394,8 +402,10 @@ func (p *Proxy) StreamChunks(ctx context.Context, chunkNos []int, f func(chunkNo
 				// Keep the pipeline one window ahead of consumption.
 				schedule(claimWin[cn] + 1)
 			}
+			stop := fetchStatsFrom(ctx).timeWait()
 			var err error
 			data, err = p.awaitFlight(ctx, cn, s.fl)
+			stop()
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"scisparql/internal/engine"
+)
+
+func TestQueryAnalyze(t *testing.T) {
+	db := Open()
+	err := db.LoadTurtle(`@prefix ex: <http://ex/> . ex:a ex:p 1 . ex:b ex:p 2 .`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ?v } ORDER BY ?s`
+
+	res, tr, err := db.QueryAnalyze(context.Background(), q, engine.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Len())
+	}
+	if tr == nil {
+		t.Fatal("nil trace")
+	}
+	if tr.PlanCached {
+		t.Error("first run: PlanCached = true, want false")
+	}
+	if tr.ParseNanos <= 0 {
+		t.Errorf("first run: ParseNanos = %d, want > 0", tr.ParseNanos)
+	}
+	if tr.Rows != 2 || tr.Matched != 2 {
+		t.Errorf("counters: rows=%d matched=%d, want 2/2", tr.Rows, tr.Matched)
+	}
+	if !strings.Contains(tr.Plan, "bgp") {
+		t.Errorf("plan missing bgp:\n%s", tr.Plan)
+	}
+
+	// Same text again: served from the compiled-query cache, and the
+	// trace says so.
+	_, tr2, err := db.QueryAnalyze(context.Background(), q, engine.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.PlanCached {
+		t.Error("second run: PlanCached = false, want cache hit")
+	}
+
+	// QueryAnalyze respects the same guard clamping as Query.
+	_, tr3, err := db.QueryAnalyze(context.Background(), q, engine.Limits{MaxBindings: 1})
+	if err == nil {
+		t.Fatal("want bindings-guard error")
+	}
+	if tr3 == nil || tr3.Error == "" {
+		t.Errorf("failed analyze must still carry a trace with the error, got %+v", tr3)
+	}
+}

@@ -274,20 +274,53 @@ func (s *SSDM) Explain(src string) (string, error) {
 	return s.Engine.Explain(q), nil
 }
 
+// QueryAnalyze is QueryLimits with an execution trace collected — the
+// manager half of EXPLAIN ANALYZE. It reports whether the query text
+// was served from the compiled-query cache and how long parsing took,
+// then delegates to the engine's traced execution. The trace is
+// non-nil whenever the text parsed, even if execution failed (the
+// trace's Error field is set), so a timed-out query still reports
+// where its time went.
+func (s *SSDM) QueryAnalyze(ctx context.Context, src string, lim engine.Limits) (*engine.Results, *engine.Trace, error) {
+	t0 := time.Now()
+	q, hit, err := s.parseQueryCachedHit(src)
+	parse := time.Since(t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.op.RLock()
+	defer s.op.RUnlock()
+	res, tr, err := s.Engine.QueryTraced(ctx, q, s.fillLimits(lim))
+	if tr != nil {
+		tr.PlanCached = hit
+		if !hit {
+			tr.ParseNanos = parse.Nanoseconds()
+		}
+	}
+	return res, tr, err
+}
+
 // parseQueryCached resolves a query text through the compiled-query
 // cache. Parse errors are not cached: a failing text re-parses on
 // every submission (errors are rare and cheap, and keeping them out of
 // the cache keeps the LRU full of useful entries).
 func (s *SSDM) parseQueryCached(src string) (*sparql.Query, error) {
+	q, _, err := s.parseQueryCachedHit(src)
+	return q, err
+}
+
+// parseQueryCachedHit is parseQueryCached reporting whether the text
+// came from the cache — the plan-cache signal EXPLAIN ANALYZE surfaces.
+func (s *SSDM) parseQueryCachedHit(src string) (*sparql.Query, bool, error) {
 	if q, ok := s.qcache.get(src); ok {
-		return q, nil
+		return q, true, nil
 	}
 	q, err := sparql.ParseQuery(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.qcache.put(src, q)
-	return q, nil
+	return q, false, nil
 }
 
 // QueryCacheStats reports the compiled-query cache counters (hits,

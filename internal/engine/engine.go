@@ -171,6 +171,11 @@ type evalCtx struct {
 	// it so nested groups compile once per query, not once per input
 	// binding.
 	plans map[planKey][]step
+
+	// trace collects the execution profile when this query runs under
+	// EXPLAIN ANALYZE; nil — the common case — keeps the hot paths at a
+	// single pointer check.
+	trace *traceCollector
 }
 
 const maxCallDepth = 64
@@ -179,7 +184,7 @@ func (c *evalCtx) child() (*evalCtx, error) {
 	if c.depth+1 > maxCallDepth {
 		return nil, errf("function call nesting exceeds %d (recursive view?)", maxCallDepth)
 	}
-	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans(), guard: c.guard}, nil
+	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans(), guard: c.guard, trace: c.trace}, nil
 }
 
 // Results is a solution table: ordered column names plus rows aligned

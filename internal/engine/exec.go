@@ -76,6 +76,9 @@ func (c *evalCtx) compiledSteps(g *sparql.Group) []step {
 		return s
 	}
 	s := c.orderFiltersByCost(compileGroup(g))
+	if c.trace != nil {
+		s = c.trace.wrap(g, s)
+	}
 	plans[key] = s
 	return s
 }
@@ -264,6 +267,15 @@ func (s *bgpStep) run(c *evalCtx, b Binding, yield func(Binding) error) error {
 func (c *evalCtx) matchPatterns(pats []sparql.TriplePattern, i int, b Binding, yield func(Binding) error) error {
 	if i == len(pats) {
 		return yield(b)
+	}
+	if c.trace != nil {
+		c.trace.matchCalls++
+		ps := c.trace.patternStat(pats[i])
+		return c.matchTriple(pats[i], b, func(b2 Binding) error {
+			ps.emitted++
+			c.trace.matched++
+			return c.matchPatterns(pats, i+1, b2, yield)
+		})
 	}
 	return c.matchTriple(pats[i], b, func(b2 Binding) error {
 		return c.matchPatterns(pats, i+1, b2, yield)
@@ -738,7 +750,7 @@ func (s *graphStep) run(c *evalCtx, b Binding, yield func(Binding) error) error 
 		if g == nil {
 			return nil
 		}
-		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans(), guard: c.guard}
+		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans(), guard: c.guard, trace: c.trace}
 		nb := b
 		if bind {
 			var ok bool

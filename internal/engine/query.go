@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"scisparql/internal/array"
 	"scisparql/internal/rdf"
@@ -25,15 +26,38 @@ func (e *Engine) Query(q *sparql.Query) (*Results, error) {
 // ErrQueryCancelled / ErrQueryTimeout. Panics anywhere inside
 // execution (including foreign functions) are trapped and surface as
 // ErrInternal with the stack logged.
-func (e *Engine) QueryContext(ctx context.Context, q *sparql.Query, lim Limits) (res *Results, err error) {
+func (e *Engine) QueryContext(ctx context.Context, q *sparql.Query, lim Limits) (*Results, error) {
+	return e.queryCollect(ctx, q, lim, nil)
+}
+
+// QueryTraced executes a parsed query like QueryContext while collecting
+// an execution trace — the engine half of EXPLAIN ANALYZE. The trace is
+// returned even when the query fails (its Error field is set), so a
+// timed-out query still reports where the time went. Tracing adds
+// per-step counter shims and map lookups; use QueryContext on hot paths.
+func (e *Engine) QueryTraced(ctx context.Context, q *sparql.Query, lim Limits) (*Results, *Trace, error) {
+	tr := newTraceCollector()
+	start := time.Now()
+	res, err := e.queryCollect(ctx, q, lim, tr)
+	return res, tr.finish(q, time.Since(start), res, err), err
+}
+
+func (e *Engine) queryCollect(ctx context.Context, q *sparql.Query, lim Limits, tr *traceCollector) (res *Results, err error) {
 	defer trapPanic("query", &err)
 	ctx, cancel := limitCtx(ctx, lim)
 	defer cancel()
+	if tr != nil {
+		// Chunk retrievals under this context report into the trace.
+		ctx = array.WithFetchStats(ctx, &tr.fetch)
+	}
 	gq := newQueryGuard(ctx, lim)
 	if err := gq.checkCtx(); err != nil {
 		return nil, err
 	}
-	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq}
+	if tr != nil {
+		defer func() { tr.bindings = gq.bindings }()
+	}
+	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq, trace: tr}
 	if len(q.FromNamed) > 0 {
 		ectx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
 		for _, n := range q.FromNamed {
@@ -200,8 +224,10 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 		qc.Having = append([]sparql.Expression(nil), q.Having...)
 		qc.OrderBy = append([]sparql.OrderCond(nil), q.OrderBy...)
 		q = &qc
+		stop := ctx.trace.startPhase(phaseAgg)
 		var err error
 		solutions, err = e.aggregateSolutions(ctx, q, initial)
+		stop()
 		if err != nil {
 			return nil, err
 		}
@@ -213,6 +239,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 		if q.Limit >= 0 && len(q.OrderBy) == 0 && !q.Distinct && len(q.Having) == 0 {
 			stopAt = q.Offset + q.Limit
 		}
+		stopWhere := ctx.trace.startPhase(phaseWhere)
 		err := ctx.whereSolutions(q, initial, func(b Binding) error {
 			solutions = append(solutions, b)
 			if earlyCap >= 0 && len(q.Having) == 0 && len(solutions) > earlyCap {
@@ -223,6 +250,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			}
 			return nil
 		})
+		stopWhere()
 		if err != nil && err != errStop {
 			return nil, err
 		}
@@ -260,6 +288,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 		}
 	}
 
+	stopProj := ctx.trace.startPhase(phaseProj)
 	// Batched APR (§6.2.4): when projection expressions dereference
 	// proxied arrays, gather the chunks every solution will touch and
 	// resolve each proxy's bag in one back-end interaction before
@@ -328,9 +357,11 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			return nil, errResultRows(rowCap)
 		}
 	}
+	stopProj()
 
 	// ORDER BY over the extended bindings (aliases visible).
 	if len(q.OrderBy) > 0 {
+		stopSort := ctx.trace.startPhase(phaseSort)
 		sort.SliceStable(rows, func(i, j int) bool {
 			for _, oc := range q.OrderBy {
 				vi, ei := ctx.eval(oc.Expr, rows[i].bind)
@@ -355,6 +386,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			}
 			return false
 		})
+		stopSort()
 	}
 
 	res := &Results{Vars: vars, Form: sparql.FormSelect}
@@ -398,10 +430,12 @@ func rowKey(cells []rdf.Term) string {
 
 func (e *Engine) execAsk(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 	found := false
+	stop := ctx.trace.startPhase(phaseWhere)
 	err := ctx.whereSolutions(q, Binding{}, func(Binding) error {
 		found = true
 		return errStop
 	})
+	stop()
 	if err != nil && err != errStop {
 		return nil, err
 	}
@@ -410,10 +444,12 @@ func (e *Engine) execAsk(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 
 func (e *Engine) execConstruct(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 	out := rdf.NewGraph()
+	stop := ctx.trace.startPhase(phaseWhere)
 	err := ctx.whereSolutions(q, Binding{}, func(b Binding) error {
 		instantiateTemplate(out, q.ConstructTemplate, b)
 		return nil
 	})
+	stop()
 	if err != nil && err != errStop {
 		return nil, err
 	}

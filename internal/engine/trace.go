@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scisparql/internal/array"
+	"scisparql/internal/sparql"
+)
+
+// Trace is the execution profile of one traced query — the payload of
+// EXPLAIN ANALYZE. All durations are nanoseconds so the struct crosses
+// the wire without unit ambiguity.
+//
+// Phase timings are cumulative: a subquery executed while enumerating
+// the outer WHERE contributes to both the outer enumeration and its own
+// projection phase, so phases may sum to more than TotalNanos.
+type Trace struct {
+	// ParseNanos is the time spent lexing/parsing the query text; zero
+	// when the text was served from the compiled-query cache. Set by the
+	// manager (core), not the engine.
+	ParseNanos int64
+	// PlanCached reports whether the parsed query came from the
+	// compiled-query cache. Set by the manager.
+	PlanCached bool
+
+	// TotalNanos is the wall-clock time of the whole execution.
+	TotalNanos int64
+	// WhereNanos is the time enumerating WHERE solutions (ungrouped
+	// SELECT pipeline; includes chunk waits incurred while matching).
+	WhereNanos int64
+	// AggNanos is the time in grouping/aggregation (which consumes the
+	// WHERE stream itself, so grouped queries report AggNanos in place
+	// of WhereNanos).
+	AggNanos int64
+	// ProjNanos is the time evaluating projection expressions, including
+	// batched array-proxy prefetches (APR).
+	ProjNanos int64
+	// SortNanos is the time in ORDER BY.
+	SortNanos int64
+
+	// Rows is the number of result rows produced.
+	Rows int
+	// Bindings is the number of intermediate bindings produced while
+	// enumerating solutions (the quantity MaxBindings budgets).
+	Bindings int64
+	// MatchCalls is the number of triple-pattern matcher invocations.
+	MatchCalls int64
+	// Matched is the number of candidate bindings emitted by pattern
+	// matching before downstream filtering.
+	Matched int64
+
+	// ChunkFetches is the number of array chunks fetched from a storage
+	// back-end on this query's behalf (cache hits are not fetches).
+	ChunkFetches int64
+	// ChunkWaitNanos is the time the query was blocked waiting on chunk
+	// retrieval.
+	ChunkWaitNanos int64
+
+	// Error carries the failure that ended the execution, empty on
+	// success — so a traced timeout still reports where the time went.
+	Error string
+
+	// Plan is the executed plan annotated with per-step call/emit
+	// counters and per-pattern match counts.
+	Plan string
+}
+
+// String renders the full EXPLAIN ANALYZE report: headline counters,
+// phase timings, and the annotated plan.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXPLAIN ANALYZE  total=%v rows=%d bindings=%d\n",
+		time.Duration(t.TotalNanos), t.Rows, t.Bindings)
+	if t.PlanCached {
+		sb.WriteString("parse: plan cache hit\n")
+	} else if t.ParseNanos > 0 {
+		fmt.Fprintf(&sb, "parse: %v\n", time.Duration(t.ParseNanos))
+	}
+	fmt.Fprintf(&sb, "phases: where=%v aggregate=%v project=%v sort=%v\n",
+		time.Duration(t.WhereNanos), time.Duration(t.AggNanos),
+		time.Duration(t.ProjNanos), time.Duration(t.SortNanos))
+	fmt.Fprintf(&sb, "matching: calls=%d matched=%d\n", t.MatchCalls, t.Matched)
+	if t.ChunkFetches > 0 || t.ChunkWaitNanos > 0 {
+		fmt.Fprintf(&sb, "chunks: fetched=%d wait=%v\n",
+			t.ChunkFetches, time.Duration(t.ChunkWaitNanos))
+	}
+	if t.Error != "" {
+		fmt.Fprintf(&sb, "error: %s\n", t.Error)
+	}
+	sb.WriteString("plan:\n")
+	sb.WriteString(t.Plan)
+	return sb.String()
+}
+
+// phase identifies one timed section of the SELECT pipeline.
+type phase int
+
+const (
+	phaseWhere phase = iota
+	phaseAgg
+	phaseProj
+	phaseSort
+)
+
+// traceCollector accumulates the profile of one query execution. It is
+// confined to the query's goroutine except for fetch, whose fields are
+// atomic (chunk workers record into it). A nil collector — the untraced
+// fast path — imposes only nil checks.
+type traceCollector struct {
+	fetch    array.FetchStats
+	groups   map[*sparql.Group]*groupTrace
+	patterns map[string]*patternStat
+
+	matchCalls int64
+	matched    int64
+	bindings   int64
+
+	whereNanos, aggNanos, projNanos, sortNanos int64
+}
+
+func newTraceCollector() *traceCollector {
+	return &traceCollector{
+		groups:   map[*sparql.Group]*groupTrace{},
+		patterns: map[string]*patternStat{},
+	}
+}
+
+// groupTrace holds the per-step counters of one executed group graph
+// pattern. Step rows align with the group's compiled step sequence
+// (compilation is deterministic, so a group re-compiled against another
+// graph shares the same rows).
+type groupTrace struct {
+	steps []*stepTrace
+}
+
+// stepTrace is one plan node with its runtime counters.
+type stepTrace struct {
+	kind     string
+	detail   string
+	children []*sparql.Group
+	patterns []sparql.TriplePattern
+
+	calls   int64 // input bindings the step was run with
+	emitted int64 // bindings the step yielded downstream
+}
+
+// patternStat counts candidate bindings one triple pattern emitted
+// (keyed by the pattern's text across the whole plan).
+type patternStat struct {
+	emitted int64
+}
+
+var noopPhaseStop = func() {}
+
+// startPhase begins timing a pipeline phase; the returned func adds the
+// elapsed time. A nil collector returns a shared no-op.
+func (tr *traceCollector) startPhase(p phase) func() {
+	if tr == nil {
+		return noopPhaseStop
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0).Nanoseconds()
+		switch p {
+		case phaseWhere:
+			tr.whereNanos += d
+		case phaseAgg:
+			tr.aggNanos += d
+		case phaseProj:
+			tr.projNanos += d
+		case phaseSort:
+			tr.sortNanos += d
+		}
+	}
+}
+
+// patternStat returns the counter for a triple pattern, creating it on
+// first use.
+func (tr *traceCollector) patternStat(tp sparql.TriplePattern) *patternStat {
+	key := tp.String()
+	ps, ok := tr.patterns[key]
+	if !ok {
+		ps = &patternStat{}
+		tr.patterns[key] = ps
+	}
+	return ps
+}
+
+// wrap instruments a group's compiled step sequence, registering (or
+// reusing) the group's trace rows and wrapping each step in a counting
+// shim. Called from compiledSteps once per (group, graph) per
+// execution.
+func (tr *traceCollector) wrap(g *sparql.Group, steps []step) []step {
+	gt, ok := tr.groups[g]
+	if !ok {
+		gt = &groupTrace{steps: make([]*stepTrace, len(steps))}
+		for i, st := range steps {
+			row := &stepTrace{}
+			row.kind, row.detail, row.children, row.patterns = describeStep(st)
+			gt.steps[i] = row
+		}
+		tr.groups[g] = gt
+	}
+	out := make([]step, len(steps))
+	for i, st := range steps {
+		out[i] = &tracedStep{inner: st, st: gt.steps[i]}
+	}
+	return out
+}
+
+// tracedStep counts a step's input bindings and emissions around the
+// wrapped step's run.
+type tracedStep struct {
+	inner step
+	st    *stepTrace
+}
+
+func (t *tracedStep) certainVars(into map[string]bool) { t.inner.certainVars(into) }
+
+func (t *tracedStep) run(c *evalCtx, b Binding, yield func(Binding) error) error {
+	t.st.calls++
+	return t.inner.run(c, b, func(b2 Binding) error {
+		t.st.emitted++
+		return yield(b2)
+	})
+}
+
+// describeStep classifies a compiled step for plan rendering: its node
+// kind, a one-line detail, the nested groups it may enter, and (for
+// BGPs) its triple patterns.
+func describeStep(st step) (kind, detail string, children []*sparql.Group, patterns []sparql.TriplePattern) {
+	switch v := st.(type) {
+	case *bgpStep:
+		return "bgp", fmt.Sprintf("%d pattern(s), cost-ordered", len(v.patterns)), nil, v.patterns
+	case *filterStep:
+		return "filter", v.cond.String(), nil, nil
+	case *bindStep:
+		return "bind", fmt.Sprintf("?%s := %s", v.name, v.expr.String()), nil, nil
+	case *optionalStep:
+		return "optional", "left join", []*sparql.Group{v.group}, nil
+	case *unionStep:
+		return "union", fmt.Sprintf("%d branches", len(v.branches)), v.branches, nil
+	case *minusStep:
+		return "minus", "anti-join", []*sparql.Group{v.group}, nil
+	case *graphStep:
+		if v.clause.Var != "" {
+			return "graph", "?" + v.clause.Var, []*sparql.Group{v.clause.Group}, nil
+		}
+		return "graph", fmt.Sprintf("%v", v.clause.Name), []*sparql.Group{v.clause.Group}, nil
+	case *subgroupStep:
+		return "group", "", []*sparql.Group{v.group}, nil
+	case *subSelectStep:
+		var ch []*sparql.Group
+		if v.q.Where != nil {
+			ch = append(ch, v.q.Where)
+		}
+		return "subquery", "evaluated bottom-up, joined on projected vars", ch, nil
+	case *valuesStep:
+		return "values", fmt.Sprintf("%d rows over %v", len(v.data.Rows), v.data.Vars), nil, nil
+	default:
+		return fmt.Sprintf("%T", st), "", nil, nil
+	}
+}
+
+// finish assembles the Trace after an execution.
+func (tr *traceCollector) finish(q *sparql.Query, total time.Duration, res *Results, err error) *Trace {
+	t := &Trace{
+		TotalNanos:     total.Nanoseconds(),
+		WhereNanos:     tr.whereNanos,
+		AggNanos:       tr.aggNanos,
+		ProjNanos:      tr.projNanos,
+		SortNanos:      tr.sortNanos,
+		Bindings:       tr.bindings,
+		MatchCalls:     tr.matchCalls,
+		Matched:        tr.matched,
+		ChunkFetches:   tr.fetch.Fetched.Load(),
+		ChunkWaitNanos: tr.fetch.WaitNanos.Load(),
+	}
+	if res != nil {
+		t.Rows = res.Len()
+	}
+	if err != nil {
+		t.Error = err.Error()
+	}
+	t.Plan = tr.renderPlan(q)
+	return t
+}
+
+// renderPlan walks the query's WHERE clause and renders each executed
+// group's steps with their counters; groups that were compiled but
+// never entered (or never compiled at all) are marked.
+func (tr *traceCollector) renderPlan(q *sparql.Query) string {
+	var sb strings.Builder
+	if q.Where == nil {
+		sb.WriteString("  (no WHERE clause)\n")
+	} else {
+		tr.renderGroup(q.Where, &sb, 1)
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&sb, "  group by %d expression(s)\n", len(q.GroupBy))
+	}
+	if len(q.OrderBy) > 0 {
+		fmt.Fprintf(&sb, "  order by %d criterion(s)\n", len(q.OrderBy))
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, "  limit %d\n", q.Limit)
+	}
+	return sb.String()
+}
+
+func (tr *traceCollector) renderGroup(g *sparql.Group, sb *strings.Builder, depth int) {
+	gt, ok := tr.groups[g]
+	if !ok {
+		indent(sb, depth)
+		sb.WriteString("(not executed)\n")
+		return
+	}
+	for _, row := range gt.steps {
+		indent(sb, depth)
+		line := row.kind
+		if row.detail != "" {
+			line += " " + row.detail
+		}
+		fmt.Fprintf(sb, "%-58s calls=%d emitted=%d\n", line, row.calls, row.emitted)
+		for _, tp := range row.patterns {
+			indent(sb, depth+1)
+			key := tp.String()
+			matched := int64(0)
+			if ps, ok := tr.patterns[key]; ok {
+				matched = ps.emitted
+			}
+			fmt.Fprintf(sb, "%-56s matched=%d\n", key, matched)
+		}
+		for _, child := range row.children {
+			tr.renderGroup(child, sb, depth+1)
+		}
+	}
+}

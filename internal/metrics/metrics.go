@@ -1,0 +1,268 @@
+// Package metrics is a small process-wide metrics registry exported in
+// the Prometheus text exposition format. It exists so the server (and
+// any embedder) can publish query latency histograms, per-operation
+// counters and cache/storage gauges over a plain HTTP endpoint without
+// pulling in external dependencies.
+//
+// Instruments are cheap: counters and histograms are lock-free atomics
+// on the update path, and gauges are computed lazily at scrape time
+// from caller-supplied callbacks. Registration is idempotent — asking a
+// registry for an instrument that already exists returns the existing
+// one — so independent components (several servers over one process,
+// tests) can share the default registry without coordination.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterVec is a family of counters partitioned by one label.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Counter
+}
+
+// With returns the counter for a label value, creating it on first use.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.m[value]
+	if !ok {
+		c = &Counter{}
+		cv.m[value] = c
+	}
+	return c
+}
+
+// snapshot returns the label values sorted with their counters.
+func (cv *CounterVec) snapshot() ([]string, []*Counter) {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	keys := make([]string, 0, len(cv.m))
+	for k := range cv.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Counter, len(keys))
+	for i, k := range keys {
+		out[i] = cv.m[k]
+	}
+	return keys, out
+}
+
+// Histogram is a fixed-bucket cumulative histogram of float64
+// observations (typically seconds). Observation is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 30s,
+// roughly ×3 apart — wide enough to cover both cache-hit metadata
+// queries and multi-second external-storage scans.
+var DefBuckets = []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered instrument with its metadata.
+type metric struct {
+	name, help, typ string
+	counter         *Counter
+	vec             *CounterVec
+	hist            *Histogram
+	gauge           func() float64
+}
+
+// Registry holds named instruments and renders them in the Prometheus
+// text format. The zero value is not usable; use NewRegistry or
+// Default.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) lookup(name, typ string) *metric {
+	m, ok := r.metrics[name]
+	if !ok {
+		return nil
+	}
+	if m.typ != typ {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, typ, m.typ))
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "counter"); m != nil && m.counter != nil {
+		return m.counter
+	}
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterVec returns the named counter family partitioned by label,
+// creating it on first registration.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "counter"); m != nil && m.vec != nil {
+		return m.vec
+	}
+	cv := &CounterVec{label: label, m: map[string]*Counter{}}
+	r.add(&metric{name: name, help: help, typ: "counter", vec: cv})
+	return cv
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (nil = DefBuckets) on first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "histogram"); m != nil {
+		return m.hist
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{bounds: buckets, counts: make([]atomic.Int64, len(buckets))}
+	r.add(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time. Re-
+// registering a name replaces the callback — the natural semantics for
+// process-wide state like "triples loaded" when an instance is
+// replaced.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, "gauge"); m != nil {
+		m.gauge = fn
+		return
+	}
+	r.add(&metric{name: name, help: help, typ: "gauge", gauge: fn})
+}
+
+func (r *Registry) add(m *metric) {
+	r.metrics[m.name] = m
+	r.order = append(r.order, m.name)
+	sort.Strings(r.order)
+}
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format, sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.order))
+	for _, name := range r.order {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.counter.Value())
+		case m.vec != nil:
+			keys, counters := m.vec.snapshot()
+			for i, k := range keys {
+				fmt.Fprintf(&sb, "%s{%s=%q} %d\n", m.name, m.vec.label, k, counters[i].Value())
+			}
+		case m.hist != nil:
+			cum := int64(0)
+			for i, b := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", m.name, formatBound(b), cum)
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", m.name, m.hist.Count())
+			fmt.Fprintf(&sb, "%s_sum %v\n", m.name, m.hist.Sum())
+			fmt.Fprintf(&sb, "%s_count %d\n", m.name, m.hist.Count())
+		case m.gauge != nil:
+			fmt.Fprintf(&sb, "%s %v\n", m.name, m.gauge())
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -27,6 +27,7 @@ const (
 	OpStoreArray  = "store_array"  // Array payload -> ArrayID
 	OpArrayTriple = "array_triple" // Subject, Property, Array: store + link
 	OpStats       = "stats"        // server statistics snapshot -> Stats
+	OpExplain     = "explain"      // Text: a query; plan only, or executed plan + trace with Analyze
 )
 
 // Request is one client request. The guard fields bound the request's
@@ -48,6 +49,12 @@ type Request struct {
 	MaxRows int `json:"max_rows,omitempty"`
 	// MaxBindings caps intermediate bindings (0 = server default).
 	MaxBindings int64 `json:"max_bindings,omitempty"`
+
+	// Analyze upgrades an OpExplain request from plan-only to EXPLAIN
+	// ANALYZE: the query is executed and the response carries the
+	// executed plan annotated with timings and counters (Trace) along
+	// with the result rows.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Error codes carried in Response.Code so clients can classify
@@ -94,6 +101,37 @@ type Response struct {
 	Count   int      `json:"count,omitempty"`
 	ArrayID int64    `json:"array_id,omitempty"`
 	Stats   *Stats   `json:"stats,omitempty"`
+
+	// Explain carries the rendered plan for OpExplain (static plan, or
+	// the annotated executed plan when the request set Analyze).
+	Explain string `json:"explain,omitempty"`
+	// Trace carries the execution profile for OpExplain+Analyze.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the wire form of an engine execution trace (EXPLAIN
+// ANALYZE). Durations are nanoseconds. See engine.Trace for field
+// semantics.
+type TraceInfo struct {
+	ParseNS    int64 `json:"parse_ns"`
+	PlanCached bool  `json:"plan_cached"`
+
+	TotalNS int64 `json:"total_ns"`
+	WhereNS int64 `json:"where_ns"`
+	AggNS   int64 `json:"agg_ns"`
+	ProjNS  int64 `json:"proj_ns"`
+	SortNS  int64 `json:"sort_ns"`
+
+	Rows       int   `json:"rows"`
+	Bindings   int64 `json:"bindings"`
+	MatchCalls int64 `json:"match_calls"`
+	Matched    int64 `json:"matched"`
+
+	ChunkFetches int64 `json:"chunk_fetches"`
+	ChunkWaitNS  int64 `json:"chunk_wait_ns"`
+
+	Error string `json:"error,omitempty"`
+	Plan  string `json:"plan"`
 }
 
 // Stats is the server statistics snapshot returned for OpStats:

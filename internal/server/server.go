@@ -11,7 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"runtime/debug"
 	"sync"
@@ -20,6 +20,7 @@ import (
 
 	"scisparql/internal/core"
 	"scisparql/internal/engine"
+	"scisparql/internal/metrics"
 	"scisparql/internal/protocol"
 	"scisparql/internal/rdf"
 )
@@ -40,11 +41,30 @@ import (
 type Server struct {
 	DB *core.SSDM
 
+	// Logger receives structured server output — the slow-query log and
+	// the panic trap. Nil uses slog.Default(). Set before Listen.
+	Logger *slog.Logger
+
+	// SlowQuery is the duration at or above which a query-class request
+	// is logged through Logger with its text, duration, row count and
+	// guard outcome. Zero disables the slow-query log. Set before
+	// Listen.
+	SlowQuery time.Duration
+
+	// Metrics is the registry the server instruments (request counts,
+	// latency histogram, error codes, cache and storage gauges). Nil
+	// uses metrics.Default(). Set before Listen.
+	Metrics *metrics.Registry
+
 	mu       sync.Mutex // guards listener, closed and conns
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
 	conns    map[net.Conn]struct{}
+
+	instOnce    sync.Once
+	inst        *instruments
+	activeConns atomic.Int64
 
 	// baseCtx parents every request context; baseCancel aborts all
 	// in-flight work on shutdown.
@@ -81,6 +101,9 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Register the metric families eagerly so a scrape that lands
+	// before the first request still sees them (at zero).
+	s.instrumentSet()
 	s.listener = ln
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -176,8 +199,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
+		s.activeConns.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.activeConns.Add(-1)
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, conn)
@@ -220,15 +245,158 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// handle executes one request against the SSDM instance. It takes no
+// logger returns the configured structured logger (slog.Default when
+// unset).
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// registry returns the configured metrics registry (the process default
+// when unset).
+func (s *Server) registry() *metrics.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return metrics.Default()
+}
+
+// instruments holds the server's registered metric handles.
+type instruments struct {
+	requests *metrics.CounterVec
+	errors   *metrics.CounterVec
+	latency  *metrics.Histogram
+	rows     *metrics.Counter
+	slow     *metrics.Counter
+}
+
+// instrumentSet registers (or re-resolves — registration is idempotent)
+// the server's instruments and gauges on first use.
+func (s *Server) instrumentSet() *instruments {
+	s.instOnce.Do(func() {
+		r := s.registry()
+		s.inst = &instruments{
+			requests: r.CounterVec("ssdm_requests_total", "Requests handled, by operation.", "op"),
+			errors:   r.CounterVec("ssdm_request_errors_total", "Failed requests, by error code.", "code"),
+			latency:  r.Histogram("ssdm_query_duration_seconds", "Latency of query-class requests (query, execute, update, explain).", nil),
+			rows:     r.Counter("ssdm_rows_returned_total", "Result rows returned to clients."),
+			slow:     r.Counter("ssdm_slow_queries_total", "Query-class requests at or above the slow-query threshold."),
+		}
+		s.registerGauges(r)
+	})
+	return s.inst
+}
+
+// registerGauges publishes the instance's cache, dataset and storage
+// state as scrape-time gauges.
+func (s *Server) registerGauges(r *metrics.Registry) {
+	db := s.DB
+	r.GaugeFunc("ssdm_connections_active", "Open client connections.",
+		func() float64 { return float64(s.activeConns.Load()) })
+	r.GaugeFunc("ssdm_triples", "Triples in the default graph.",
+		func() float64 { return float64(db.Dataset.Default.Size()) })
+	r.GaugeFunc("ssdm_query_cache_hits", "Compiled-query cache hits since start.",
+		func() float64 { return float64(db.QueryCacheStats().Hits) })
+	r.GaugeFunc("ssdm_query_cache_misses", "Compiled-query cache misses since start.",
+		func() float64 { return float64(db.QueryCacheStats().Misses) })
+	r.GaugeFunc("ssdm_query_cache_entries", "Compiled queries resident in the cache.",
+		func() float64 { return float64(db.QueryCacheStats().Entries) })
+	r.GaugeFunc("ssdm_chunk_cache_hits", "Chunk-cache hits since start.",
+		func() float64 { return float64(db.ChunkCacheStats().Hits) })
+	r.GaugeFunc("ssdm_chunk_cache_misses", "Chunk-cache misses since start.",
+		func() float64 { return float64(db.ChunkCacheStats().Misses) })
+	r.GaugeFunc("ssdm_chunk_cache_coalesced", "Chunk fetches coalesced onto another in-flight fetch.",
+		func() float64 { return float64(db.ChunkCacheStats().Coalesced) })
+	r.GaugeFunc("ssdm_chunk_cache_evictions", "Chunk-cache evictions since start.",
+		func() float64 { return float64(db.ChunkCacheStats().Evictions) })
+	r.GaugeFunc("ssdm_chunk_cache_bytes", "Bytes resident in the chunk cache.",
+		func() float64 { return float64(db.ChunkCacheStats().Bytes) })
+	r.GaugeFunc("ssdm_chunk_cache_peak_bytes", "Chunk-cache residency high-water mark.",
+		func() float64 { return float64(db.ChunkCacheStats().PeakBytes) })
+	r.GaugeFunc("ssdm_chunk_cache_budget_bytes", "Configured chunk-cache byte budget.",
+		func() float64 { return float64(db.ChunkCacheStats().Budget) })
+	r.GaugeFunc("ssdm_storage_read_calls", "Back-end chunk read calls since start (0 when resident-only).",
+		func() float64 {
+			if b, ok := db.Backend().(interface{ ReadCallCount() int64 }); ok {
+				return float64(b.ReadCallCount())
+			}
+			return 0
+		})
+	r.GaugeFunc("ssdm_storage_inflight_peak", "High-water mark of concurrent back-end reads.",
+		func() float64 {
+			if b, ok := db.Backend().(interface{ InflightPeak() int64 }); ok {
+				return float64(b.InflightPeak())
+			}
+			return 0
+		})
+}
+
+// queryClass reports whether an op runs queries/updates — the requests
+// the latency histogram and slow-query log cover.
+func queryClass(op string) bool {
+	switch op {
+	case protocol.OpQuery, protocol.OpExecute, protocol.OpUpdate, protocol.OpExplain:
+		return true
+	}
+	return false
+}
+
+// truncateQuery bounds the query text carried in a slow-query record.
+func truncateQuery(text string) string {
+	const max = 400
+	if len(text) <= max {
+		return text
+	}
+	return text[:max] + "..."
+}
+
+// handle wraps handleOp with observability: per-op request counters,
+// the query latency histogram, error-code counters, and the slow-query
+// log.
+func (s *Server) handle(req *protocol.Request) *protocol.Response {
+	in := s.instrumentSet()
+	start := time.Now()
+	resp := s.handleOp(req)
+	dur := time.Since(start)
+
+	in.requests.With(req.Op).Inc()
+	if !resp.OK {
+		in.errors.With(resp.Code).Inc()
+	}
+	in.rows.Add(int64(len(resp.Rows)))
+	if queryClass(req.Op) {
+		in.latency.Observe(dur.Seconds())
+		if s.SlowQuery > 0 && dur >= s.SlowQuery {
+			in.slow.Inc()
+			outcome := "ok"
+			if !resp.OK {
+				outcome = resp.Code
+			}
+			s.logger().Warn("slow query",
+				"op", req.Op,
+				"duration", dur.String(),
+				"rows", len(resp.Rows),
+				"outcome", outcome,
+				"query", truncateQuery(req.Text))
+		}
+	}
+	return resp
+}
+
+// handleOp executes one request against the SSDM instance. It takes no
 // server-level lock: concurrency control lives in core.SSDM, whose
 // reader-writer lock lets queries from many connections run in
 // parallel. A panic while handling becomes an error response with the
 // stack logged — one hostile or buggy request never kills the server.
-func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
+func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 	defer func() {
 		if r := recover(); r != nil {
-			log.Printf("server: panic handling %q: %v\n%s", req.Op, r, debug.Stack())
+			s.logger().Error("panic while handling request",
+				"op", req.Op,
+				"panic", fmt.Sprint(r),
+				"stack", string(debug.Stack()))
 			resp = &protocol.Response{
 				OK:    false,
 				Error: fmt.Sprintf("internal error handling %s: %v", req.Op, r),
@@ -294,6 +462,30 @@ func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
 			return fail(err)
 		}
 		return &protocol.Response{OK: true, Count: 1}
+	case protocol.OpExplain:
+		if !req.Analyze {
+			plan, err := s.DB.Explain(req.Text)
+			if err != nil {
+				return fail(err)
+			}
+			return &protocol.Response{OK: true, Explain: plan}
+		}
+		res, tr, err := s.DB.QueryAnalyze(ctx, req.Text, lim)
+		if err != nil {
+			// The trace survives execution failure (timeout, budget):
+			// return it alongside the error so the client sees where the
+			// time went.
+			resp := fail(err)
+			if tr != nil {
+				resp.Trace = encodeTrace(tr)
+				resp.Explain = tr.String()
+			}
+			return resp
+		}
+		resp := encodeResults(res)
+		resp.Trace = encodeTrace(tr)
+		resp.Explain = tr.String()
+		return resp
 	case protocol.OpStats:
 		cs := s.DB.QueryCacheStats()
 		cc := s.DB.ChunkCacheStats()
@@ -315,6 +507,30 @@ func (s *Server) handle(req *protocol.Request) (resp *protocol.Response) {
 		}}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}
+	}
+}
+
+// encodeTrace converts an engine execution trace to its wire form.
+func encodeTrace(tr *engine.Trace) *protocol.TraceInfo {
+	if tr == nil {
+		return nil
+	}
+	return &protocol.TraceInfo{
+		ParseNS:      tr.ParseNanos,
+		PlanCached:   tr.PlanCached,
+		TotalNS:      tr.TotalNanos,
+		WhereNS:      tr.WhereNanos,
+		AggNS:        tr.AggNanos,
+		ProjNS:       tr.ProjNanos,
+		SortNS:       tr.SortNanos,
+		Rows:         tr.Rows,
+		Bindings:     tr.Bindings,
+		MatchCalls:   tr.MatchCalls,
+		Matched:      tr.Matched,
+		ChunkFetches: tr.ChunkFetches,
+		ChunkWaitNS:  tr.ChunkWaitNanos,
+		Error:        tr.Error,
+		Plan:         tr.Plan,
 	}
 }
 

@@ -127,6 +127,7 @@ type ServerError struct {
 	Msg  string
 }
 
+// Error formats the server-reported failure.
 func (e *ServerError) Error() string { return "ssdm: " + e.Msg }
 
 // Is maps wire error codes back onto the engine's sentinel errors.
@@ -195,7 +196,11 @@ func (c *Client) roundTrip(ctx context.Context, req *protocol.Request, idempoten
 		resp, err := c.attemptLocked(ctx, req)
 		if err == nil {
 			if !resp.OK {
-				return nil, &ServerError{Code: resp.Code, Msg: resp.Error}
+				// Server-reported failure: the stream stays aligned, and the
+				// response may still carry a payload (e.g. the partial trace
+				// of a timed-out EXPLAIN ANALYZE), so return it with the
+				// error.
+				return resp, &ServerError{Code: resp.Code, Msg: resp.Error}
 			}
 			return resp, nil
 		}
@@ -381,6 +386,47 @@ func (c *Client) QueryGuarded(ctx context.Context, q string, g Guards) (*Result,
 		return nil, err
 	}
 	return decodeResult(resp)
+}
+
+// Explain fetches the server's execution strategy for a query (join
+// order, filter placement) without running it. Idempotent.
+func (c *Client) Explain(q string) (string, error) {
+	return c.ExplainContext(context.Background(), q)
+}
+
+// ExplainContext is Explain under a context.
+func (c *Client) ExplainContext(ctx context.Context, q string) (string, error) {
+	resp, err := c.roundTrip(ctx, &protocol.Request{Op: protocol.OpExplain, Text: q}, true)
+	if err != nil {
+		return "", err
+	}
+	return resp.Explain, nil
+}
+
+// ExplainAnalyze executes a query server-side while collecting an
+// execution trace and returns the decoded result together with the
+// trace (per-phase timings, match counts, chunk fetch profile, and the
+// annotated plan text in Trace.Plan). Queries are read-only, so the
+// request is idempotent and retried per the reconnect policy.
+//
+// When the query fails under a guard (timeout, bindings budget), the
+// error is returned together with the partial trace — the trace shows
+// where the time went.
+func (c *Client) ExplainAnalyze(ctx context.Context, q string, g Guards) (*Result, *protocol.TraceInfo, error) {
+	req := &protocol.Request{Op: protocol.OpExplain, Text: q, Analyze: true}
+	g.apply(req)
+	resp, err := c.roundTrip(ctx, req, true)
+	if err != nil {
+		if resp != nil {
+			return nil, resp.Trace, err
+		}
+		return nil, nil, err
+	}
+	res, err := decodeResult(resp)
+	if err != nil {
+		return nil, resp.Trace, err
+	}
+	return res, resp.Trace, nil
 }
 
 // Execute runs ';'-separated statements; the last query's result is

@@ -211,6 +211,14 @@ func (s *Store) Stats() (readCalls, bytesRead int64) {
 	return s.ReadCalls, s.BytesRead
 }
 
+// ReadCallCount returns the read-call counter under the lock — the
+// uniform accessor metric exporters probe for across back-ends.
+func (s *Store) ReadCallCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ReadCalls
+}
+
 // Close releases all cached file handles.
 func (s *Store) Close() error {
 	s.mu.Lock()

@@ -321,6 +321,10 @@ func (b *Backend) ReadChunksCtx(ctx context.Context, arrayID int64, runs []spd.R
 // counter for those).
 func (b *Backend) ReadCalls() int64 { return b.readCalls.Load() }
 
+// ReadCallCount is ReadCalls under the uniform accessor name metric
+// exporters probe for across back-ends.
+func (b *Backend) ReadCallCount() int64 { return b.ReadCalls() }
+
 // InflightPeak returns the high-water mark of concurrently in-flight
 // retrieval statements, verifying the worker pool's fan-out.
 func (b *Backend) InflightPeak() int64 { return b.inflight.Peak() }

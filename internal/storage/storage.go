@@ -229,6 +229,14 @@ func (m *Memory) Stats() (readCalls, chunksServed, bytesServed int64) {
 // InflightPeak returns the high-water mark of concurrent read calls.
 func (m *Memory) InflightPeak() int64 { return m.inflight.Peak() }
 
+// ReadCallCount returns the read-call counter under the lock — the
+// uniform accessor metric exporters probe for across back-ends.
+func (m *Memory) ReadCallCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ReadCalls
+}
+
 // AggregateWhole implements array.ChunkSource: the memory back-end is
 // aggregation-capable.
 func (m *Memory) AggregateWhole(arrayID int64) (*array.AggState, bool, error) {
