@@ -6,6 +6,8 @@
 // Usage:
 //
 //	ssdm-server [-addr 127.0.0.1:7564] [-load data.ttl]...
+//	            [-http-addr 127.0.0.1:8080] [-tenants tenants.json]
+//	            [-http-max-inflight N]
 //	            [-store dir | -sql single|buffer|spd]
 //	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
 //	            [-chunk-cache 64MiB] [-parallelism N]
@@ -17,35 +19,46 @@
 // attaches a relational back-end (embedded) with the given retrieval
 // strategy. Without either, arrays are held resident.
 //
+// -http-addr starts the W3C SPARQL-protocol HTTP front door
+// (internal/httpfront): GET/POST /sparql, POST /update, SPARQL 1.1
+// JSON/CSV/Turtle results, per-tenant datasets and quotas from the
+// -tenants JSON file, and admission control (-http-max-inflight bounds
+// concurrently executing HTTP queries; excess requests get 429 +
+// Retry-After). The default tenant shares the dataset with the framed
+// TCP protocol on -addr.
+//
 // -metrics-addr starts an HTTP observability listener serving
 // /metrics (Prometheus text format), /debug/vars (expvar) and
-// /debug/pprof/* (profiling). -slow-query logs every query-class
-// request at or above the threshold as one structured record with the
-// query text, duration, row count and guard outcome; -log-format
-// selects text or JSON for all server log output.
+// /debug/pprof/* (profiling) on a dedicated mux and server, so it
+// drains with the rest of the process. -slow-query logs every
+// query-class request at or above the threshold as one structured
+// record with the query text, duration, row count and guard outcome;
+// -log-format selects text or JSON for all server log output.
 //
 // The guard flags bound every query the server runs (clients can
 // tighten them per request, never loosen them). On SIGINT/SIGTERM the
-// server drains gracefully: in-flight queries are cancelled, their
-// connections get their error responses, and after -drain-timeout any
-// stragglers are force-closed.
+// server drains gracefully: the TCP, HTTP and metrics listeners drain
+// together — in-flight queries are cancelled, their clients get their
+// error responses, new HTTP requests get 503 — and after
+// -drain-timeout any stragglers are force-closed.
 package main
 
 import (
 	"context"
-	_ "expvar" // registers /debug/vars on the metrics mux's default handler
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"scisparql/internal/core"
+	"scisparql/internal/httpfront"
 	"scisparql/internal/metrics"
 	"scisparql/internal/relstore"
 	"scisparql/internal/server"
@@ -56,6 +69,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7564", "listen address")
+	httpAddr := flag.String("http-addr", "", "HTTP SPARQL-protocol listener: GET/POST /sparql, POST /update (empty = disabled)")
+	tenantsFile := flag.String("tenants", "", "JSON tenants config for the HTTP front door (see docs/OPERATIONS.md)")
+	httpMaxInflight := flag.Int("http-max-inflight", 0, "global cap on concurrently executing HTTP queries, 429 beyond it (0 = unbounded)")
 	image := flag.String("image", "", "snapshot image: restored at start, written at shutdown")
 	storeDir := flag.String("store", "", "attach a file array store rooted at this directory")
 	sqlStrat := flag.String("sql", "", "attach a relational array store: single, buffer or spd")
@@ -144,15 +160,54 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ssdm-server listening on %s (%d triples loaded)\n",
 		bound, db.Dataset.Default.Size())
 
+	// Observability listener: a dedicated http.Server over an owned mux
+	// (never http.DefaultServeMux), so a second server in the process
+	// cannot double-register handlers and the drain path below can shut
+	// it down like every other listener.
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		// The default mux already carries /debug/vars (expvar) and
-		// /debug/pprof/* (net/http/pprof) via their import side effects;
-		// add the Prometheus-text endpoint alongside them.
-		http.Handle("/metrics", metrics.Default().Handler())
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: metrics.Default().DebugMux()}
 		go func() {
 			logger.Info("metrics listener starting", "addr", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("metrics listener failed", "err", err.Error())
+			}
+		}()
+	}
+
+	// HTTP SPARQL-protocol front door.
+	var (
+		front   *httpfront.Front
+		httpSrv *http.Server
+	)
+	if *httpAddr != "" {
+		cfg := &httpfront.Config{GlobalMaxInflight: *httpMaxInflight}
+		if *tenantsFile != "" {
+			b, err := os.ReadFile(*tenantsFile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfg, err = httpfront.ParseConfig(b)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if cfg.GlobalMaxInflight == 0 {
+				cfg.GlobalMaxInflight = *httpMaxInflight
+			}
+		}
+		tenants, err := cfg.Build(opts, db)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		front = httpfront.New(tenants)
+		front.Logger = logger
+		front.SlowQuery = *slowQuery
+		front.GlobalMaxInflight = cfg.GlobalMaxInflight
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: front}
+		go func() {
+			logger.Info("http front door starting", "addr", *httpAddr, "tenants", strings.Join(tenants.Names(), ","))
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("http listener failed", "err", err.Error())
 			}
 		}()
 	}
@@ -162,9 +217,29 @@ func main() {
 	<-sig
 	fmt.Fprintf(os.Stderr, "shutting down (draining up to %v)\n", *drainTimeout)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	// Drain every listener together: the HTTP front flips to 503 and
+	// cancels its in-flight queries, the TCP server cancels and
+	// finishes its in-flight responses, and the metrics server closes
+	// once its scrapes complete.
+	var wg sync.WaitGroup
+	drain := func(name string, fn func(context.Context) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "%s drain incomplete: %v\n", name, err)
+			}
+		}()
 	}
+	drain("tcp", srv.Shutdown)
+	if httpSrv != nil {
+		front.Shutdown()
+		drain("http", httpSrv.Shutdown)
+	}
+	if metricsSrv != nil {
+		drain("metrics", metricsSrv.Shutdown)
+	}
+	wg.Wait()
 	cancel()
 	if *image != "" {
 		if err := db.SaveSnapshot(*image); err != nil {

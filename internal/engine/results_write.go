@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// This file serializes Results in the W3C interchange formats the
+// SPARQL protocol requires: SPARQL 1.1 Query Results JSON
+// (application/sparql-results+json) and CSV (text/csv). CONSTRUCT
+// results serialize through internal/turtle instead — they are graphs,
+// not solution tables.
+
+// JSONObject builds the SPARQL 1.1 JSON results document for a SELECT
+// or ASK result as a plain map, so callers may attach
+// implementation-specific top-level members (the protocol front door
+// adds "analyze") before encoding. Map encoding sorts keys, so the
+// output is deterministic.
+func JSONObject(r *Results) (map[string]any, error) {
+	if r.Form == sparql.FormAsk {
+		return map[string]any{
+			"head":    map[string]any{},
+			"boolean": r.Bool,
+		}, nil
+	}
+	bindings := make([]map[string]any, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		b := make(map[string]any, len(row))
+		for i, t := range row {
+			if t == nil {
+				continue // unbound: the variable is simply absent
+			}
+			obj, err := TermJSON(t)
+			if err != nil {
+				return nil, err
+			}
+			b[r.Vars[i]] = obj
+		}
+		bindings = append(bindings, b)
+	}
+	vars := r.Vars
+	if vars == nil {
+		vars = []string{}
+	}
+	return map[string]any{
+		"head":    map[string]any{"vars": vars},
+		"results": map[string]any{"bindings": bindings},
+	}, nil
+}
+
+// WriteJSON emits a SELECT or ASK result as SPARQL 1.1 Query Results
+// JSON. Control characters in literals are escaped by the JSON encoder
+// (\\uXXXX forms), so round-trips are lossless.
+func WriteJSON(w io.Writer, r *Results) error {
+	doc, err := JSONObject(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// TermJSON renders one RDF term as a SPARQL-results JSON term object:
+// {"type": "uri"|"literal"|"bnode", "value": ..., "datatype"?,
+// "xml:lang"?}.
+func TermJSON(t rdf.Term) (map[string]string, error) {
+	switch v := t.(type) {
+	case rdf.IRI:
+		return map[string]string{"type": "uri", "value": string(v)}, nil
+	case rdf.Blank:
+		return map[string]string{"type": "bnode", "value": string(v)}, nil
+	case rdf.String:
+		obj := map[string]string{"type": "literal", "value": v.Val}
+		if v.Lang != "" {
+			obj["xml:lang"] = v.Lang
+		}
+		return obj, nil
+	case rdf.Integer:
+		return typedLiteral(v.String(), rdf.XSDInteger), nil
+	case rdf.Float:
+		return typedLiteral(v.String(), rdf.XSDDouble), nil
+	case rdf.Boolean:
+		return typedLiteral(v.String(), rdf.XSDBoolean), nil
+	case rdf.DateTime:
+		return typedLiteral(v.T.Format("2006-01-02T15:04:05Z07:00"), rdf.XSDDateTime), nil
+	case rdf.Typed:
+		return typedLiteral(v.Lexical, v.Datatype), nil
+	case rdf.Array:
+		// Arrays are SSDM's extension: serialize the nested-collection
+		// rendering as a literal tagged with the ssdm:array datatype so
+		// standard clients keep a faithful lexical form.
+		return typedLiteral(v.A.String(), rdf.SSDMArray), nil
+	default:
+		return nil, fmt.Errorf("cannot serialize %T as a SPARQL-results term", t)
+	}
+}
+
+func typedLiteral(lex string, dt rdf.IRI) map[string]string {
+	return map[string]string{"type": "literal", "value": lex, "datatype": string(dt)}
+}
+
+// WriteCSV emits a SELECT result in the SPARQL 1.1 CSV format: a
+// header row of variable names, then one row per solution with plain
+// lexical values (unbound cells empty). Fields holding separators,
+// quotes or line breaks are quoted per RFC 4180; lines end in CRLF as
+// the media type requires. ASK results emit a single boolean cell.
+func WriteCSV(w io.Writer, r *Results) error {
+	cw := csv.NewWriter(w)
+	cw.UseCRLF = true
+	if r.Form == sparql.FormAsk {
+		if err := cw.Write([]string{"boolean"}); err != nil {
+			return err
+		}
+		verdict := "false"
+		if r.Bool {
+			verdict = "true"
+		}
+		if err := cw.Write([]string{verdict}); err != nil {
+			return err
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	if err := cw.Write(r.Vars); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.Vars))
+	for _, row := range r.Rows {
+		for i, t := range row {
+			rec[i] = TermLexical(t)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TermLexical returns the plain lexical form of a term for CSV output
+// (no quoting, no datatype decoration); unbound (nil) is the empty
+// string.
+func TermLexical(t rdf.Term) string {
+	switch v := t.(type) {
+	case nil:
+		return ""
+	case rdf.IRI:
+		return string(v)
+	case rdf.Blank:
+		return "_:" + string(v)
+	case rdf.String:
+		return v.Val
+	case rdf.DateTime:
+		return v.T.Format("2006-01-02T15:04:05Z07:00")
+	case rdf.Typed:
+		return v.Lexical
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+func selectResults() *Results {
+	return &Results{
+		Form: sparql.FormSelect,
+		Vars: []string{"s", "v"},
+		Rows: [][]rdf.Term{
+			{rdf.IRI("http://ex/a"), rdf.Integer(7)},
+			{rdf.Blank("b0"), rdf.String{Val: "hi,\nthere", Lang: "en"}},
+			{rdf.IRI("http://ex/c"), nil},
+		},
+	}
+}
+
+func TestWriteJSONSelect(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, selectResults()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]map[string]string `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Head.Vars) != 2 || doc.Head.Vars[0] != "s" {
+		t.Fatalf("head.vars wrong: %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 3 {
+		t.Fatalf("want 3 bindings, got %d", len(doc.Results.Bindings))
+	}
+	b0 := doc.Results.Bindings[0]
+	if b0["s"]["type"] != "uri" || b0["s"]["value"] != "http://ex/a" {
+		t.Errorf("row 0 s: %v", b0["s"])
+	}
+	if b0["v"]["datatype"] != string(rdf.XSDInteger) || b0["v"]["value"] != "7" {
+		t.Errorf("row 0 v: %v", b0["v"])
+	}
+	b1 := doc.Results.Bindings[1]
+	if b1["s"]["type"] != "bnode" {
+		t.Errorf("row 1 s: %v", b1["s"])
+	}
+	if b1["v"]["xml:lang"] != "en" || b1["v"]["value"] != "hi,\nthere" {
+		t.Errorf("row 1 v: %v", b1["v"])
+	}
+	if _, bound := doc.Results.Bindings[2]["v"]; bound {
+		t.Error("unbound cell must be absent from the binding object")
+	}
+}
+
+func TestWriteJSONAsk(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, &Results{Form: sparql.FormAsk, Bool: true}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["boolean"] != true {
+		t.Fatalf("boolean missing or false: %s", sb.String())
+	}
+	if _, ok := doc["head"]; !ok {
+		t.Fatal("head member missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, selectResults()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "s,v\r\n") {
+		t.Errorf("missing CRLF header: %q", sb.String())
+	}
+	// The embedded comma and newline force RFC 4180 quoting; parse the
+	// document back and check the cells survived.
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%q", err, sb.String())
+	}
+	if len(recs) != 4 {
+		t.Fatalf("want header+3 records, got %d", len(recs))
+	}
+	if recs[0][0] != "s" || recs[0][1] != "v" {
+		t.Errorf("header: %v", recs[0])
+	}
+	if recs[1][0] != "http://ex/a" || recs[1][1] != "7" {
+		t.Errorf("row 1: %v", recs[1])
+	}
+	if recs[2][0] != "_:b0" || !strings.HasPrefix(recs[2][1], "hi,") {
+		t.Errorf("row 2: %v", recs[2])
+	}
+	if recs[3][1] != "" {
+		t.Errorf("unbound cell must be empty: %v", recs[3])
+	}
+}
+
+// TestJSONControlCharsRoundTrip: a literal with control characters
+// survives JSON encode → decode byte-identically.
+func TestJSONControlCharsRoundTrip(t *testing.T) {
+	nasty := "a\x01b\x02\tc"
+	r := &Results{Form: sparql.FormSelect, Vars: []string{"v"},
+		Rows: [][]rdf.Term{{rdf.String{Val: nasty}}}}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]map[string]string `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Results.Bindings[0]["v"]["value"]; got != nasty {
+		t.Fatalf("mangled: %q != %q", got, nasty)
+	}
+}

@@ -1,0 +1,586 @@
+// Package httpfront is SSDM's HTTP front door: an HTTP/1.1 endpoint
+// speaking the W3C SPARQL 1.1 protocol shape, so load balancers,
+// browsers and standard SPARQL clients can reach the store without
+// speaking the custom framed-TCP protocol of internal/server.
+//
+// Endpoints (per tenant, selected by path or the X-SSDM-Tenant
+// header):
+//
+//	GET  /sparql?query=...             query via URL parameter
+//	POST /sparql                       query: application/sparql-query body
+//	                                   or form-encoded query=... (update=... accepted too)
+//	POST /update                       update: application/sparql-update body
+//	                                   or form-encoded update=...
+//	GET/POST /tenants/<name>/sparql    the same, for a named tenant
+//	POST     /tenants/<name>/update
+//
+// SELECT and ASK results are returned as SPARQL 1.1 JSON
+// (application/sparql-results+json, the default) or CSV (text/csv) by
+// Accept-header content negotiation; CONSTRUCT/DESCRIBE results are
+// Turtle (text/turtle). ?analyze=1 attaches the EXPLAIN ANALYZE trace
+// as a top-level "analyze" member of the JSON document. ?timeout=,
+// ?max-rows= and ?max-bindings= tighten (never loosen) the tenant's
+// guard profile per request.
+//
+// Multi-tenancy and admission control: each tenant has its own
+// dataset, guard profile and bounded in-flight-query semaphore; a
+// global semaphore bounds the process. Requests beyond a cap are
+// rejected immediately with 429 and a Retry-After header — admission
+// is fail-fast, not queueing — and requests arriving during shutdown
+// drain get 503. See docs/OPERATIONS.md for the status-code table.
+package httpfront
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"mime"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scisparql/internal/engine"
+	"scisparql/internal/metrics"
+	"scisparql/internal/turtle"
+)
+
+// Media types the front door produces.
+const (
+	ctSPARQLJSON  = "application/sparql-results+json"
+	ctCSV         = "text/csv"
+	ctTurtle      = "text/turtle"
+	ctSPARQLQuery = "application/sparql-query"
+	ctSPARQLUpd   = "application/sparql-update"
+	ctForm        = "application/x-www-form-urlencoded"
+	ctJSON        = "application/json"
+)
+
+// maxRequestBody bounds POSTed query documents; a SPARQL text beyond
+// this is hostile, not a workload.
+const maxRequestBody = 1 << 20
+
+// Front is the HTTP front door over a tenant registry. It implements
+// http.Handler; serve it with an *http.Server of your choosing and
+// call Shutdown when draining. The zero value is not usable — use New.
+type Front struct {
+	// Tenants resolves request tenants. Set by New.
+	Tenants *Tenants
+
+	// Logger receives structured output (slow-query log, panic trap).
+	// Nil uses slog.Default(). Set before serving.
+	Logger *slog.Logger
+
+	// SlowQuery is the duration at or above which a request is logged
+	// with its text, tenant, duration and outcome. Zero disables the
+	// log. Set before serving.
+	SlowQuery time.Duration
+
+	// Metrics is the registry the front instruments under http_*
+	// families. Nil uses metrics.Default(). Set before serving.
+	Metrics *metrics.Registry
+
+	// GlobalMaxInflight bounds concurrently executing queries across
+	// all tenants (0 = unbounded). Set before serving.
+	GlobalMaxInflight int
+
+	// RetryAfter is the advisory delay returned with 429/503 responses
+	// (rounded up to whole seconds; zero means 1s). Set before serving.
+	RetryAfter time.Duration
+
+	gateOnce  sync.Once
+	globalSem chan struct{}
+	inflight  atomic.Int64
+
+	instOnce sync.Once
+	inst     *httpInstruments
+
+	draining   atomic.Bool
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New creates a front door over a tenant registry.
+func New(ts *Tenants) *Front {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Front{Tenants: ts, baseCtx: ctx, baseCancel: cancel}
+}
+
+// Shutdown puts the front into drain mode: requests already executing
+// have their contexts cancelled (they answer with their typed error),
+// and every request arriving afterwards is refused with 503 +
+// Retry-After. The caller shuts the enclosing http.Server down
+// alongside; Shutdown is idempotent.
+func (f *Front) Shutdown() {
+	f.draining.Store(true)
+	f.baseCancel()
+}
+
+// logger returns the configured logger (slog.Default when unset).
+func (f *Front) logger() *slog.Logger {
+	if f.Logger != nil {
+		return f.Logger
+	}
+	return slog.Default()
+}
+
+// registry returns the configured metrics registry (process default
+// when unset).
+func (f *Front) registry() *metrics.Registry {
+	if f.Metrics != nil {
+		return f.Metrics
+	}
+	return metrics.Default()
+}
+
+// httpInstruments holds the front door's registered metric handles.
+type httpInstruments struct {
+	requests *metrics.CounterVec
+	statuses *metrics.CounterVec
+	rejected *metrics.CounterVec
+	latency  *metrics.Histogram
+	slow     *metrics.Counter
+}
+
+// instrumentSet registers the http_* metric families on first use.
+func (f *Front) instrumentSet() *httpInstruments {
+	f.instOnce.Do(func() {
+		r := f.registry()
+		f.inst = &httpInstruments{
+			requests: r.CounterVec("http_requests_total", "HTTP SPARQL-protocol requests, by tenant.", "tenant"),
+			statuses: r.CounterVec("http_responses_total", "HTTP responses, by status code.", "status"),
+			rejected: r.CounterVec("http_rejected_total", "Requests rejected by admission control (429), by tenant.", "tenant"),
+			latency:  r.Histogram("http_request_duration_seconds", "Latency of HTTP query/update requests.", nil),
+			slow:     r.Counter("http_slow_queries_total", "HTTP requests at or above the slow-query threshold."),
+		}
+		r.GaugeFunc("http_inflight", "HTTP queries currently executing across all tenants.",
+			func() float64 { return float64(f.inflight.Load()) })
+	})
+	return f.inst
+}
+
+// gates initializes the global admission semaphore on first use.
+func (f *Front) gates() {
+	f.gateOnce.Do(func() {
+		if f.GlobalMaxInflight > 0 {
+			f.globalSem = make(chan struct{}, f.GlobalMaxInflight)
+		}
+	})
+}
+
+// request carries one parsed protocol request through execution.
+type request struct {
+	tenant   *Tenant
+	text     string // query or update text
+	isUpdate bool
+	analyze  bool
+	limits   engine.Limits // per-request tightening, zero = none
+	accept   string        // negotiated response media type
+}
+
+// ServeHTTP routes one request. Every handler below runs inside the
+// panic trap and the observability wrapper.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.gates()
+	in := f.instrumentSet()
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	tenantName, text := f.route(sw, r)
+	dur := time.Since(start)
+
+	in.requests.With(tenantName).Inc()
+	in.statuses.With(strconv.Itoa(sw.status)).Inc()
+	if sw.status == http.StatusTooManyRequests {
+		in.rejected.With(tenantName).Inc()
+	}
+	if text != "" {
+		in.latency.Observe(dur.Seconds())
+		if f.SlowQuery > 0 && dur >= f.SlowQuery {
+			in.slow.Inc()
+			f.logger().Warn("slow query",
+				"proto", "http",
+				"tenant", tenantName,
+				"status", sw.status,
+				"duration", dur.String(),
+				"query", truncateQuery(text))
+		}
+	}
+}
+
+// statusWriter records the status code written so the observability
+// wrapper can count it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// route dispatches one request and returns the tenant name and (when
+// the request carried one) the query text, for the metrics/slow-log
+// wrapper.
+func (f *Front) route(w http.ResponseWriter, r *http.Request) (tenantName, text string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			// Trap handler panics: log the stack, never leak it to the
+			// client.
+			f.logger().Error("panic while handling HTTP request",
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(rec),
+				"stack", string(debug.Stack()))
+			writeError(w, http.StatusInternalServerError, "internal", "internal error")
+		}
+	}()
+
+	// Resolve the endpoint and tenant from the path.
+	path := r.URL.Path
+	name := r.Header.Get("X-SSDM-Tenant")
+	var endpoint string
+	switch {
+	case path == "/sparql" || path == "/update":
+		endpoint = strings.TrimPrefix(path, "/")
+	case strings.HasPrefix(path, "/tenants/"):
+		rest := strings.TrimPrefix(path, "/tenants/")
+		n, ep, ok := strings.Cut(rest, "/")
+		if !ok || n == "" || (ep != "sparql" && ep != "update") {
+			writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+path)
+			return name, ""
+		}
+		name, endpoint = n, ep
+	default:
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: "+path)
+		return name, ""
+	}
+	if name == "" {
+		name = DefaultTenant
+	}
+	tenant, ok := f.Tenants.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_tenant", "unknown tenant "+strconv.Quote(name))
+		return name, ""
+	}
+
+	if f.draining.Load() {
+		w.Header().Set("Retry-After", f.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "shutdown", "server is draining")
+		return name, ""
+	}
+
+	req, herr := f.parseRequest(r, tenant, endpoint)
+	if herr != nil {
+		writeError(w, herr.status, herr.code, herr.msg)
+		return name, ""
+	}
+	f.execute(w, r, req)
+	return name, req.text
+}
+
+// httpError is a protocol-level failure detected before execution.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// parseRequest extracts the query/update text, per-request limit
+// tightening and negotiated response type.
+func (f *Front) parseRequest(r *http.Request, tenant *Tenant, endpoint string) (*request, *httpError) {
+	req := &request{tenant: tenant, isUpdate: endpoint == "update"}
+
+	q := r.URL.Query()
+	switch r.Method {
+	case http.MethodGet:
+		if req.isUpdate {
+			return nil, &httpError{http.StatusMethodNotAllowed, "method_not_allowed", "updates require POST"}
+		}
+		req.text = q.Get("query")
+		if req.text == "" {
+			return nil, &httpError{http.StatusBadRequest, "bad_request", "missing query parameter"}
+		}
+	case http.MethodPost:
+		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if err != nil && r.Header.Get("Content-Type") != "" {
+			return nil, &httpError{http.StatusUnsupportedMediaType, "bad_content_type", "unparseable Content-Type"}
+		}
+		body := http.MaxBytesReader(nil, r.Body, maxRequestBody)
+		switch ct {
+		case ctSPARQLQuery, ctSPARQLUpd:
+			b, err := io.ReadAll(body)
+			if err != nil {
+				return nil, &httpError{http.StatusBadRequest, "bad_request", "reading body: " + err.Error()}
+			}
+			req.text = string(b)
+			if ct == ctSPARQLUpd {
+				req.isUpdate = true
+			} else if req.isUpdate {
+				return nil, &httpError{http.StatusUnsupportedMediaType, "bad_content_type",
+					"the update endpoint takes application/sparql-update or form-encoded update="}
+			}
+		case ctForm, "":
+			r.Body = body
+			if err := r.ParseForm(); err != nil {
+				return nil, &httpError{http.StatusBadRequest, "bad_request", "parsing form: " + err.Error()}
+			}
+			if upd := r.PostForm.Get("update"); upd != "" {
+				req.text, req.isUpdate = upd, true
+			} else if query := r.PostForm.Get("query"); query != "" && !req.isUpdate {
+				req.text = query
+			}
+			if req.text == "" {
+				return nil, &httpError{http.StatusBadRequest, "bad_request", "missing query/update form field"}
+			}
+			// Form fields may carry the protocol parameters too.
+			q = mergeValues(q, r.PostForm)
+		default:
+			return nil, &httpError{http.StatusUnsupportedMediaType, "bad_content_type",
+				"unsupported Content-Type " + strconv.Quote(ct)}
+		}
+	default:
+		return nil, &httpError{http.StatusMethodNotAllowed, "method_not_allowed", "use GET or POST"}
+	}
+
+	req.analyze = isTruthy(q.Get("analyze"))
+	lim, herr := parseLimitParams(q)
+	if herr != nil {
+		return nil, herr
+	}
+	req.limits = lim
+
+	accept, herr := negotiate(r.Header.Get("Accept"), req.isUpdate)
+	if herr != nil {
+		return nil, herr
+	}
+	req.accept = accept
+	return req, nil
+}
+
+// execute runs an admitted request against its tenant and writes the
+// response.
+func (f *Front) execute(w http.ResponseWriter, r *http.Request, req *request) {
+	// Admission: global slot first, then the tenant's. Fail fast with
+	// 429 — clients retry with backoff; queueing here would hold
+	// connection state for work the server cannot start.
+	if f.globalSem != nil {
+		select {
+		case f.globalSem <- struct{}{}:
+			defer func() { <-f.globalSem }()
+		default:
+			w.Header().Set("Retry-After", f.retryAfterSeconds())
+			writeError(w, http.StatusTooManyRequests, "overloaded", "server at capacity, retry later")
+			return
+		}
+	}
+	if !req.tenant.tryAcquire() {
+		w.Header().Set("Retry-After", f.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"tenant "+strconv.Quote(req.tenant.Name)+" at its in-flight cap, retry later")
+		return
+	}
+	defer req.tenant.release()
+	f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+
+	// The request context merges the client's (disconnect aborts the
+	// query) with the front's base context (drain aborts it).
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(f.baseCtx, cancel)
+	defer stop()
+
+	// Per-request parameters tighten the tenant profile; the tenant
+	// profile tightens the server-wide guards inside QueryLimits.
+	lim := tightenLimits(req.limits, req.tenant.Limits)
+
+	if req.isUpdate {
+		n, err := req.tenant.DB.UpdateLimits(ctx, req.text, lim)
+		if err != nil {
+			f.writeExecError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		fmt.Fprintf(w, "{\"ok\":true,\"affected\":%d}\n", n)
+		return
+	}
+
+	var (
+		res *engine.Results
+		tr  *engine.Trace
+		err error
+	)
+	if req.analyze {
+		res, tr, err = req.tenant.DB.QueryAnalyze(ctx, req.text, lim)
+	} else {
+		res, err = req.tenant.DB.QueryLimits(ctx, req.text, lim)
+	}
+	if err != nil {
+		f.writeExecError(w, err)
+		return
+	}
+	writeResults(w, req, res, tr)
+}
+
+// writeExecError maps an execution error onto the HTTP status space
+// and emits the JSON error body.
+func (f *Front) writeExecError(w http.ResponseWriter, err error) {
+	status, code := StatusForError(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", f.retryAfterSeconds())
+	}
+	msg := err.Error()
+	if errors.Is(err, engine.ErrInternal) {
+		// Internal errors carry panic values; give the client the
+		// class, keep the detail (already logged with its stack) out of
+		// the response.
+		msg = "internal error"
+	}
+	writeError(w, status, code, msg)
+}
+
+// StatusForError maps SSDM's typed errors onto HTTP status codes and
+// short machine-readable codes. Query-fault failures — timeouts,
+// guard-limit overruns, cancellation, parse and evaluation errors —
+// are 4xx: the server is healthy and the request (or its budget) is
+// the problem. Only trapped panics (engine.ErrInternal) are 500.
+func StatusForError(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, engine.ErrQueryTimeout) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, "timeout"
+	case errors.Is(err, engine.ErrResourceLimit):
+		return http.StatusUnprocessableEntity, "resource_limit"
+	case errors.Is(err, engine.ErrQueryCancelled) || errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "cancelled"
+	case errors.Is(err, engine.ErrInternal):
+		return http.StatusInternalServerError, "internal"
+	default:
+		// Parse errors (with the parser's line/column message) and
+		// evaluation errors.
+		return http.StatusBadRequest, "bad_query"
+	}
+}
+
+// writeResults serializes a successful query result in the negotiated
+// format.
+func writeResults(w http.ResponseWriter, req *request, res *engine.Results, tr *engine.Trace) {
+	if res.Graph != nil {
+		w.Header().Set("Content-Type", ctTurtle+"; charset=utf-8")
+		if err := turtle.Write(w, res.Graph, nil); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+		return
+	}
+	switch req.accept {
+	case ctCSV:
+		w.Header().Set("Content-Type", ctCSV+"; charset=utf-8")
+		_ = engine.WriteCSV(w, res)
+	default:
+		w.Header().Set("Content-Type", ctSPARQLJSON)
+		doc, err := engine.JSONObject(res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", "serializing result: "+err.Error())
+			return
+		}
+		if tr != nil {
+			doc["analyze"] = analyzeJSON(tr)
+		}
+		writeJSONDoc(w, doc)
+	}
+}
+
+// analyzeJSON renders an execution trace as the "analyze" member of a
+// JSON results document.
+func analyzeJSON(tr *engine.Trace) map[string]any {
+	return map[string]any{
+		"plan":         tr.Plan,
+		"plan_cached":  tr.PlanCached,
+		"parse_ns":     tr.ParseNanos,
+		"total_ns":     tr.TotalNanos,
+		"where_ns":     tr.WhereNanos,
+		"rows":         tr.Rows,
+		"bindings":     tr.Bindings,
+		"match_calls":  tr.MatchCalls,
+		"chunk_fetch":  tr.ChunkFetches,
+		"chunk_waitns": tr.ChunkWaitNanos,
+		"text":         tr.String(),
+	}
+}
+
+// retryAfterSeconds renders the configured Retry-After delay in whole
+// seconds (minimum 1).
+func (f *Front) retryAfterSeconds() string {
+	secs := int(f.RetryAfter / time.Second)
+	if f.RetryAfter > 0 && f.RetryAfter%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// tightenLimits composes per-request limits with the tenant profile:
+// zero fields defer, two set bounds resolve to the stricter — a
+// request can tighten its tenant's quotas, never loosen them.
+func tightenLimits(call, profile engine.Limits) engine.Limits {
+	return engine.Limits{
+		Timeout:       tighterDur(call.Timeout, profile.Timeout),
+		MaxResultRows: tighterInt(call.MaxResultRows, profile.MaxResultRows),
+		MaxBindings:   tighterInt64(call.MaxBindings, profile.MaxBindings),
+	}
+}
+
+func tighterDur(a, b time.Duration) time.Duration {
+	if a <= 0 {
+		return b
+	}
+	if b > 0 && b < a {
+		return b
+	}
+	return a
+}
+
+func tighterInt(a, b int) int {
+	if a <= 0 {
+		return b
+	}
+	if b > 0 && b < a {
+		return b
+	}
+	return a
+}
+
+func tighterInt64(a, b int64) int64 {
+	if a <= 0 {
+		return b
+	}
+	if b > 0 && b < a {
+		return b
+	}
+	return a
+}
+
+// truncateQuery bounds the query text carried in a slow-query record.
+func truncateQuery(text string) string {
+	const max = 400
+	if len(text) <= max {
+		return text
+	}
+	return text[:max] + "..."
+}

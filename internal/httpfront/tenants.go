@@ -1,0 +1,257 @@
+package httpfront
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scisparql/internal/core"
+	"scisparql/internal/engine"
+)
+
+// Tenant is one named serving context behind the HTTP front door: a
+// dataset of its own (a dedicated core.SSDM instance, or the shared
+// default instance for the default tenant), a guard profile, and an
+// admission cap. Queries from different tenants therefore cannot see
+// each other's data, and one tenant saturating its in-flight cap
+// cannot starve the others.
+type Tenant struct {
+	// Name identifies the tenant in URLs (/tenants/<name>/sparql) and
+	// the X-SSDM-Tenant header. The default tenant's name is "default".
+	Name string
+	// DB is the tenant's SSDM instance.
+	DB *core.SSDM
+	// Limits is the tenant's guard profile: it bounds every query the
+	// tenant runs, composed tighten-only with per-request parameters
+	// (the request may ask for less, never more) and with the
+	// server-wide guards the SSDM instance was opened with.
+	Limits engine.Limits
+	// MaxInflight bounds the tenant's concurrently executing queries
+	// and updates (0 = unbounded). Excess requests are rejected with
+	// 429 and a Retry-After header rather than queued, keeping slow
+	// tenants from holding connection state for everyone.
+	MaxInflight int
+
+	sem      chan struct{} // nil when MaxInflight == 0
+	inflight atomic.Int64
+	rejected atomic.Int64
+}
+
+// newTenantGate sizes the tenant's admission semaphore; call once
+// before serving.
+func (t *Tenant) newTenantGate() {
+	if t.MaxInflight > 0 {
+		t.sem = make(chan struct{}, t.MaxInflight)
+	}
+}
+
+// tryAcquire claims one in-flight slot without blocking; it reports
+// false when the tenant is at its cap.
+func (t *Tenant) tryAcquire() bool {
+	if t.sem != nil {
+		select {
+		case t.sem <- struct{}{}:
+		default:
+			t.rejected.Add(1)
+			return false
+		}
+	}
+	t.inflight.Add(1)
+	return true
+}
+
+// release returns a slot claimed by tryAcquire.
+func (t *Tenant) release() {
+	t.inflight.Add(-1)
+	if t.sem != nil {
+		<-t.sem
+	}
+}
+
+// Inflight reports the tenant's currently executing requests.
+func (t *Tenant) Inflight() int64 { return t.inflight.Load() }
+
+// Rejected reports how many requests the tenant's cap has turned away.
+func (t *Tenant) Rejected() int64 { return t.rejected.Load() }
+
+// Tenants is the registry the front door resolves request tenants
+// against. It always holds a default tenant; lookups with an empty
+// name resolve to it.
+type Tenants struct {
+	mu sync.RWMutex
+	m  map[string]*Tenant
+}
+
+// DefaultTenant is the name of the tenant unadorned requests resolve
+// to.
+const DefaultTenant = "default"
+
+// NewTenants creates a registry around the default tenant's SSDM
+// instance. The default tenant has no admission cap and no extra guard
+// profile beyond what db was opened with; use Add (or a Config) for
+// quota-bounded tenants.
+func NewTenants(db *core.SSDM) *Tenants {
+	def := &Tenant{Name: DefaultTenant, DB: db}
+	def.newTenantGate()
+	return &Tenants{m: map[string]*Tenant{DefaultTenant: def}}
+}
+
+// Add registers a tenant (replacing any previous definition of the
+// same name) and initializes its admission gate.
+func (ts *Tenants) Add(t *Tenant) error {
+	if t.Name == "" {
+		return fmt.Errorf("httpfront: tenant name must not be empty")
+	}
+	if t.DB == nil {
+		return fmt.Errorf("httpfront: tenant %q has no dataset", t.Name)
+	}
+	t.newTenantGate()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.m[t.Name] = t
+	return nil
+}
+
+// Get resolves a tenant by name; the empty name means the default
+// tenant.
+func (ts *Tenants) Get(name string) (*Tenant, bool) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	t, ok := ts.m[name]
+	return t, ok
+}
+
+// Names lists registered tenant names, sorted.
+func (ts *Tenants) Names() []string {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([]string, 0, len(ts.m))
+	for n := range ts.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// all snapshots the registered tenants for iteration (metrics).
+func (ts *Tenants) all() []*Tenant {
+	ts.mu.RLock()
+	defer ts.mu.RUnlock()
+	out := make([]*Tenant, 0, len(ts.m))
+	for _, t := range ts.m {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Config is the serialized tenants configuration the server binary
+// loads from -tenants <file>. All fields are optional; durations are
+// Go duration strings ("2s", "500ms").
+type Config struct {
+	// GlobalMaxInflight bounds concurrently executing HTTP queries
+	// across all tenants (0 = unbounded).
+	GlobalMaxInflight int `json:"global_max_inflight"`
+	// DefaultMaxInflight is the default tenant's admission cap
+	// (0 = unbounded).
+	DefaultMaxInflight int `json:"default_max_inflight"`
+	// Tenants declares the named tenants.
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// TenantConfig declares one named tenant and its quota profile.
+type TenantConfig struct {
+	Name string `json:"name"`
+	// MaxInflight is the tenant's admission cap (0 = unbounded).
+	MaxInflight int `json:"max_inflight"`
+	// QueryTimeout, MaxRows and MaxBindings form the tenant's guard
+	// profile; zero values inherit the server-wide guards. Non-zero
+	// values are clamped tighten-only against the server-wide guards at
+	// execution time.
+	QueryTimeout string `json:"query_timeout"`
+	MaxRows      int    `json:"max_rows"`
+	MaxBindings  int64  `json:"max_bindings"`
+	// Load lists Turtle files loaded into the tenant's default graph at
+	// startup.
+	Load []string `json:"load"`
+}
+
+// ParseConfig decodes a tenants configuration document, rejecting
+// unknown fields and malformed durations early (at startup, not at
+// first request).
+func ParseConfig(b []byte) (*Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("httpfront: tenants config: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, tc := range c.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("httpfront: tenants config: tenant with empty name")
+		}
+		if seen[tc.Name] {
+			return nil, fmt.Errorf("httpfront: tenants config: duplicate tenant %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if tc.QueryTimeout != "" {
+			if _, err := time.ParseDuration(tc.QueryTimeout); err != nil {
+				return nil, fmt.Errorf("httpfront: tenant %q: query_timeout: %w", tc.Name, err)
+			}
+		}
+	}
+	return &c, nil
+}
+
+// limits resolves the tenant's guard profile from its config.
+func (tc *TenantConfig) limits() engine.Limits {
+	lim := engine.Limits{MaxResultRows: tc.MaxRows, MaxBindings: tc.MaxBindings}
+	if tc.QueryTimeout != "" {
+		d, err := time.ParseDuration(tc.QueryTimeout)
+		if err == nil {
+			lim.Timeout = d
+		}
+	}
+	return lim
+}
+
+// Build materializes the configuration: the default tenant wraps db
+// (shared with the framed-TCP server, so both protocols observe one
+// dataset), and every named tenant gets a fresh SSDM instance opened
+// with opts — the same consolidation and server-wide guard settings —
+// plus its declared Load documents.
+func (c *Config) Build(opts core.Options, db *core.SSDM) (*Tenants, error) {
+	ts := NewTenants(db)
+	if def, ok := ts.Get(DefaultTenant); ok {
+		def.MaxInflight = c.DefaultMaxInflight
+		def.newTenantGate()
+	}
+	for _, tc := range c.Tenants {
+		if tc.Name == DefaultTenant {
+			return nil, fmt.Errorf("httpfront: tenants config: %q is reserved for the shared default dataset", DefaultTenant)
+		}
+		tdb := core.OpenWith(opts)
+		for _, path := range tc.Load {
+			if err := tdb.LoadTurtleFile(path, ""); err != nil {
+				return nil, fmt.Errorf("httpfront: tenant %q: load %s: %w", tc.Name, path, err)
+			}
+		}
+		t := &Tenant{
+			Name:        tc.Name,
+			DB:          tdb,
+			Limits:      tc.limits(),
+			MaxInflight: tc.MaxInflight,
+		}
+		if err := ts.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}

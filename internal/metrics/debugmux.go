@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns a dedicated request multiplexer exposing this
+// registry and the standard Go diagnostics:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/debug/vars     expvar JSON
+//	/debug/pprof/*  runtime profiles
+//
+// The handlers are mounted on an owned *http.ServeMux — never on
+// http.DefaultServeMux — so a process can run any number of
+// observability listeners without double-registration panics, and the
+// http.Server serving the mux can be shut down independently of the
+// rest of the process (the drain path closes it like any other
+// listener).
+func (r *Registry) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugMuxIndependent is the regression test for the old
+// -metrics-addr listener, which registered /metrics on
+// http.DefaultServeMux: a second server in one process panicked with a
+// double-registration, and the listener could never be shut down.
+// Owned muxes must build without panicking, serve independently, and
+// carry all three endpoint families.
+func TestDebugMuxIndependent(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("one_total", "counter one").Inc()
+	r2.Counter("two_total", "counter two").Add(2)
+
+	// Two muxes in one process: the old code path panicked here.
+	m1, m2 := r1.DebugMux(), r2.DebugMux()
+
+	s1, s2 := httptest.NewServer(m1), httptest.NewServer(m2)
+	defer s1.Close()
+	defer s2.Close()
+
+	body := get(t, s1.URL+"/metrics")
+	if !strings.Contains(body, "one_total 1") || strings.Contains(body, "two_total") {
+		t.Errorf("mux 1 serves wrong registry:\n%s", body)
+	}
+	body = get(t, s2.URL+"/metrics")
+	if !strings.Contains(body, "two_total 2") {
+		t.Errorf("mux 2 serves wrong registry:\n%s", body)
+	}
+	if !strings.Contains(get(t, s1.URL+"/debug/vars"), "memstats") {
+		t.Error("expvar endpoint missing")
+	}
+	if !strings.Contains(get(t, s1.URL+"/debug/pprof/"), "profile") {
+		t.Error("pprof index missing")
+	}
+}
+
+// TestDebugServerShutdown: a server over the mux must release its
+// listener when shut down — the drain-path behaviour the old
+// http.ListenAndServe-on-default-mux code could not provide.
+func TestDebugServerShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewRegistry().DebugMux()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	addr := ln.Addr().String()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("pre-shutdown scrape: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The port is released: a fresh listener can bind it.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	ln2.Close()
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,55 @@
+// Package scanesc implements the numeric character escapes shared by
+// the SPARQL and Turtle grammars: UCHAR, i.e. \uXXXX (4 hex digits)
+// and \UXXXXXXXX (8 hex digits). Both lexers decode them through this
+// package so validation — bad hex digits, UTF-16 surrogate halves,
+// values beyond the Unicode range — is identical at every input
+// surface and round-trips with the writers' escaping are lossless.
+package scanesc
+
+import "fmt"
+
+// HexVal returns the value of one hex digit, -1 when r is not a hex
+// digit.
+func HexVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10
+	default:
+		return -1
+	}
+}
+
+// DecodeUCHAR decodes the digits of a \uXXXX (kind 'u') or \UXXXXXXXX
+// (kind 'U') escape, reading one rune at a time from next (which
+// returns -1 at end of input). It rejects truncated escapes, non-hex
+// digits, UTF-16 surrogate halves (U+D800–U+DFFF, meaningless as
+// scalar values) and code points beyond U+10FFFF.
+func DecodeUCHAR(kind rune, next func() rune) (rune, error) {
+	n := 4
+	if kind == 'U' {
+		n = 8
+	}
+	var v int32
+	for i := 0; i < n; i++ {
+		r := next()
+		if r == -1 {
+			return 0, fmt.Errorf("truncated \\%c escape: want %d hex digits, got %d", kind, n, i)
+		}
+		d := HexVal(r)
+		if d < 0 {
+			return 0, fmt.Errorf("bad \\%c escape: %q is not a hex digit", kind, r)
+		}
+		v = v*16 + int32(d)
+		if v > 0x10FFFF {
+			return 0, fmt.Errorf("\\%c escape beyond U+10FFFF", kind)
+		}
+	}
+	if v >= 0xD800 && v <= 0xDFFF {
+		return 0, fmt.Errorf("\\%c escape U+%04X is a UTF-16 surrogate half, not a character", kind, v)
+	}
+	return rune(v), nil
+}

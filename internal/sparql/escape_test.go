@@ -1,0 +1,72 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"scisparql/internal/rdf"
+)
+
+// TestStringUCHAREscapes: \uXXXX/\UXXXXXXXX (and the \b/\f ECHARs)
+// in query string literals decode to the designated characters.
+func TestStringUCHAREscapes(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?s WHERE { ?s <http://ex/p> "café \U0001F600 \b\f" }`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text := renderedLiteral(t, q)
+	if text != "café \U0001F600 \b\f" {
+		t.Fatalf("escapes not decoded: %q", text)
+	}
+}
+
+// TestIRIUCHAREscapes: UCHAR escapes inside <...> IRIREFs decode too.
+func TestIRIUCHAREscapes(t *testing.T) {
+	if _, err := ParseQuery(`SELECT ?s WHERE { ?s <http://ex/café> ?o }`); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+// TestBadEscapes: malformed escapes are errors carrying position and a
+// reason, never silently mangled input.
+func TestBadEscapes(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad hex", `SELECT ?s WHERE { ?s ?p "\u12G4" }`, "not a hex digit"},
+		{"surrogate", `SELECT ?s WHERE { ?s ?p "\uDEAD" }`, "surrogate"},
+		{"out of range", `SELECT ?s WHERE { ?s ?p "\U7FFFFFFF" }`, "beyond U+10FFFF"},
+		{"iri bad escape", `SELECT ?s WHERE { ?s <http://ex/a\qb> ?o }`, "only \\u and \\U"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseQuery(c.src)
+			if err == nil {
+				t.Fatalf("parse accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error %q lacks position info", err)
+			}
+		})
+	}
+}
+
+// renderedLiteral digs the first string-literal object out of the
+// query's WHERE pattern.
+func renderedLiteral(t *testing.T, q *Query) string {
+	t.Helper()
+	for _, el := range q.Where.Elems {
+		bgp, ok := el.(BGP)
+		if !ok {
+			continue
+		}
+		for _, tp := range bgp.Triples {
+			if s, ok := tp.O.Term.(rdf.String); ok {
+				return s.Val
+			}
+		}
+	}
+	t.Fatal("no string literal found in parsed query")
+	return ""
+}

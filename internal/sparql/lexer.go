@@ -5,6 +5,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"scisparql/internal/scanesc"
 )
 
 type tokKind uint8
@@ -139,6 +141,20 @@ func (l *sLexer) next() (tok, error) {
 			}
 			if c == '>' {
 				return mk(tIRI, sb.String()), nil
+			}
+			// IRIREF admits UCHAR escapes (\uXXXX, \UXXXXXXXX) and
+			// nothing else after a backslash.
+			if c == '\\' {
+				e := l.advance()
+				if e != 'u' && e != 'U' {
+					return tok{}, l.errorf("bad escape \\%c in IRI (only \\u and \\U are allowed)", e)
+				}
+				v, err := scanesc.DecodeUCHAR(e, l.advance)
+				if err != nil {
+					return tok{}, l.errorf("%s", err)
+				}
+				sb.WriteRune(v)
+				continue
 			}
 			sb.WriteRune(c)
 		}
@@ -303,8 +319,18 @@ func (l *sLexer) scanString() (string, error) {
 				sb.WriteRune('\n')
 			case 'r':
 				sb.WriteRune('\r')
+			case 'b':
+				sb.WriteRune('\b')
+			case 'f':
+				sb.WriteRune('\f')
 			case '"', '\'', '\\':
 				sb.WriteRune(e)
+			case 'u', 'U':
+				v, err := scanesc.DecodeUCHAR(e, l.advance)
+				if err != nil {
+					return "", l.errorf("%s", err)
+				}
+				sb.WriteRune(v)
 			default:
 				return "", l.errorf("bad escape \\%c", e)
 			}

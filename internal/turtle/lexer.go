@@ -10,6 +10,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"scisparql/internal/scanesc"
 )
 
 type tokenKind uint8
@@ -121,6 +123,20 @@ func (l *lexer) next() (token, error) {
 			}
 			if c == '>' {
 				return mk(tokIRI, sb.String()), nil
+			}
+			// IRIREF admits UCHAR escapes (\uXXXX, \UXXXXXXXX) and
+			// nothing else after a backslash.
+			if c == '\\' {
+				e := l.advance()
+				if e != 'u' && e != 'U' {
+					return token{}, l.errorf("bad escape \\%c in IRI (only \\u and \\U are allowed)", e)
+				}
+				v, err := scanesc.DecodeUCHAR(e, l.advance)
+				if err != nil {
+					return token{}, l.errorf("%s", err)
+				}
+				sb.WriteRune(v)
+				continue
 			}
 			sb.WriteRune(c)
 		}
@@ -251,18 +267,9 @@ func (l *lexer) scanString(line, col int) (token, error) {
 			case '"', '\'', '\\':
 				sb.WriteRune(e)
 			case 'u', 'U':
-				n := 4
-				if e == 'U' {
-					n = 8
-				}
-				var v rune
-				for i := 0; i < n; i++ {
-					h := l.advance()
-					d := hexVal(h)
-					if d < 0 {
-						return token{}, l.errorf("bad \\%c escape", e)
-					}
-					v = v*16 + rune(d)
+				v, err := scanesc.DecodeUCHAR(e, l.advance)
+				if err != nil {
+					return token{}, l.errorf("%s", err)
 				}
 				sb.WriteRune(v)
 			default:
@@ -273,19 +280,6 @@ func (l *lexer) scanString(line, col int) (token, error) {
 		sb.WriteRune(c)
 	}
 	return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
-}
-
-func hexVal(r rune) int {
-	switch {
-	case r >= '0' && r <= '9':
-		return int(r - '0')
-	case r >= 'a' && r <= 'f':
-		return int(r-'a') + 10
-	case r >= 'A' && r <= 'F':
-		return int(r-'A') + 10
-	default:
-		return -1
-	}
 }
 
 func (l *lexer) scanNumber(line, col int) (token, error) {

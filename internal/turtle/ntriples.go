@@ -101,15 +101,17 @@ func (nw *ntWriter) expandArray(a *array.Array) (string, []string) {
 	return head, out
 }
 
-// term renders one term in N-Triples syntax.
+// term renders one term in N-Triples syntax. String literals and IRIs
+// go through the shared Turtle escaping (ECHAR/UCHAR only), so control
+// characters survive a write→parse round trip.
 func (nw *ntWriter) term(t rdf.Term) string {
 	switch v := t.(type) {
 	case rdf.IRI:
-		return "<" + string(v) + ">"
+		return "<" + EscapeIRI(string(v)) + ">"
 	case rdf.Blank:
 		return "_:" + string(v)
 	case rdf.String:
-		s := strconv.Quote(v.Val)
+		s := `"` + EscapeLiteral(v.Val) + `"`
 		if v.Lang != "" {
 			s += "@" + v.Lang
 		}
@@ -123,7 +125,7 @@ func (nw *ntWriter) term(t rdf.Term) string {
 	case rdf.DateTime:
 		return fmt.Sprintf("\"%s\"^^<%s>", v.T.Format("2006-01-02T15:04:05Z07:00"), string(rdf.XSDDateTime))
 	case rdf.Typed:
-		return strconv.Quote(v.Lexical) + "^^<" + string(v.Datatype) + ">"
+		return `"` + EscapeLiteral(v.Lexical) + `"^^<` + EscapeIRI(string(v.Datatype)) + ">"
 	default:
 		nw.err = fmt.Errorf("turtle: cannot serialize %T as N-Triples", t)
 		return "\"?\""

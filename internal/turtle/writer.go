@@ -116,12 +116,94 @@ func (tw *Writer) render(t rdf.Term) string {
 		if v == rdf.RDFType {
 			return "a"
 		}
-		return v.String()
+		return "<" + EscapeIRI(s) + ">"
+	case rdf.String:
+		s := `"` + EscapeLiteral(v.Val) + `"`
+		if v.Lang != "" {
+			s += "@" + v.Lang
+		}
+		return s
+	case rdf.Typed:
+		return `"` + EscapeLiteral(v.Lexical) + `"^^<` + EscapeIRI(string(v.Datatype)) + ">"
 	case rdf.Array:
 		return renderArray(v.A)
 	default:
 		return t.String()
 	}
+}
+
+// EscapeLiteral renders the body of a quoted string literal using only
+// the escapes the Turtle/N-Triples/SPARQL grammars define: the ECHAR
+// set (\" \\ \n \r \t \b \f) plus \uXXXX/\UXXXXXXXX for the remaining
+// control characters. Go's strconv.Quote is not usable here — it emits
+// \x and \a/\v escapes no RDF parser accepts — and round-trips through
+// the lexer's UCHAR decoding are lossless.
+func EscapeLiteral(s string) string {
+	if !strings.ContainsFunc(s, needsLiteralEscape) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\b':
+			sb.WriteString(`\b`)
+		case '\f':
+			sb.WriteString(`\f`)
+		default:
+			if r < 0x20 || r == 0x7F {
+				fmt.Fprintf(&sb, `\u%04X`, r)
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func needsLiteralEscape(r rune) bool {
+	return r < 0x20 || r == 0x7F || r == '"' || r == '\\'
+}
+
+// EscapeIRI renders an IRI body for an <...> IRIREF: characters the
+// IRIREF production excludes (control characters, space, <, >, ", {,
+// }, |, ^, `, \) become \uXXXX escapes so any IRI the store holds can
+// be written and re-read losslessly.
+func EscapeIRI(s string) string {
+	if !strings.ContainsFunc(s, needsIRIEscape) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for _, r := range s {
+		if needsIRIEscape(r) {
+			fmt.Fprintf(&sb, `\u%04X`, r)
+		} else {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func needsIRIEscape(r rune) bool {
+	if r <= 0x20 || r == 0x7F {
+		return true
+	}
+	switch r {
+	case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+		return true
+	}
+	return false
 }
 
 func isSafeLocal(s string) bool {
