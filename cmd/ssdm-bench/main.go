@@ -9,6 +9,7 @@
 //	-exp 6   client/server workflow round trips (chapter 7)
 //	-exp 7   BISTAB dataset scaling
 //	-exp 8   parallel chunk retrieval: fetch worker pool sweep
+//	-exp 9   batch-at-a-time (vectorized) execution vs tuple path
 //	-exp a1  ablation: cost-based join ordering
 //	-exp a2  ablation: sequence pattern detection
 //	-exp a3  ablation: aggregate pushdown (AAPR)
@@ -17,15 +18,19 @@
 // Scale knobs: -rtt (simulated per-SQL-statement round trip),
 // -file-latency (simulated per-request latency of the file store in
 // the parallelism sweep), -iters, -rows/-cols/-arrays
-// (mini-benchmark), -cases/-realizations/-steps (BISTAB).
+// (mini-benchmark), -cases/-realizations/-steps (BISTAB),
+// -vec-docs/-batch-size (vectorized-execution comparison; a negative
+// -batch-size disables vectorization, turning E9's batch column into a
+// tuple-path control run).
 //
 // Retrieval tuning: -par pins the fetch worker pool width for the
 // non-sweep experiments (0 = GOMAXPROCS; the SSDM_PARALLELISM
 // environment variable is the fallback when the flag is absent) and
 // -chunk-cache sets the shared chunk-cache byte budget.
 //
-// -json FILE additionally measures experiments 1 and 8 and writes
-// their cells as a machine-readable JSON report (see BENCH_pr4.json).
+// -json FILE additionally measures experiments 1, 8 and 9 and writes
+// their cells as a machine-readable JSON report (see BENCH_pr4.json
+// and BENCH_pr7.json).
 //
 // -metrics-addr starts the same HTTP observability listener as
 // ssdm-server (/metrics, /debug/vars, /debug/pprof/*) for profiling a
@@ -49,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: 1..8, a1..a3, or all")
+	exp := flag.String("exp", "all", "experiment id: 1..9, a1..a3, or all")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated SQL statement round trip")
 	fileLatency := flag.Duration("file-latency", 200*time.Microsecond, "simulated per-request file store latency (E8)")
 	par := flag.Int("par", 0, "fetch worker pool width outside the E8 sweep (0 = GOMAXPROCS / $SSDM_PARALLELISM)")
@@ -63,6 +68,8 @@ func main() {
 	cases := flag.Int("cases", 8, "BISTAB parameter cases")
 	realizations := flag.Int("realizations", 4, "BISTAB realizations per case")
 	steps := flag.Int("steps", 2048, "BISTAB trajectory length")
+	vecDocs := flag.Int("vec-docs", 1000, "E9 SP²Bench-shaped document count")
+	batchSize := flag.Int("batch-size", 0, "E9 engine batch size (0 = default 1024, negative disables vectorization)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener while benchmarks run: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
@@ -104,6 +111,8 @@ func main() {
 	o.Bistab.Realizations = *realizations
 	o.Bistab.Steps = *steps
 	o.Bistab.ChunkBytes = *chunk
+	o.VecDocs = *vecDocs
+	o.BatchSize = *batchSize
 
 	type entry struct {
 		id string
@@ -118,6 +127,7 @@ func main() {
 		{"6", func() error { return experiments.E6(os.Stdout, o) }},
 		{"7", func() error { return experiments.E7(os.Stdout, o) }},
 		{"8", func() error { return experiments.E8(os.Stdout, o) }},
+		{"9", func() error { return experiments.E9(os.Stdout, o) }},
 		{"a1", func() error { return experiments.A1(os.Stdout, o) }},
 		{"a2", func() error { return experiments.A2(os.Stdout, o) }},
 		{"a3", func() error { return experiments.A3(os.Stdout, o) }},

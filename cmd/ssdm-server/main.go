@@ -10,7 +10,7 @@
 //	            [-http-max-inflight N]
 //	            [-store dir | -sql single|buffer|spd]
 //	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
-//	            [-chunk-cache 64MiB] [-parallelism N]
+//	            [-chunk-cache 64MiB] [-parallelism N] [-batch-size N]
 //	            [-drain-timeout 10s]
 //	            [-metrics-addr 127.0.0.1:9090] [-slow-query 500ms]
 //	            [-log-format text|json]
@@ -79,6 +79,7 @@ func main() {
 	maxRows := flag.Int("max-rows", 0, "default cap on result rows per query (0 = unlimited)")
 	maxBindings := flag.Int64("max-bindings", 0, "default cap on intermediate bindings per query (0 = unlimited)")
 	chunkCache := flag.Int64("chunk-cache", 0, "byte budget of the shared array chunk cache (0 = default 64MiB, negative = unlimited)")
+	batchSize := flag.Int("batch-size", 0, "rows per binding batch in the vectorized executor (0 = default 1024, negative = tuple-at-a-time only)")
 	par := flag.Int("parallelism", 0, "fetch worker pool width per chunk retrieval (0 = GOMAXPROCS, capped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
@@ -108,6 +109,7 @@ func main() {
 	opts.MaxResultRows = *maxRows
 	opts.MaxBindings = *maxBindings
 	opts.ChunkCacheBytes = *chunkCache
+	opts.BatchSize = *batchSize
 	storage.SetParallelism(*par)
 	db := core.OpenWith(opts)
 	switch {

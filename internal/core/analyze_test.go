@@ -32,11 +32,14 @@ func TestQueryAnalyze(t *testing.T) {
 	if tr.ParseNanos <= 0 {
 		t.Errorf("first run: ParseNanos = %d, want > 0", tr.ParseNanos)
 	}
-	if tr.Rows != 2 || tr.Matched != 2 {
-		t.Errorf("counters: rows=%d matched=%d, want 2/2", tr.Rows, tr.Matched)
+	// The single-pattern WHERE runs on the vectorized path by default:
+	// the plan shows a vec scan with batch/row counters instead of a
+	// tuple bgp row.
+	if tr.Rows != 2 || !tr.Vectorized || tr.VecRows != 2 {
+		t.Errorf("counters: rows=%d vectorized=%v vecRows=%d, want 2/true/2", tr.Rows, tr.Vectorized, tr.VecRows)
 	}
-	if !strings.Contains(tr.Plan, "bgp") {
-		t.Errorf("plan missing bgp:\n%s", tr.Plan)
+	if !strings.Contains(tr.Plan, "vec scan") {
+		t.Errorf("plan missing vec scan:\n%s", tr.Plan)
 	}
 
 	// Same text again: served from the compiled-query cache, and the

@@ -52,6 +52,11 @@ type Options struct {
 	// runaway joins and property-path expansions.
 	MaxBindings int64
 
+	// BatchSize selects the vectorized execution batch size: 0 uses the
+	// engine default (rdf.DefaultBatchSize rows), negative disables
+	// batch-at-a-time execution entirely (pure tuple path).
+	BatchSize int
+
 	// ChunkCacheBytes sets the byte budget of the process-wide chunk
 	// cache array proxies fetch into: 0 leaves the current budget
 	// (array.DefaultChunkCacheBytes unless already reconfigured),
@@ -121,13 +126,26 @@ func OpenWith(opts Options) *SSDM {
 		array.SharedChunkCache().SetBudget(opts.ChunkCacheBytes)
 	}
 	ds := rdf.NewDataset()
+	eng := engine.New(ds)
+	eng.BatchSize = opts.BatchSize
 	return &SSDM{
 		Dataset:  ds,
-		Engine:   engine.New(ds),
+		Engine:   eng,
 		Opts:     opts,
 		Prefixes: map[string]string{},
 		qcache:   newQueryCache(0),
 	}
+}
+
+// DictStats reports the term-dictionary footprint across the
+// dataset's graphs (term count, approximate bytes, generation).
+func (s *SSDM) DictStats() rdf.DictStats {
+	return s.Dataset.DictStats()
+}
+
+// VecStats reports cumulative vectorized-execution activity.
+func (s *SSDM) VecStats() engine.VecStats {
+	return s.Engine.VecStats()
 }
 
 // AttachBackend connects an array storage back-end; arrays stored via

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scisparql/internal/rdf"
 	"scisparql/internal/sparql"
@@ -40,6 +41,44 @@ type Engine struct {
 	// MaxPathSteps bounds transitive property-path expansion as a
 	// safety net against pathological graphs. 0 means no limit.
 	MaxPathSteps int
+
+	// BatchSize selects the vectorized execution batch size: 0 uses
+	// rdf.DefaultBatchSize, a negative value disables batch execution
+	// entirely (pure tuple-at-a-time, the pre-vectorization behavior).
+	BatchSize int
+
+	// Vectorized-execution counters, exposed through VecStats.
+	vecQueries atomic.Int64
+	vecBatches atomic.Int64
+	vecRows    atomic.Int64
+}
+
+// effBatchSize resolves the BatchSize knob: rows per batch, or <= 0
+// meaning batch execution is off.
+func (e *Engine) effBatchSize() int {
+	if e.BatchSize == 0 {
+		return rdf.DefaultBatchSize
+	}
+	return e.BatchSize
+}
+
+// VecStats reports cumulative vectorized-execution activity: how many
+// query executions used a batch plan, and how many batches/rows flowed
+// out of vectorized pipelines.
+type VecStats struct {
+	Queries int64
+	Batches int64
+	Rows    int64
+}
+
+// VecStats returns a snapshot of the engine's vectorized-execution
+// counters.
+func (e *Engine) VecStats() VecStats {
+	return VecStats{
+		Queries: e.vecQueries.Load(),
+		Batches: e.vecBatches.Load(),
+		Rows:    e.vecRows.Load(),
+	}
 }
 
 // New creates an engine over a dataset with the standard function
@@ -171,6 +210,15 @@ type evalCtx struct {
 	// it so nested groups compile once per query, not once per input
 	// binding.
 	plans map[planKey][]step
+
+	// vecPlans memoizes vectorized prefixes per (group, graph), like
+	// plans. Unlike plans it is NOT shared with derived contexts: a
+	// vecPlan owns mutable scratch batches, so sharing across nested
+	// evaluations (views, subqueries) would need re-entrancy handling
+	// everywhere; per-ctx plans keep the busy flag a rare safety net.
+	// nil entries are cached too, so unvectorizable groups are analyzed
+	// once per execution.
+	vecPlans map[planKey]*vecPlan
 
 	// trace collects the execution profile when this query runs under
 	// EXPLAIN ANALYZE; nil — the common case — keeps the hot paths at a

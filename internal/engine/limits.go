@@ -121,6 +121,25 @@ func (gq *queryGuard) step() error {
 	return gq.tick()
 }
 
+// batch accounts n intermediate bindings at once — the vectorized
+// path's counterpart of n step() calls — and polls for cancellation
+// once per batch (batch boundaries are the natural poll points of
+// block-at-a-time execution).
+func (gq *queryGuard) batch(n int) error {
+	if gq == nil {
+		return nil
+	}
+	if gq.failed != nil {
+		return gq.failed
+	}
+	gq.bindings += int64(n)
+	if gq.maxBindings > 0 && gq.bindings > gq.maxBindings {
+		gq.failed = fmt.Errorf("%w: intermediate bindings exceed %d", ErrResourceLimit, gq.maxBindings)
+		return gq.failed
+	}
+	return gq.checkCtx()
+}
+
 // tick polls for cancellation without consuming budget — for loops
 // that revisit work rather than producing new bindings (aggregation
 // folds, projection evaluation, ORDER BY).

@@ -180,6 +180,15 @@ func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, yield func(Bi
 	if q.Where == nil {
 		return yield(initial)
 	}
+	// Hybrid vectorized path: when the group has a vectorizable prefix
+	// and there are no pre-bound variables, enumerate ID batches and
+	// bridge each row into the remaining tuple steps. vecWhere declines
+	// (handled == false) when batch mode is off or nothing vectorizes.
+	if len(initial) == 0 {
+		if handled, err := c.vecWhere(q.Where, yield); handled {
+			return err
+		}
+	}
 	return c.evalGroup(q.Where, initial, yield)
 }
 
@@ -211,6 +220,17 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			if e.hasAggregate(h) {
 				grouped = true
 			}
+		}
+	}
+
+	// Fully-columnar fast path: when the whole WHERE clause vectorizes
+	// and the projection is plain variables, solutions never
+	// materialize as Bindings — DISTINCT/OFFSET/LIMIT run over ID rows
+	// and only surviving rows decode to terms. vecSelect declines
+	// (ok == false) whenever any pipeline stage below would differ.
+	if !grouped && len(q.Having) == 0 && len(q.OrderBy) == 0 && len(initial) == 0 && q.Where != nil {
+		if res, ok, err := ctx.vecSelect(q, rowCap, earlyCap); ok {
+			return res, err
 		}
 	}
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled mirrors the rdf package helper: sync.Pool drops items
+// under -race, so allocation-count assertions are skipped there.
+const raceEnabled = true

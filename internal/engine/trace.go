@@ -51,6 +51,13 @@ type Trace struct {
 	// matching before downstream filtering.
 	Matched int64
 
+	// Vectorized reports whether any part of the execution ran on the
+	// batch-at-a-time path; VecBatches/VecRows count the batches and
+	// rows its pipelines emitted.
+	Vectorized bool
+	VecBatches int64
+	VecRows    int64
+
 	// ChunkFetches is the number of array chunks fetched from a storage
 	// back-end on this query's behalf (cache hits are not fetches).
 	ChunkFetches int64
@@ -82,6 +89,9 @@ func (t *Trace) String() string {
 		time.Duration(t.WhereNanos), time.Duration(t.AggNanos),
 		time.Duration(t.ProjNanos), time.Duration(t.SortNanos))
 	fmt.Fprintf(&sb, "matching: calls=%d matched=%d\n", t.MatchCalls, t.Matched)
+	if t.Vectorized {
+		fmt.Fprintf(&sb, "vectorized: batches=%d rows=%d\n", t.VecBatches, t.VecRows)
+	}
 	if t.ChunkFetches > 0 || t.ChunkWaitNanos > 0 {
 		fmt.Fprintf(&sb, "chunks: fetched=%d wait=%v\n",
 			t.ChunkFetches, time.Duration(t.ChunkWaitNanos))
@@ -116,6 +126,13 @@ type traceCollector struct {
 	matchCalls int64
 	matched    int64
 	bindings   int64
+
+	// Vectorized-execution accounting: per-group operator rows plus the
+	// headline totals plan.run adds after each pipeline run.
+	vecGroups  map[*sparql.Group]*vecGroupTrace
+	vectorized bool
+	vecBatches int64
+	vecRows    int64
 
 	whereNanos, aggNanos, projNanos, sortNanos int64
 }
@@ -210,6 +227,40 @@ func (tr *traceCollector) wrap(g *sparql.Group, steps []step) []step {
 	return out
 }
 
+// vecGroupTrace holds the operator counter rows of one group's
+// vectorized plan; covered is how many leading tuple steps the vec
+// pipeline replaces (their rows are elided from the rendering unless
+// the tuple path also ran them).
+type vecGroupTrace struct {
+	ops     []*vecOpTrace
+	covered int
+}
+
+// vecOpTrace is one vectorized operator with its runtime counters.
+type vecOpTrace struct {
+	kind, detail  string
+	batches, rows int64
+}
+
+// registerVec attaches counter rows to a group's vectorized plan,
+// reusing existing rows when the group is re-planned (by a nested
+// context) so the report aggregates across executions, like wrap.
+func (tr *traceCollector) registerVec(g *sparql.Group, pl *vecPlan) {
+	if tr.vecGroups == nil {
+		tr.vecGroups = map[*sparql.Group]*vecGroupTrace{}
+	}
+	vt, ok := tr.vecGroups[g]
+	if !ok || len(vt.ops) != len(pl.ops) {
+		vt = &vecGroupTrace{ops: make([]*vecOpTrace, len(pl.ops)), covered: pl.covered}
+		for i, op := range pl.ops {
+			k, d := op.describe()
+			vt.ops[i] = &vecOpTrace{kind: k, detail: d}
+		}
+		tr.vecGroups[g] = vt
+	}
+	pl.opTr = vt.ops
+}
+
 // tracedStep counts a step's input bindings and emissions around the
 // wrapped step's run.
 type tracedStep struct {
@@ -277,6 +328,9 @@ func (tr *traceCollector) finish(q *sparql.Query, total time.Duration, res *Resu
 		Matched:        tr.matched,
 		ChunkFetches:   tr.fetch.Fetched.Load(),
 		ChunkWaitNanos: tr.fetch.WaitNanos.Load(),
+		Vectorized:     tr.vectorized,
+		VecBatches:     tr.vecBatches,
+		VecRows:        tr.vecRows,
 	}
 	if res != nil {
 		t.Rows = res.Len()
@@ -317,7 +371,24 @@ func (tr *traceCollector) renderGroup(g *sparql.Group, sb *strings.Builder, dept
 		sb.WriteString("(not executed)\n")
 		return
 	}
-	for _, row := range gt.steps {
+	covered := 0
+	if vt, ok := tr.vecGroups[g]; ok {
+		for _, op := range vt.ops {
+			indent(sb, depth)
+			line := op.kind
+			if op.detail != "" {
+				line += " " + op.detail
+			}
+			fmt.Fprintf(sb, "%-58s batches=%d rows=%d\n", line, op.batches, op.rows)
+		}
+		covered = vt.covered
+	}
+	for i, row := range gt.steps {
+		// Tuple rows the vec pipeline replaced are elided unless the
+		// tuple path also executed them (a mixed execution).
+		if i < covered && row.calls == 0 {
+			continue
+		}
 		indent(sb, depth)
 		line := row.kind
 		if row.detail != "" {

@@ -34,6 +34,7 @@ func mustParse(t *testing.T, src string) *sparql.Query {
 
 func TestQueryTracedCountersAndPlan(t *testing.T) {
 	e := traceTestEngine(t)
+	e.BatchSize = -1 // tuple-path counters are what this test pins down
 	q := mustParse(t, `PREFIX ex: <http://ex/>
 		SELECT ?s ?v WHERE { ?s ex:p ?v . OPTIONAL { ?s ex:q ?w } FILTER(?v >= 5) } ORDER BY ?v`)
 
@@ -84,6 +85,44 @@ func TestQueryTracedCountersAndPlan(t *testing.T) {
 	s := tr.String()
 	if !strings.Contains(s, "EXPLAIN ANALYZE") || !strings.Contains(s, "rows=5") {
 		t.Errorf("report headline missing:\n%s", s)
+	}
+}
+
+// TestQueryTracedVectorized: with batch mode on (the default), the
+// trace reports the vectorized prefix — per-operator batch/row rows in
+// the plan, headline batch counters, and the tuple suffix (OPTIONAL)
+// still traced tuple-style behind it.
+func TestQueryTracedVectorized(t *testing.T) {
+	e := traceTestEngine(t)
+	q := mustParse(t, `PREFIX ex: <http://ex/>
+		SELECT ?s ?v WHERE { ?s ex:p ?v . OPTIONAL { ?s ex:q ?w } FILTER(?v >= 5) } ORDER BY ?v`)
+
+	res, tr, err := e.QueryTraced(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("rows = %d, want 5", res.Len())
+	}
+	if !tr.Vectorized {
+		t.Error("trace.Vectorized = false, want true")
+	}
+	if tr.VecRows <= 0 || tr.VecBatches <= 0 {
+		t.Errorf("VecRows=%d VecBatches=%d, want both > 0", tr.VecRows, tr.VecBatches)
+	}
+	for _, want := range []string{
+		"vec scan",
+		"vec filter (?v >= 5)",
+		"batches=",
+		"optional left join",
+		"order by 1 criterion(s)",
+	} {
+		if !strings.Contains(tr.Plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, tr.Plan)
+		}
+	}
+	if !strings.Contains(tr.String(), "vectorized: batches=") {
+		t.Errorf("report missing vectorized headline:\n%s", tr.String())
 	}
 }
 

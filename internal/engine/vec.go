@@ -1,0 +1,929 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"scisparql/internal/array"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Vectorized (batch-at-a-time) execution. The tuple path streams one
+// Binding through the compiled step sequence per emit; for the hot
+// relational core — triple-pattern scans, index-nested-loop joins on
+// shared variables, and simple FILTERs — this pays an interface-typed
+// map operation per variable per solution. The vectorized path instead
+// flows fixed-size batches of dictionary-ID columns (colbatch) through
+// a short pipeline of vec operators compiled from the same step
+// sequence, decoding IDs to rdf.Term only at projection (or at the
+// bridge into the remaining tuple steps). Steps outside the supported
+// core — property paths, OPTIONAL/UNION/MINUS, BIND, EXISTS,
+// subqueries, VALUES, GRAPH — run unchanged as the tuple suffix, so
+// the two paths always agree on semantics; only the prefix is
+// accelerated.
+//
+// ID semantics make this sound: the dictionary is bijective on
+// Term.Key(), so ID equality is exactly the Key-equality the tuple
+// path uses for join consistency and DISTINCT. Value comparisons
+// (FILTER =, <) are NOT ID comparisons — the vec filter decodes its
+// operands and reuses Equals/Compare/Arith/EBV, preserving SPARQL
+// value semantics (Integer(5) = Float(5.0) holds across distinct IDs).
+
+// colbatch is a batch of solutions in columnar (struct-of-arrays)
+// form: one ID column per schema variable, row-aligned. IDs are always
+// valid (scans and joins only ever bind real terms), so 0 never
+// appears in a column.
+type colbatch struct {
+	cols [][]rdf.ID
+	n    int
+}
+
+func (b *colbatch) reset() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+}
+
+// flushTo yields the batch downstream when non-empty and resets it for
+// refilling.
+func (b *colbatch) flushTo(yield vecSink) error {
+	if b.n == 0 {
+		return nil
+	}
+	err := yield(b)
+	b.reset()
+	return err
+}
+
+// vecSink consumes one batch. The batch's columns are only valid until
+// the sink returns (they are operator-owned scratch or pooled slabs).
+type vecSink func(b *colbatch) error
+
+// decoder memoizes ID→Term resolution for one plan, so projection and
+// filters pay one Graph.TermOf (one RLock) per distinct term, not per
+// row. IDs are never reused, so entries stay valid across graph
+// mutations.
+type decoder struct {
+	g     *rdf.Graph
+	terms []rdf.Term
+}
+
+func (d *decoder) term(id rdf.ID) rdf.Term {
+	if int(id) < len(d.terms) {
+		if t := d.terms[id]; t != nil {
+			return t
+		}
+	} else {
+		grown := make([]rdf.Term, int(id)+1024)
+		copy(grown, d.terms)
+		d.terms = grown
+	}
+	t := d.g.TermOf(id)
+	d.terms[id] = t
+	return t
+}
+
+// vecPos describes one triple-pattern position in a vec operator. A
+// position is exactly one of: a constant term (constTerm non-nil,
+// constID re-resolved per graph generation), a variable already bound
+// by the input schema (inCol), or a variable this pattern introduces
+// (outCol; a repeated new variable's later occurrences carry eqPos
+// pointing at the first occurrence instead).
+type vecPos struct {
+	constTerm rdf.Term
+	constID   rdf.ID
+	inCol     int
+	outCol    int
+	eqPos     int
+}
+
+type vecPattern struct {
+	pos  [3]vecPos
+	text string
+}
+
+// dead reports whether a constant of the pattern is absent from the
+// dictionary — the pattern can match nothing against this graph state.
+func (p *vecPattern) dead() bool {
+	for i := range p.pos {
+		if p.pos[i].constTerm != nil && p.pos[i].constID == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// probe resolves the pattern's probe IDs for one input row (0 =
+// wildcard position).
+func (p *vecPattern) probe(in *colbatch, r int) (s, pr, o rdf.ID) {
+	ids := [3]rdf.ID{}
+	for i := range p.pos {
+		switch {
+		case p.pos[i].constTerm != nil:
+			ids[i] = p.pos[i].constID
+		case p.pos[i].inCol >= 0:
+			ids[i] = in.cols[p.pos[i].inCol][r]
+		}
+	}
+	return ids[0], ids[1], ids[2]
+}
+
+// vecOp is one operator of a vectorized plan. The root op (a scan)
+// ignores its input batch; every other op consumes input batches and
+// pushes output batches to yield.
+type vecOp interface {
+	push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) error
+	pattern() *vecPattern // nil for non-pattern ops
+	describe() (kind, detail string)
+}
+
+// --- scan: the pipeline root, fed by Graph.MatchIDs ---
+
+type vecScan struct {
+	pat vecPattern
+	out colbatch
+	eqs bool // repeated variable inside the pattern: compact via scratch
+}
+
+func (s *vecScan) pattern() *vecPattern       { return &s.pat }
+func (s *vecScan) describe() (string, string) { return "vec scan", s.pat.text }
+
+func (s *vecScan) push(c *evalCtx, pl *vecPlan, _ *colbatch, yield vecSink) error {
+	if s.pat.dead() {
+		return nil
+	}
+	sid, pid, oid := s.pat.probe(nil, 0)
+	var ierr error
+	c.graph.MatchIDs(c.matchCtx(), sid, pid, oid, pl.bs, func(ss, pp, oo []rdf.ID) bool {
+		cols := [3][]rdf.ID{ss, pp, oo}
+		b := &s.out
+		if !s.eqs {
+			// No intra-pattern constraints: alias the pooled slabs
+			// directly (the sink contract forbids retaining them).
+			for i := 0; i < 3; i++ {
+				if oc := s.pat.pos[i].outCol; oc >= 0 {
+					b.cols[oc] = cols[i]
+				}
+			}
+			b.n = len(ss)
+		} else {
+			b.reset()
+			for r := 0; r < len(ss); r++ {
+				ok := true
+				for i := 0; i < 3; i++ {
+					if eq := s.pat.pos[i].eqPos; eq >= 0 && cols[i][r] != cols[eq][r] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for i := 0; i < 3; i++ {
+					if oc := s.pat.pos[i].outCol; oc >= 0 {
+						b.cols[oc] = append(b.cols[oc], cols[i][r])
+					}
+				}
+				b.n++
+			}
+		}
+		if b.n == 0 {
+			return true
+		}
+		if ierr = yield(b); ierr != nil {
+			return false
+		}
+		return true
+	})
+	return ierr
+}
+
+// --- join: index-nested-loop probe per input row ---
+
+type vecJoin struct {
+	pat  vecPattern
+	inW  int // input schema width (columns copied through)
+	nNew int // variables this pattern introduces
+	out  colbatch
+	tb   rdf.TripleBatch // per-row probe scratch (single lock hold)
+}
+
+func (j *vecJoin) pattern() *vecPattern       { return &j.pat }
+func (j *vecJoin) describe() (string, string) { return "vec join", j.pat.text }
+
+func (j *vecJoin) push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) error {
+	if j.pat.dead() {
+		return nil
+	}
+	out := &j.out
+	for r := 0; r < in.n; r++ {
+		s, p, o := j.pat.probe(in, r)
+		if j.nNew == 0 {
+			// Fully bound: a semi-join membership probe.
+			if !c.graph.HasIDs(s, p, o) {
+				continue
+			}
+			for k := 0; k < j.inW; k++ {
+				out.cols[k] = append(out.cols[k], in.cols[k][r])
+			}
+			out.n++
+			if out.n >= pl.bs {
+				if err := out.flushTo(yield); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		j.tb.Reset()
+		if c.graph.MatchAppend(s, p, o, &j.tb) == 0 {
+			continue
+		}
+		tcols := [3][]rdf.ID{j.tb.S, j.tb.P, j.tb.O}
+		for m := 0; m < j.tb.Len(); m++ {
+			ok := true
+			for i := 0; i < 3; i++ {
+				if eq := j.pat.pos[i].eqPos; eq >= 0 && tcols[i][m] != tcols[eq][m] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for k := 0; k < j.inW; k++ {
+				out.cols[k] = append(out.cols[k], in.cols[k][r])
+			}
+			for i := 0; i < 3; i++ {
+				if oc := j.pat.pos[i].outCol; oc >= 0 {
+					out.cols[oc] = append(out.cols[oc], tcols[i][m])
+				}
+			}
+			out.n++
+			if out.n >= pl.bs {
+				if err := out.flushTo(yield); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return out.flushTo(yield)
+}
+
+// --- filter: per-row predicate over decoded terms, compacted in place ---
+
+type vecFilter struct {
+	cond sparql.Expression
+	fn   vecExpr
+	ev   vecEval // reused per row so evaluation allocates nothing
+}
+
+func (f *vecFilter) pattern() *vecPattern { return nil }
+func (f *vecFilter) describe() (string, string) {
+	return "vec filter", f.cond.String()
+}
+
+func (f *vecFilter) push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) error {
+	f.ev.pl = pl
+	f.ev.b = in
+	w := 0
+	for r := 0; r < in.n; r++ {
+		f.ev.row = r
+		keep := false
+		t, err := f.fn(&f.ev)
+		if err == nil {
+			var bv bool
+			bv, err = EBV(t)
+			if err == nil {
+				keep = bv
+			}
+		}
+		if err != nil {
+			if _, isExpr := err.(*exprError); !isExpr {
+				return err
+			}
+			// expression error -> filter false (§3.6), like filterStep
+		}
+		if !keep {
+			continue
+		}
+		if w != r {
+			for _, col := range in.cols {
+				col[w] = col[r]
+			}
+		}
+		w++
+	}
+	in.n = w
+	if w == 0 {
+		return nil
+	}
+	return yield(in)
+}
+
+// vecEval is the row cursor a compiled filter expression reads from.
+type vecEval struct {
+	pl  *vecPlan
+	b   *colbatch
+	row int
+}
+
+// vecExpr is a compiled filter expression: closures built once at plan
+// time, evaluated per row with no interpretation overhead beyond the
+// calls themselves. Semantics mirror eval.go exactly — value equality
+// and ordering come from Equals/Compare, arithmetic from Arith, truth
+// from EBV.
+type vecExpr func(e *vecEval) (rdf.Term, error)
+
+// compileVecExpr lowers the supported expression subset (variables,
+// literals, !/- unary, logical/comparison/arithmetic binary operators).
+// Anything else — calls, EXISTS, IN, subscripts — reports false and the
+// filter runs in the tuple suffix instead.
+func compileVecExpr(x sparql.Expression, colOf map[string]int) (vecExpr, bool) {
+	switch v := x.(type) {
+	case sparql.EVar:
+		col, ok := colOf[v.Name]
+		if !ok {
+			return nil, false
+		}
+		return func(e *vecEval) (rdf.Term, error) {
+			return e.pl.dec.term(e.b.cols[col][e.row]), nil
+		}, true
+	case sparql.ELit:
+		t := v.Term
+		return func(*vecEval) (rdf.Term, error) { return t, nil }, true
+	case sparql.EUn:
+		sub, ok := compileVecExpr(v.E, colOf)
+		if !ok {
+			return nil, false
+		}
+		switch v.Op {
+		case "!":
+			return func(e *vecEval) (rdf.Term, error) {
+				x, err := sub(e)
+				if err != nil {
+					return nil, err
+				}
+				t, err := EBV(x)
+				if err != nil {
+					return nil, err
+				}
+				return rdf.Boolean(!t), nil
+			}, true
+		case "-":
+			return func(e *vecEval) (rdf.Term, error) {
+				x, err := sub(e)
+				if err != nil {
+					return nil, err
+				}
+				if a, ok := x.(rdf.Array); ok {
+					res, err := a.A.Neg()
+					if err != nil {
+						return nil, &exprError{msg: err.Error()}
+					}
+					return rdf.NewArray(res), nil
+				}
+				n, ok := rdf.Numeric(x)
+				if !ok {
+					return nil, errf("cannot negate %v", termKindOf(x))
+				}
+				if n.T == array.Int {
+					return rdf.Integer(-n.I), nil
+				}
+				return rdf.Float(-n.F), nil
+			}, true
+		}
+		return nil, false
+	case sparql.EBin:
+		l, ok := compileVecExpr(v.L, colOf)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileVecExpr(v.R, colOf)
+		if !ok {
+			return nil, false
+		}
+		switch v.Op {
+		case "||":
+			return func(e *vecEval) (rdf.Term, error) {
+				lb, lerr := vecBool(l, e)
+				rb, rerr := vecBool(r, e)
+				switch {
+				case lerr == nil && rerr == nil:
+					return rdf.Boolean(lb || rb), nil
+				case lerr == nil && lb:
+					return rdf.Boolean(true), nil
+				case rerr == nil && rb:
+					return rdf.Boolean(true), nil
+				case lerr != nil:
+					return nil, lerr
+				default:
+					return nil, rerr
+				}
+			}, true
+		case "&&":
+			return func(e *vecEval) (rdf.Term, error) {
+				lb, lerr := vecBool(l, e)
+				rb, rerr := vecBool(r, e)
+				switch {
+				case lerr == nil && rerr == nil:
+					return rdf.Boolean(lb && rb), nil
+				case lerr == nil && !lb:
+					return rdf.Boolean(false), nil
+				case rerr == nil && !rb:
+					return rdf.Boolean(false), nil
+				case lerr != nil:
+					return nil, lerr
+				default:
+					return nil, rerr
+				}
+			}, true
+		case "=":
+			return func(e *vecEval) (rdf.Term, error) {
+				lv, rv, err := vecOperands(l, r, e)
+				if err != nil {
+					return nil, err
+				}
+				eq, err := Equals(lv, rv)
+				if err != nil {
+					return nil, err
+				}
+				return rdf.Boolean(eq), nil
+			}, true
+		case "!=":
+			return func(e *vecEval) (rdf.Term, error) {
+				lv, rv, err := vecOperands(l, r, e)
+				if err != nil {
+					return nil, err
+				}
+				eq, err := Equals(lv, rv)
+				if err != nil {
+					return nil, err
+				}
+				return rdf.Boolean(!eq), nil
+			}, true
+		case "<", "<=", ">", ">=":
+			op := v.Op
+			return func(e *vecEval) (rdf.Term, error) {
+				lv, rv, err := vecOperands(l, r, e)
+				if err != nil {
+					return nil, err
+				}
+				cmp, err := Compare(lv, rv, true)
+				if err != nil {
+					return nil, err
+				}
+				var res bool
+				switch op {
+				case "<":
+					res = cmp < 0
+				case "<=":
+					res = cmp <= 0
+				case ">":
+					res = cmp > 0
+				case ">=":
+					res = cmp >= 0
+				}
+				return rdf.Boolean(res), nil
+			}, true
+		default:
+			op := v.Op
+			return func(e *vecEval) (rdf.Term, error) {
+				lv, rv, err := vecOperands(l, r, e)
+				if err != nil {
+					return nil, err
+				}
+				return Arith(op, lv, rv)
+			}, true
+		}
+	}
+	return nil, false
+}
+
+func vecBool(x vecExpr, e *vecEval) (bool, error) {
+	t, err := x(e)
+	if err != nil {
+		return false, err
+	}
+	return EBV(t)
+}
+
+func vecOperands(l, r vecExpr, e *vecEval) (lv, rv rdf.Term, err error) {
+	if lv, err = l(e); err != nil {
+		return nil, nil, err
+	}
+	if rv, err = r(e); err != nil {
+		return nil, nil, err
+	}
+	return lv, rv, nil
+}
+
+// --- plan ---
+
+// vecPlan is the vectorized prefix of one compiled group: the vec
+// operators covering the first `covered` steps, the remaining tuple
+// steps (`rest`), and the scratch state the operators reuse. A plan is
+// private to one evalCtx (it lives in the ctx's vecPlans map), so its
+// scratch is single-goroutine; busy guards against accidental
+// re-entrant runs (fall back to the tuple path instead of corrupting
+// scratch).
+type vecPlan struct {
+	group   *sparql.Group
+	schema  []string
+	ops     []vecOp
+	opTr    []*vecOpTrace // parallel to ops; nil entries when untraced
+	rest    []step
+	covered int
+	bs      int
+	dec     decoder
+
+	// Constant-term IDs are baked in at compile; gen records the graph
+	// generation they were resolved at, and run() re-resolves them when
+	// the graph has mutated since — a plan never probes stale IDs.
+	gen   uint64
+	fresh bool
+	busy  bool
+}
+
+func (pl *vecPlan) refresh(g *rdf.Graph) {
+	gen := g.Generation()
+	if pl.fresh && gen == pl.gen {
+		return
+	}
+	for _, op := range pl.ops {
+		pat := op.pattern()
+		if pat == nil {
+			continue
+		}
+		for i := range pat.pos {
+			if pat.pos[i].constTerm != nil {
+				pat.pos[i].constID, _ = g.Lookup(pat.pos[i].constTerm)
+			}
+		}
+	}
+	pl.gen = gen
+	pl.fresh = true
+}
+
+// run executes the pipeline, pushing final batches to sink. Guard
+// accounting happens per operator output batch (batch(n) ≈ one step()
+// per emitted candidate on the tuple path), and the context is polled
+// at the same boundaries.
+func (pl *vecPlan) run(c *evalCtx, final vecSink) error {
+	pl.busy = true
+	defer func() { pl.busy = false }()
+	pl.refresh(c.graph)
+
+	var batches, rows int64
+	// Build the sink chain once per run: outs[i] is where op i pushes
+	// its output. Per-batch flow allocates nothing.
+	outs := make([]vecSink, len(pl.ops))
+	for i := len(pl.ops) - 1; i >= 0; i-- {
+		i := i
+		var next vecSink
+		if i+1 < len(pl.ops) {
+			nextOp := pl.ops[i+1]
+			nextOut := outs[i+1]
+			next = func(b *colbatch) error { return nextOp.push(c, pl, b, nextOut) }
+		}
+		tr := pl.opTr
+		outs[i] = func(b *colbatch) error {
+			if err := c.guard.batch(b.n); err != nil {
+				return err
+			}
+			if tr != nil && tr[i] != nil {
+				tr[i].batches++
+				tr[i].rows += int64(b.n)
+			}
+			if next == nil {
+				batches++
+				rows += int64(b.n)
+				return final(b)
+			}
+			return next(b)
+		}
+	}
+	err := pl.ops[0].push(c, pl, nil, outs[0])
+	c.eng.vecQueries.Add(1)
+	c.eng.vecBatches.Add(batches)
+	c.eng.vecRows.Add(rows)
+	if c.trace != nil {
+		c.trace.vectorized = true
+		c.trace.vecBatches += batches
+		c.trace.vecRows += rows
+	}
+	return err
+}
+
+// vecPlanFor returns the group's vectorized plan (nil when batch mode
+// is off or no vectorizable prefix exists). Plans are memoized per
+// (group, graph) for the duration of one evalCtx, like compiledSteps.
+func (c *evalCtx) vecPlanFor(g *sparql.Group) *vecPlan {
+	bs := c.eng.effBatchSize()
+	if bs <= 0 || c.graph == nil {
+		return nil
+	}
+	if c.vecPlans == nil {
+		c.vecPlans = make(map[planKey]*vecPlan)
+	}
+	key := planKey{g, c.graph}
+	if pl, ok := c.vecPlans[key]; ok {
+		return pl
+	}
+	pl := c.buildVecPlan(g, bs)
+	c.vecPlans[key] = pl
+	if pl != nil && c.trace != nil {
+		c.trace.registerVec(g, pl)
+	}
+	return pl
+}
+
+// buildVecPlan compiles the longest vectorizable prefix of the group's
+// step sequence. A BGP vectorizes when every pattern's path is a plain
+// IRI or variable (property paths stay on the tuple path); its
+// patterns are cost-ordered once against the schema bound so far,
+// matching the order the tuple path would pick for the first binding.
+// A filter vectorizes when compileVecExpr supports its condition. The
+// first unsupported step ends the prefix; it and everything after run
+// as tuple steps over decoded bindings.
+func (c *evalCtx) buildVecPlan(g *sparql.Group, bs int) *vecPlan {
+	steps := c.compiledSteps(g)
+	pl := &vecPlan{group: g, bs: bs, dec: decoder{g: c.graph}}
+	colOf := make(map[string]int)
+	covered := 0
+loop:
+	for _, st := range steps {
+		inner := st
+		if ts, ok := st.(*tracedStep); ok {
+			inner = ts.inner
+		}
+		switch v := inner.(type) {
+		case *bgpStep:
+			for _, tp := range v.patterns {
+				switch tp.Path.(type) {
+				case sparql.PathIRI, sparql.PathVar:
+				default:
+					break loop
+				}
+			}
+			pats := v.patterns
+			if !c.eng.DisableJoinOrder && len(pats) > 1 {
+				bound := make(Binding, len(pl.schema))
+				for _, name := range pl.schema {
+					bound[name] = nil
+				}
+				pats = c.orderPatterns(pats, bound)
+			}
+			for _, tp := range pats {
+				pl.addPattern(tp, colOf)
+			}
+		case *filterStep:
+			if len(pl.ops) == 0 {
+				break loop
+			}
+			fn, ok := compileVecExpr(v.cond, colOf)
+			if !ok {
+				break loop
+			}
+			pl.ops = append(pl.ops, &vecFilter{cond: v.cond, fn: fn})
+		default:
+			break loop
+		}
+		covered++
+	}
+	if len(pl.ops) == 0 {
+		return nil
+	}
+	pl.covered = covered
+	pl.rest = steps[covered:]
+	return pl
+}
+
+// addPattern lowers one triple pattern to a scan (first op) or join,
+// growing the plan schema with the pattern's new variables.
+func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
+	inW := len(pl.schema)
+	var pat vecPattern
+	pat.text = tp.String()
+	for i := range pat.pos {
+		pat.pos[i] = vecPos{inCol: -1, outCol: -1, eqPos: -1}
+	}
+	// Per-position node: a constant term or a variable name.
+	var names [3]string
+	var consts [3]rdf.Term
+	if v, ok := varOf(tp.S); ok {
+		names[0] = v
+	} else {
+		consts[0] = tp.S.Term
+	}
+	switch p := tp.Path.(type) {
+	case sparql.PathIRI:
+		consts[1] = p.IRI
+	case sparql.PathVar:
+		names[1] = p.Name
+	}
+	if v, ok := varOf(tp.O); ok {
+		names[2] = v
+	} else {
+		consts[2] = tp.O.Term
+	}
+
+	firstOf := map[string]int{}
+	nNew, eqs := 0, false
+	for i := 0; i < 3; i++ {
+		if consts[i] != nil {
+			pat.pos[i].constTerm = consts[i]
+			continue
+		}
+		name := names[i]
+		// Intra-pattern repetition first: a new variable's second
+		// occurrence is an equality constraint against its first, NOT a
+		// schema column (colOf already holds the first occurrence).
+		if fp, seen := firstOf[name]; seen {
+			pat.pos[i].eqPos = fp
+			eqs = true
+			continue
+		}
+		if col, bound := colOf[name]; bound {
+			pat.pos[i].inCol = col
+			continue
+		}
+		firstOf[name] = i
+		pat.pos[i].outCol = len(pl.schema)
+		colOf[name] = len(pl.schema)
+		pl.schema = append(pl.schema, name)
+		nNew++
+	}
+
+	width := len(pl.schema)
+	if len(pl.ops) == 0 {
+		op := &vecScan{pat: pat, eqs: eqs}
+		op.out.cols = make([][]rdf.ID, width)
+		if eqs {
+			for i := range op.out.cols {
+				op.out.cols[i] = make([]rdf.ID, 0, pl.bs)
+			}
+		}
+		pl.ops = append(pl.ops, op)
+		return
+	}
+	op := &vecJoin{pat: pat, inW: inW, nNew: nNew}
+	op.out.cols = make([][]rdf.ID, width)
+	for i := range op.out.cols {
+		op.out.cols[i] = make([]rdf.ID, 0, pl.bs)
+	}
+	pl.ops = append(pl.ops, op)
+}
+
+// vecWhere runs the hybrid path for whereSolutions: the vectorized
+// prefix enumerates ID batches, each row is decoded to a Binding at
+// the bridge, and the remaining tuple steps (OPTIONAL, paths, BIND, …)
+// run on it unchanged. Returns handled=false when the group has no
+// vectorized plan (caller falls back to the pure tuple path).
+func (c *evalCtx) vecWhere(g *sparql.Group, yield func(Binding) error) (bool, error) {
+	pl := c.vecPlanFor(g)
+	if pl == nil || pl.busy {
+		return false, nil
+	}
+	err := pl.run(c, func(b *colbatch) error {
+		for r := 0; r < b.n; r++ {
+			bind := make(Binding, len(pl.schema))
+			for i, name := range pl.schema {
+				bind[name] = pl.dec.term(b.cols[i][r])
+			}
+			if err := runSteps(c, pl.rest, 0, bind, yield); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return true, err
+}
+
+// vecSelect is the fully-columnar SELECT fast path: the entire WHERE
+// clause runs vectorized (no tuple suffix) and the projection is plain
+// variables (or *), so solutions never materialize as Bindings —
+// DISTINCT, the incremental row cap, and LIMIT pushdown operate on ID
+// rows, and only surviving rows decode to terms. Returns ok=false when
+// any SELECT pipeline stage below would behave differently, and the
+// caller runs the regular path.
+func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bool, error) {
+	pl := c.vecPlanFor(q.Where)
+	if pl == nil || pl.busy || len(pl.rest) != 0 {
+		return nil, false, nil
+	}
+
+	// Projection columns. colIdx -1 = variable absent from the schema
+	// (projected but never bound — nil cells, like the tuple path).
+	star := q.Star || len(q.Items) == 0
+	var vars []string
+	var colIdx []int
+	if star {
+		for _, v := range pl.schema {
+			if !strings.Contains(v, ":") && !strings.HasPrefix(v, "#") {
+				vars = append(vars, v)
+			}
+		}
+		sort.Strings(vars)
+	} else {
+		for _, it := range q.Items {
+			if it.Expr != nil {
+				return nil, false, nil
+			}
+			vars = append(vars, it.Var)
+		}
+	}
+	colIdx = make([]int, len(vars))
+	for i, v := range vars {
+		colIdx[i] = -1
+		for j, s := range pl.schema {
+			if s == v {
+				colIdx[i] = j
+				break
+			}
+		}
+	}
+
+	// LIMIT pushdown: no ORDER BY/HAVING here by construction, and with
+	// DISTINCT the dedup happens before accumulation, so the stream can
+	// stop at OFFSET+LIMIT surviving rows in every vecSelect query.
+	stopAt := -1
+	if q.Limit >= 0 {
+		stopAt = q.Offset + q.Limit
+	}
+
+	var rows [][]rdf.ID
+	var seen map[string]bool
+	if q.Distinct {
+		seen = map[string]bool{}
+	}
+	var keyBuf []byte
+	stopWhere := c.trace.startPhase(phaseWhere)
+	err := pl.run(c, func(b *colbatch) error {
+		for r := 0; r < b.n; r++ {
+			if q.Distinct {
+				keyBuf = keyBuf[:0]
+				for _, ci := range colIdx {
+					var id rdf.ID // columns never hold 0, so 0 = unbound
+					if ci >= 0 {
+						id = b.cols[ci][r]
+					}
+					keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+				}
+				if seen[string(keyBuf)] {
+					continue
+				}
+				seen[string(keyBuf)] = true
+			}
+			row := make([]rdf.ID, len(colIdx))
+			for i, ci := range colIdx {
+				if ci >= 0 {
+					row[i] = b.cols[ci][r]
+				}
+			}
+			rows = append(rows, row)
+			if earlyCap >= 0 && len(rows) > earlyCap {
+				return errResultRows(rowCap)
+			}
+			if stopAt >= 0 && len(rows) >= stopAt {
+				return errStop
+			}
+		}
+		return nil
+	})
+	stopWhere()
+	if err != nil && err != errStop {
+		return nil, true, err
+	}
+
+	// OFFSET / LIMIT over ID rows, then decode only the survivors.
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	res := &Results{Vars: vars, Form: sparql.FormSelect}
+	stopProj := c.trace.startPhase(phaseProj)
+	for _, r := range rows {
+		cells := make([]rdf.Term, len(r))
+		for i, id := range r {
+			if id != 0 {
+				cells[i] = pl.dec.term(id)
+			}
+		}
+		res.Rows = append(res.Rows, cells)
+	}
+	stopProj()
+	// SELECT * over zero solutions reports no variables on the tuple
+	// path (vars are discovered from solutions); match it.
+	if star && len(res.Rows) == 0 {
+		res.Vars = nil
+	}
+	return res, true, nil
+}

@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// vecTestEngine builds a dataset exercising every vectorizable shape:
+// multi-pattern joins over shared variables, repeated objects, numeric
+// values stored as both integers and floats (so ID-equality and
+// value-equality diverge), plus sparse predicates for OPTIONAL/UNION.
+func vecTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	ds := rdf.NewDataset()
+	g := ds.Default
+	person := rdf.IRI("http://ex/Person")
+	for i := 0; i < 30; i++ {
+		s := rdf.IRI("http://ex/p" + itoa(i))
+		g.Add(s, rdf.IRI("http://ex/type"), person)
+		if i%2 == 0 {
+			g.Add(s, rdf.IRI("http://ex/age"), rdf.Integer(int64(20+i%7)))
+		} else {
+			// Odd subjects carry float ages: FILTER(?age = 23) must
+			// match 23.0 via value equality even though the IDs differ.
+			g.Add(s, rdf.IRI("http://ex/age"), rdf.Float(float64(20+i%7)))
+		}
+		g.Add(s, rdf.IRI("http://ex/knows"), rdf.IRI("http://ex/p"+itoa((i+3)%30)))
+		if i%3 == 0 {
+			g.Add(s, rdf.IRI("http://ex/email"), rdf.String{Val: "p" + itoa(i) + "@ex.org"})
+		}
+		if i%5 == 0 {
+			g.Add(s, rdf.IRI("http://ex/boss"), rdf.IRI("http://ex/p"+itoa((i+1)%30)))
+		}
+	}
+	// A self-loop so patterns with a repeated variable (?x knows ?x)
+	// have a hit.
+	g.Add(rdf.IRI("http://ex/loop"), rdf.IRI("http://ex/knows"), rdf.IRI("http://ex/loop"))
+	return New(ds)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// vecEquivQueries is the batch-vs-tuple corpus: every query runs on
+// both paths and the result sets must be identical.
+var vecEquivQueries = []string{
+	// Plain scan + projection.
+	`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a }`,
+	// SELECT *.
+	`PREFIX ex: <http://ex/> SELECT * WHERE { ?s ex:age ?a . ?s ex:email ?e }`,
+	// Join-heavy: three patterns over shared variables.
+	`PREFIX ex: <http://ex/> SELECT ?s ?o ?a WHERE { ?s ex:knows ?o . ?o ex:age ?a . ?s ex:type ex:Person }`,
+	// FILTER with value-typed comparison (integer vs float ages).
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a FILTER(?a = 23) }`,
+	`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a FILTER(?a > 21 && ?a <= 25) }`,
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a FILTER(?a + 1 >= 24) }`,
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a FILTER(!(?a < 23)) }`,
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a FILTER(-?a < -22) }`,
+	// Unvectorizable filter (function call): must fall to the suffix.
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:email ?e FILTER(STRLEN(?e) > 9) }`,
+	// DISTINCT over a projected subset.
+	`PREFIX ex: <http://ex/> SELECT DISTINCT ?a WHERE { ?s ex:age ?a }`,
+	// OPTIONAL (tuple suffix after the vectorized prefix).
+	`PREFIX ex: <http://ex/> SELECT ?s ?e WHERE { ?s ex:age ?a OPTIONAL { ?s ex:email ?e } }`,
+	// UNION.
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { { ?s ex:email ?e } UNION { ?s ex:boss ?b } }`,
+	// ORDER BY + LIMIT/OFFSET (deterministic order, so rows compare 1:1).
+	`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a } ORDER BY ?a ?s LIMIT 7 OFFSET 3`,
+	// LIMIT pushdown without ORDER BY: compare row counts only (set below).
+	// Repeated variable inside one pattern (self-loop).
+	`PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:knows ?x }`,
+	// Constant absent from the dictionary: zero rows, both paths.
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a . ?s ex:missing ?m }`,
+	// Property path: entirely tuple-path (fallback must not break).
+	`PREFIX ex: <http://ex/> SELECT ?s ?o WHERE { ?s ex:knows+ ?o . ?s ex:boss ?b }`,
+	// Aggregation consumes the vectorized WHERE stream.
+	`PREFIX ex: <http://ex/> SELECT (COUNT(?s) AS ?n) (AVG(?a) AS ?avg) WHERE { ?s ex:age ?a }`,
+	`PREFIX ex: <http://ex/> SELECT ?a (COUNT(?s) AS ?n) WHERE { ?s ex:age ?a } GROUP BY ?a ORDER BY ?a`,
+	// Fully-bound join probe (semi-join) via shared vars both sides.
+	`PREFIX ex: <http://ex/> SELECT ?s ?o WHERE { ?s ex:knows ?o . ?o ex:knows ?s }`,
+	// MINUS suffix.
+	`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:age ?a MINUS { ?s ex:email ?e } }`,
+}
+
+// canonRows renders a result set order-independently for comparison.
+func canonRows(res *Results) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var sb strings.Builder
+		for i, v := range res.Vars {
+			sb.WriteString(v)
+			sb.WriteByte('=')
+			if row[i] == nil {
+				sb.WriteString("<unbound>")
+			} else {
+				sb.WriteString(row[i].Key())
+			}
+			sb.WriteByte('|')
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runModes(t *testing.T, src string, ordered bool) {
+	t.Helper()
+	q, err := sparql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	tuple := vecTestEngine(t)
+	tuple.BatchSize = -1
+	batchDefault := vecTestEngine(t)
+	batchSmall := vecTestEngine(t) // tiny batches stress flush boundaries
+	batchSmall.BatchSize = 3
+
+	want, err := tuple.Query(q)
+	if err != nil {
+		t.Fatalf("tuple %q: %v", src, err)
+	}
+	for name, e := range map[string]*Engine{"batch-1024": batchDefault, "batch-3": batchSmall} {
+		got, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("%s %q: %v", name, src, err)
+		}
+		wantVars := append([]string(nil), want.Vars...)
+		gotVars := append([]string(nil), got.Vars...)
+		sort.Strings(wantVars)
+		sort.Strings(gotVars)
+		if strings.Join(wantVars, ",") != strings.Join(gotVars, ",") {
+			t.Fatalf("%s %q: vars %v vs tuple %v", name, src, got.Vars, want.Vars)
+		}
+		if ordered {
+			// Row order must match exactly.
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%s %q: %d rows vs tuple %d", name, src, len(got.Rows), len(want.Rows))
+			}
+			for i := range want.Rows {
+				for j, v := range want.Vars {
+					gv := got.Get(i, v)
+					if (v == "") != (gv == nil) && !termEq(row(want, i, j), gv) {
+						t.Fatalf("%s %q: row %d var %s differs", name, src, i, v)
+					}
+				}
+			}
+			continue
+		}
+		w, g := canonRows(want), canonRows(got)
+		if len(w) != len(g) {
+			t.Fatalf("%s %q: %d rows vs tuple %d\ntuple: %v\nbatch: %v", name, src, len(g), len(w), w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s %q: row %d differs:\ntuple: %s\nbatch: %s", name, src, i, w[i], g[i])
+			}
+		}
+	}
+}
+
+func row(r *Results, i, j int) rdf.Term { return r.Rows[i][j] }
+
+func termEq(a, b rdf.Term) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Key() == b.Key()
+}
+
+func TestBatchTupleEquivalence(t *testing.T) {
+	for _, src := range vecEquivQueries {
+		runModes(t, src, false)
+	}
+}
+
+func TestBatchTupleEquivalenceOrdered(t *testing.T) {
+	runModes(t, `PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a } ORDER BY ?a ?s`, true)
+}
+
+func TestBatchTupleAsk(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{`PREFIX ex: <http://ex/> ASK { ?s ex:age ?a FILTER(?a = 23) }`, true},
+		{`PREFIX ex: <http://ex/> ASK { ?s ex:age ?a FILTER(?a > 99) }`, false},
+		{`PREFIX ex: <http://ex/> ASK { ?x ex:knows ?x }`, true},
+	} {
+		for _, bs := range []int{-1, 0, 3} {
+			e := vecTestEngine(t)
+			e.BatchSize = bs
+			res, err := e.QueryString(tc.src)
+			if err != nil {
+				t.Fatalf("bs=%d %q: %v", bs, tc.src, err)
+			}
+			if res.Bool != tc.want {
+				t.Fatalf("bs=%d %q: ASK=%v, want %v", bs, tc.src, res.Bool, tc.want)
+			}
+		}
+	}
+}
+
+// TestBatchLimitPushdown: LIMIT without ORDER BY stops the vectorized
+// stream early; the row count (any rows are valid) must honor the
+// limit, and DISTINCT+LIMIT must count distinct rows.
+func TestBatchLimitPushdown(t *testing.T) {
+	e := vecTestEngine(t)
+	res, err := e.QueryString(`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:type ex:Person } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("LIMIT 5 returned %d rows", res.Len())
+	}
+	res, err = e.QueryString(`PREFIX ex: <http://ex/> SELECT DISTINCT ?a WHERE { ?s ex:age ?a } LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("DISTINCT LIMIT 4 returned %d rows", res.Len())
+	}
+	seen := map[string]bool{}
+	for i := range res.Rows {
+		k := res.Rows[i][0].Key()
+		if seen[k] {
+			t.Fatalf("duplicate row %s under DISTINCT", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestBatchGuardLimits: the vectorized path must respect MaxBindings
+// and cancellation just like the tuple path.
+func TestBatchGuardLimits(t *testing.T) {
+	e := vecTestEngine(t)
+	_, err := e.QueryContext(context.Background(), mustParse(t,
+		`PREFIX ex: <http://ex/> SELECT ?s ?o WHERE { ?s ex:knows ?o . ?o ex:knows ?b }`),
+		Limits{MaxBindings: 5})
+	if err == nil {
+		t.Fatal("want bindings-budget error from the vectorized path")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.QueryContext(ctx, mustParse(t,
+		`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:type ex:Person }`), Limits{})
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+}
+
+// TestVecPlanRefreshAfterMutation: a per-execution plan compiled when a
+// constant was absent from the dictionary must see it after an insert —
+// the generation check re-resolves constant IDs, so a plan never probes
+// stale or missing IDs (the standalone-engine face of the cache
+// invalidation fix; the core-level compiled-query cache test is in
+// internal/core).
+func TestVecPlanRefreshAfterMutation(t *testing.T) {
+	ds := rdf.NewDataset()
+	e := New(ds)
+	q := mustParse(t, `PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:newpred 7 }`)
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("empty graph returned %d rows", res.Len())
+	}
+	ds.Default.Add(rdf.IRI("http://ex/a"), rdf.IRI("http://ex/newpred"), rdf.Integer(7))
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("after insert: %d rows, want 1 (stale constant IDs?)", res.Len())
+	}
+}
+
+// TestVecStatsCounters: engine-level batch counters advance only when
+// the vectorized path runs.
+func TestVecStatsCounters(t *testing.T) {
+	e := vecTestEngine(t)
+	before := e.VecStats()
+	if _, err := e.QueryString(`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a }`); err != nil {
+		t.Fatal(err)
+	}
+	after := e.VecStats()
+	if after.Queries != before.Queries+1 || after.Rows <= before.Rows {
+		t.Fatalf("vec counters did not advance: %+v -> %+v", before, after)
+	}
+	e.BatchSize = -1
+	mid := e.VecStats()
+	if _, err := e.QueryString(`PREFIX ex: <http://ex/> SELECT ?s ?a WHERE { ?s ex:age ?a }`); err != nil {
+		t.Fatal(err)
+	}
+	if e.VecStats() != mid {
+		t.Fatal("tuple-mode query advanced vec counters")
+	}
+}
+
+// TestVecSteadyStateAllocs: after the first run warms the plan's
+// scratch, each vectorized pipeline run costs a small constant number
+// of allocations (the per-run sink chain), independent of row count —
+// i.e. zero allocations per batch and per row.
+func TestVecSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	e := vecTestEngine(t)
+	q := mustParse(t, `PREFIX ex: <http://ex/> SELECT ?s ?o ?a WHERE { ?s ex:knows ?o . ?o ex:age ?a FILTER(?a > 21) }`)
+	c := &evalCtx{eng: e, graph: e.Dataset.Default}
+	e.BatchSize = 8 // small batches: many flushes per run
+	pl := c.vecPlanFor(q.Where)
+	if pl == nil {
+		t.Fatal("query did not vectorize")
+	}
+	if len(pl.rest) != 0 {
+		t.Fatalf("unexpected tuple suffix: %d steps", len(pl.rest))
+	}
+	rows := 0
+	run := func() {
+		rows = 0
+		if err := pl.run(c, func(b *colbatch) error {
+			rows += b.n
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm scratch slabs and the decoder
+	if rows == 0 {
+		t.Fatal("pipeline produced no rows")
+	}
+	allocs := testing.AllocsPerRun(30, run)
+	// The sink chain is rebuilt per run: one slice + two closures per
+	// operator. Nothing may allocate per batch or per row.
+	maxAllocs := float64(4*len(pl.ops) + 4)
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state vectorized run: %.1f allocs, want <= %.0f (per-batch allocation leak?)", allocs, maxAllocs)
+	}
+}
+
+// TestTupleFallbackAllocsNoRegression: with batch mode off, the tuple
+// path's per-probe allocation profile must stay at its seed level (see
+// TestTracingOffZeroAllocBoundProbe for the strict per-probe bounds).
+func TestTupleFallbackAllocsNoRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	e := vecTestEngine(t)
+	e.BatchSize = -1
+	g := e.Dataset.Default
+	s, _ := g.Lookup(rdf.IRI("http://ex/p5"))
+	p, _ := g.Lookup(rdf.IRI("http://ex/type"))
+	o, _ := g.Lookup(rdf.IRI("http://ex/Person"))
+	probe := testing.AllocsPerRun(200, func() {
+		hit := false
+		g.Match(s, p, o, func(rdf.Triple) bool {
+			hit = true
+			return true
+		})
+		if !hit {
+			t.Fatal("probe missed")
+		}
+	})
+	if probe != 0 {
+		t.Errorf("tuple-path bound probe: %v allocs/op, want 0", probe)
+	}
+}

@@ -52,6 +52,13 @@ type Options struct {
 	Bistab bistab.Config
 	// TempDir hosts file back-ends.
 	TempDir string
+	// VecDocs scales the SP²Bench-shaped document set of the
+	// vectorized-execution comparison (E9). 0 = default (1000).
+	VecDocs int
+	// BatchSize is the engine batch size for E9's batch configuration:
+	// 0 = engine default, negative disables vectorization (making the
+	// "batch" column a tuple-path control run).
+	BatchSize int
 }
 
 // DefaultOptions returns the standard experiment scale.

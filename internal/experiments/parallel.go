@@ -31,8 +31,8 @@ type Cell struct {
 }
 
 // Report is the JSON document ssdm-bench -json writes: the workload
-// scale plus the cells of the retrieval-strategy comparison (E1) and
-// the parallelism sweep (E8).
+// scale plus the cells of the retrieval-strategy comparison (E1), the
+// parallelism sweep (E8) and the vectorized-execution comparison (E9).
 type Report struct {
 	RTTNanos         int64  `json:"rtt_nanos"`
 	FileLatencyNanos int64  `json:"file_latency_nanos"`
@@ -46,7 +46,7 @@ type Report struct {
 	Cells            []Cell `json:"cells"`
 }
 
-// BuildReport measures experiments 1 and 8 and assembles the JSON
+// BuildReport measures experiments 1, 8 and 9 and assembles the JSON
 // report (the caller stamps GeneratedAt).
 func BuildReport(o Options) (*Report, error) {
 	e1, err := E1Report(o)
@@ -54,6 +54,10 @@ func BuildReport(o Options) (*Report, error) {
 		return nil, err
 	}
 	e8, err := E8Report(o)
+	if err != nil {
+		return nil, err
+	}
+	e9, err := E9Report(o)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +70,7 @@ func BuildReport(o Options) (*Report, error) {
 		NumArrays:        o.Workload.NumArrays,
 		Iters:            o.Iters,
 		MaxParallelism:   storage.MaxParallelism,
-		Cells:            append(e1, e8...),
+		Cells:            append(append(e1, e8...), e9...),
 	}, nil
 }
 

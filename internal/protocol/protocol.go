@@ -127,6 +127,12 @@ type TraceInfo struct {
 	MatchCalls int64 `json:"match_calls"`
 	Matched    int64 `json:"matched"`
 
+	// Vectorized-execution counters: whether any part of the query ran
+	// batch-at-a-time, and the batches/rows its pipelines emitted.
+	Vectorized bool  `json:"vectorized,omitempty"`
+	VecBatches int64 `json:"vec_batches,omitempty"`
+	VecRows    int64 `json:"vec_rows,omitempty"`
+
 	ChunkFetches int64 `json:"chunk_fetches"`
 	ChunkWaitNS  int64 `json:"chunk_wait_ns"`
 
@@ -155,6 +161,16 @@ type Stats struct {
 	ChunkCacheBytes     int64 `json:"chunk_cache_bytes"`
 	ChunkCachePeakBytes int64 `json:"chunk_cache_peak_bytes"`
 	ChunkCacheBudget    int64 `json:"chunk_cache_budget"`
+
+	// Term-dictionary footprint across the dataset's graphs.
+	DictTerms      int    `json:"dict_terms"`
+	DictBytes      int64  `json:"dict_bytes"`
+	DictGeneration uint64 `json:"dict_generation"`
+
+	// Cumulative vectorized-execution counters.
+	VecQueries int64 `json:"vec_queries"`
+	VecBatches int64 `json:"vec_batches"`
+	VecRows    int64 `json:"vec_rows"`
 }
 
 // EncodeTerm converts an RDF term to its wire form.

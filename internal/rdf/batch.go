@@ -1,0 +1,318 @@
+package rdf
+
+import (
+	"context"
+	"sync"
+)
+
+// TripleBatch is a column-layout (struct-of-arrays) triple buffer: the
+// unit of the vectorized read path. The three slices are parallel —
+// row i is the triple (S[i], P[i], O[i]). Batches are filled by
+// MatchIDs and MatchAppend and consumed by the engine's batch
+// operators, which process whole columns of integer IDs without
+// materializing interface-typed terms.
+type TripleBatch struct {
+	S, P, O []ID
+}
+
+// Len returns the number of rows in the batch.
+func (b *TripleBatch) Len() int { return len(b.S) }
+
+// Reset empties the batch, keeping capacity.
+func (b *TripleBatch) Reset() {
+	b.S = b.S[:0]
+	b.P = b.P[:0]
+	b.O = b.O[:0]
+}
+
+func (b *TripleBatch) append(s, p, o ID) {
+	b.S = append(b.S, s)
+	b.P = append(b.P, p)
+	b.O = append(b.O, o)
+}
+
+// DefaultBatchSize is the row count of one vectorized batch when the
+// caller does not choose one: large enough to amortize per-batch lock
+// and call overhead, small enough to stay cache-resident (3 columns ×
+// 1024 × 4 bytes = 12 KiB).
+const DefaultBatchSize = 1024
+
+var tripleBatchPool = sync.Pool{New: func() any { return new(TripleBatch) }}
+
+func getTripleBatch(bs int) *TripleBatch {
+	b := tripleBatchPool.Get().(*TripleBatch)
+	if cap(b.S) < bs {
+		b.S = make([]ID, 0, bs)
+		b.P = make([]ID, 0, bs)
+		b.O = make([]ID, 0, bs)
+	}
+	b.Reset()
+	return b
+}
+
+func putTripleBatch(b *TripleBatch) {
+	if cap(b.S) <= poolCapLimit {
+		tripleBatchPool.Put(b)
+	}
+}
+
+// MatchIDs enumerates triples matching a pattern (0 = wildcard) as ID
+// columns in batches of up to bs rows (bs <= 0 uses DefaultBatchSize).
+// It is the columnar counterpart of MatchCtx and shares its contract:
+// matches are gathered under the read lock in bounded holds and
+// yielded after it is released, the context (which may be nil) is
+// polled at batch boundaries, and the callback returns false to stop
+// early. The yielded slices come from pooled slabs and are valid only
+// until the callback returns.
+func (g *Graph) MatchIDs(ctx context.Context, s, p, o ID, bs int, yield func(s, p, o []ID) bool) {
+	if bs <= 0 {
+		bs = DefaultBatchSize
+	}
+	buf := getTripleBatch(bs)
+	defer putTripleBatch(buf)
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		g.mu.RLock()
+		hit := g.hasIDsLocked(s, p, o)
+		g.mu.RUnlock()
+		if hit {
+			buf.append(s, p, o)
+			yield(buf.S, buf.P, buf.O)
+		}
+	case s != 0 && p != 0:
+		g.matchInnerIDs(ctx, idxSPO, s, p, 2, bs, buf, yield)
+	case p != 0 && o != 0:
+		g.matchInnerIDs(ctx, idxPOS, p, o, 0, bs, buf, yield)
+	case s != 0 && o != 0:
+		g.matchInnerIDs(ctx, idxOSP, o, s, 1, bs, buf, yield)
+	case s != 0:
+		g.matchNestedIDs(ctx, idxSPO, s, 1, 2, bs, buf, yield)
+	case p != 0:
+		g.matchNestedIDs(ctx, idxPSO, p, 0, 2, bs, buf, yield)
+	case o != 0:
+		g.matchNestedIDs(ctx, idxOSP, o, 0, 1, bs, buf, yield)
+	default:
+		g.matchAllIDs(ctx, bs, buf, yield)
+	}
+}
+
+// batchCol returns the destination column for a triple position.
+func (b *TripleBatch) col(pos int) *[]ID {
+	switch pos {
+	case 0:
+		return &b.S
+	case 1:
+		return &b.P
+	default:
+		return &b.O
+	}
+}
+
+// fillConst pads the batch's constant columns so all three stay
+// parallel: positions other than the filled one repeat their fixed
+// pattern value.
+func fillConst(col *[]ID, v ID, n int) {
+	for len(*col) < n {
+		*col = append(*col, v)
+	}
+}
+
+// matchInnerIDs is the bound-pair case: the matches are the keys of one
+// innermost index map. Gathering happens in one lock hold per batch.
+func (g *Graph) matchInnerIDs(ctx context.Context, k idxKind, a, b ID, fillPos int, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	// Snapshot the inner keys once (IDs are never reused).
+	keysp := idPool.Get().(*[]ID)
+	keys := (*keysp)[:0]
+	g.mu.RLock()
+	for c := range g.index(k)[a][b] {
+		keys = append(keys, c)
+	}
+	g.mu.RUnlock()
+
+	base := baseTriple(k, a, b)
+	for i := 0; i < len(keys); i += bs {
+		if ctxDone(ctx) {
+			break
+		}
+		end := min(i+bs, len(keys))
+		buf.Reset()
+		fill := buf.col(fillPos)
+		*fill = append(*fill, keys[i:end]...)
+		n := end - i
+		for pos := 0; pos < 3; pos++ {
+			if pos != fillPos {
+				fillConst(buf.col(pos), posOf(base, pos), n)
+			}
+		}
+		if !yield(buf.S, buf.P, buf.O) {
+			break
+		}
+	}
+	putIDBuf(keysp, keys)
+}
+
+// baseTriple reconstructs the fixed positions of a bound-pair pattern
+// from the index permutation and its two lookup keys.
+func baseTriple(k idxKind, a, b ID) Triple {
+	switch k {
+	case idxSPO:
+		return Triple{S: a, P: b}
+	case idxPOS:
+		return Triple{P: a, O: b}
+	default: // idxOSP
+		return Triple{O: a, S: b}
+	}
+}
+
+func posOf(t Triple, pos int) ID {
+	switch pos {
+	case 0:
+		return t.S
+	case 1:
+		return t.P
+	default:
+		return t.O
+	}
+}
+
+// matchNestedIDs is the single-bound case: outer keys are snapshotted
+// once, then inner sets are gathered batch-by-batch under the read
+// lock and yielded outside it.
+func (g *Graph) matchNestedIDs(ctx context.Context, k idxKind, a ID, outerPos, innerPos int, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	keysp := idPool.Get().(*[]ID)
+	keys := (*keysp)[:0]
+	g.mu.RLock()
+	for b := range g.index(k)[a] {
+		keys = append(keys, b)
+	}
+	g.mu.RUnlock()
+
+	constPos := 3 - outerPos - innerPos
+	stopped := false
+	for i := 0; i < len(keys) && !stopped; {
+		if ctxDone(ctx) {
+			break
+		}
+		buf.Reset()
+		outer, inner := buf.col(outerPos), buf.col(innerPos)
+		g.mu.RLock()
+		m1 := g.index(k)[a]
+		for i < len(keys) && buf.Len() < bs {
+			b := keys[i]
+			for c := range m1[b] {
+				*outer = append(*outer, b)
+				*inner = append(*inner, c)
+			}
+			i++
+		}
+		g.mu.RUnlock()
+		n := len(*outer)
+		fillConst(buf.col(constPos), a, n)
+		if n > 0 && !yield(buf.S, buf.P, buf.O) {
+			stopped = true
+		}
+	}
+	putIDBuf(keysp, keys)
+}
+
+// matchAllIDs enumerates the whole graph in column batches, grouped by
+// subject per lock hold like matchAll.
+func (g *Graph) matchAllIDs(ctx context.Context, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	keysp := idPool.Get().(*[]ID)
+	keys := (*keysp)[:0]
+	g.mu.RLock()
+	for s := range g.spo {
+		keys = append(keys, s)
+	}
+	g.mu.RUnlock()
+
+	stopped := false
+	for i := 0; i < len(keys) && !stopped; {
+		if ctxDone(ctx) {
+			break
+		}
+		buf.Reset()
+		g.mu.RLock()
+		for i < len(keys) && buf.Len() < bs {
+			s := keys[i]
+			for p, objs := range g.spo[s] {
+				for o := range objs {
+					buf.append(s, p, o)
+				}
+			}
+			i++
+		}
+		g.mu.RUnlock()
+		if buf.Len() > 0 && !yield(buf.S, buf.P, buf.O) {
+			stopped = true
+		}
+	}
+	putIDBuf(keysp, keys)
+}
+
+// MatchAppend gathers every triple matching a pattern (0 = wildcard)
+// into dst's columns in a single read-lock hold and returns the number
+// of rows appended. It is the vectorized join probe: the engine calls
+// it once per probe-side row with the row's bound IDs, so the expected
+// fan-out is the pattern's selectivity, not the graph size — callers
+// enumerating weakly-bound patterns should use MatchIDs, whose bounded
+// lock holds and batch yields this fast path deliberately omits.
+func (g *Graph) MatchAppend(s, p, o ID, dst *TripleBatch) int {
+	before := dst.Len()
+	g.mu.RLock()
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if g.hasIDsLocked(s, p, o) {
+			dst.append(s, p, o)
+		}
+	case s != 0 && p != 0:
+		for c := range g.spo[s][p] {
+			dst.append(s, p, c)
+		}
+	case p != 0 && o != 0:
+		for c := range g.pos[p][o] {
+			dst.append(c, p, o)
+		}
+	case s != 0 && o != 0:
+		for c := range g.osp[o][s] {
+			dst.append(s, c, o)
+		}
+	case s != 0:
+		for p1, objs := range g.spo[s] {
+			for o1 := range objs {
+				dst.append(s, p1, o1)
+			}
+		}
+	case p != 0:
+		for s1, objs := range g.pso[p] {
+			for o1 := range objs {
+				dst.append(s1, p, o1)
+			}
+		}
+	case o != 0:
+		for s1, preds := range g.osp[o] {
+			for p1 := range preds {
+				dst.append(s1, p1, o)
+			}
+		}
+	default:
+		for s1, m1 := range g.spo {
+			for p1, objs := range m1 {
+				for o1 := range objs {
+					dst.append(s1, p1, o1)
+				}
+			}
+		}
+	}
+	g.mu.RUnlock()
+	return dst.Len() - before
+}
+
+// HasIDs reports whether the fully-bound ID triple is present — the
+// zero-allocation membership probe of the vectorized join path.
+func (g *Graph) HasIDs(s, p, o ID) bool {
+	g.mu.RLock()
+	ok := g.hasIDsLocked(s, p, o)
+	g.mu.RUnlock()
+	return ok
+}

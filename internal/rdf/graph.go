@@ -51,7 +51,26 @@ type Graph struct {
 
 	size    int
 	blankNo int
+
+	// gen is a monotonic version counter bumped on every mutation that
+	// could change what a compiled ID-based plan would see: a new
+	// dictionary entry, a triple insert, or a triple delete. Plans that
+	// bake interned IDs in at compile time key themselves on the
+	// generation so a cached plan is never replayed against a graph it
+	// was not compiled for.
+	gen uint64
+
+	// dictBytes approximates the dictionary's memory footprint,
+	// maintained incrementally as terms are interned (terms are never
+	// removed, so it only grows).
+	dictBytes int64
 }
+
+// termOverheadBytes approximates the fixed per-entry dictionary cost
+// beyond the key string: the terms-slice element (interface header),
+// the byKey map entry (string header + ID + bucket share), and the
+// boxed term value itself.
+const termOverheadBytes = 64
 
 // NewGraph creates an empty graph.
 func NewGraph() *Graph {
@@ -74,6 +93,30 @@ func (g *Graph) Size() int {
 	return g.size
 }
 
+// Generation returns the graph's mutation counter. Two calls returning
+// the same value bracket a window with no dictionary growth, inserts,
+// or deletes — the validity condition for replaying a compiled ID plan.
+func (g *Graph) Generation() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.gen
+}
+
+// DictStats describes one dictionary: how many terms it interns, the
+// approximate bytes it occupies, and the owning graph's generation.
+type DictStats struct {
+	Terms      int
+	Bytes      int64
+	Generation uint64
+}
+
+// DictStats returns the graph's dictionary statistics.
+func (g *Graph) DictStats() DictStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return DictStats{Terms: len(g.terms), Bytes: g.dictBytes, Generation: g.gen}
+}
+
 // Intern maps a term to its dictionary ID, assigning a fresh one when
 // the term is new.
 func (g *Graph) Intern(t Term) ID {
@@ -90,6 +133,8 @@ func (g *Graph) internLocked(t Term, key string) ID {
 	g.terms = append(g.terms, t)
 	id := ID(len(g.terms))
 	g.byKey[key] = id
+	g.dictBytes += int64(len(key)) + termOverheadBytes
+	g.gen++
 	return id
 }
 
@@ -190,6 +235,7 @@ func (g *Graph) addIDsLocked(s, p, o ID) bool {
 	g.predCount[p]++
 	g.objCount[o]++
 	g.size++
+	g.gen++
 	return true
 }
 
@@ -231,6 +277,7 @@ func (g *Graph) deleteIDsLocked(s, p, o ID) bool {
 	decCount(g.predCount, p)
 	decCount(g.objCount, o)
 	g.size--
+	g.gen++
 	return true
 }
 
@@ -608,6 +655,27 @@ func (d *Dataset) DropNamed(name IRI) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.named, name)
+}
+
+// DictStats sums dictionary statistics over the default graph and all
+// named graphs; Generation is the sum of the per-graph counters, so it
+// changes whenever any member graph mutates.
+func (d *Dataset) DictStats() DictStats {
+	d.mu.RLock()
+	graphs := make([]*Graph, 0, len(d.named)+1)
+	graphs = append(graphs, d.Default)
+	for _, g := range d.named {
+		graphs = append(graphs, g)
+	}
+	d.mu.RUnlock()
+	var total DictStats
+	for _, g := range graphs {
+		s := g.DictStats()
+		total.Terms += s.Terms
+		total.Bytes += s.Bytes
+		total.Generation += s.Generation
+	}
+	return total
 }
 
 // GraphNames lists the names of all named graphs.

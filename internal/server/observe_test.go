@@ -82,10 +82,12 @@ func TestExplainAnalyzeOverWire(t *testing.T) {
 	if tr.TotalNS <= 0 || tr.WhereNS <= 0 {
 		t.Errorf("timings not populated: total=%d where=%d", tr.TotalNS, tr.WhereNS)
 	}
-	if tr.MatchCalls <= 0 || tr.Matched != 3 {
-		t.Errorf("match counters: calls=%d matched=%d, want calls>0 matched=3", tr.MatchCalls, tr.Matched)
+	// The query vectorizes fully by default, so the counters crossing
+	// the wire are the batch ones and the plan shows the vec pipeline.
+	if !tr.Vectorized || tr.VecRows != 3 || tr.VecBatches <= 0 {
+		t.Errorf("vec counters: vectorized=%v batches=%d rows=%d, want true/>0/3", tr.Vectorized, tr.VecBatches, tr.VecRows)
 	}
-	if !strings.Contains(tr.Plan, "matched=3") {
+	if !strings.Contains(tr.Plan, "rows=3") {
 		t.Errorf("annotated plan missing counters:\n%s", tr.Plan)
 	}
 	if tr.PlanCached {

@@ -317,6 +317,18 @@ func (s *Server) registerGauges(r *metrics.Registry) {
 		func() float64 { return float64(db.ChunkCacheStats().PeakBytes) })
 	r.GaugeFunc("ssdm_chunk_cache_budget_bytes", "Configured chunk-cache byte budget.",
 		func() float64 { return float64(db.ChunkCacheStats().Budget) })
+	r.GaugeFunc("ssdm_dict_terms", "Terms interned in the dataset's dictionaries.",
+		func() float64 { return float64(db.DictStats().Terms) })
+	r.GaugeFunc("ssdm_dict_bytes", "Approximate bytes held by term dictionaries.",
+		func() float64 { return float64(db.DictStats().Bytes) })
+	r.GaugeFunc("ssdm_dict_generation", "Dictionary/graph mutation generation counter.",
+		func() float64 { return float64(db.DictStats().Generation) })
+	r.GaugeFunc("ssdm_vec_queries_total", "Query executions that used a vectorized plan.",
+		func() float64 { return float64(db.VecStats().Queries) })
+	r.GaugeFunc("ssdm_vec_batches_total", "Batches emitted by vectorized pipelines.",
+		func() float64 { return float64(db.VecStats().Batches) })
+	r.GaugeFunc("ssdm_vec_rows_total", "Rows emitted by vectorized pipelines.",
+		func() float64 { return float64(db.VecStats().Rows) })
 	r.GaugeFunc("ssdm_storage_read_calls", "Back-end chunk read calls since start (0 when resident-only).",
 		func() float64 {
 			if b, ok := db.Backend().(interface{ ReadCallCount() int64 }); ok {
@@ -489,6 +501,8 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 	case protocol.OpStats:
 		cs := s.DB.QueryCacheStats()
 		cc := s.DB.ChunkCacheStats()
+		dict := s.DB.DictStats()
+		vec := s.DB.VecStats()
 		return &protocol.Response{OK: true, Stats: &protocol.Stats{
 			CacheHits:    cs.Hits,
 			CacheMisses:  cs.Misses,
@@ -504,6 +518,14 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 			ChunkCacheBytes:     cc.Bytes,
 			ChunkCachePeakBytes: cc.PeakBytes,
 			ChunkCacheBudget:    cc.Budget,
+
+			DictTerms:      dict.Terms,
+			DictBytes:      dict.Bytes,
+			DictGeneration: dict.Generation,
+
+			VecQueries: vec.Queries,
+			VecBatches: vec.Batches,
+			VecRows:    vec.Rows,
 		}}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}
@@ -527,6 +549,9 @@ func encodeTrace(tr *engine.Trace) *protocol.TraceInfo {
 		Bindings:     tr.Bindings,
 		MatchCalls:   tr.MatchCalls,
 		Matched:      tr.Matched,
+		Vectorized:   tr.Vectorized,
+		VecBatches:   tr.VecBatches,
+		VecRows:      tr.VecRows,
 		ChunkFetches: tr.ChunkFetches,
 		ChunkWaitNS:  tr.ChunkWaitNanos,
 		Error:        tr.Error,
