@@ -10,6 +10,7 @@
 //	-exp 7   BISTAB dataset scaling
 //	-exp 8   parallel chunk retrieval: fetch worker pool sweep
 //	-exp 9   batch-at-a-time (vectorized) execution vs tuple path
+//	-exp 10  read latency under a durable (WAL group-commit) update stream
 //	-exp a1  ablation: cost-based join ordering
 //	-exp a2  ablation: sequence pattern detection
 //	-exp a3  ablation: aggregate pushdown (AAPR)
@@ -28,9 +29,9 @@
 // environment variable is the fallback when the flag is absent) and
 // -chunk-cache sets the shared chunk-cache byte budget.
 //
-// -json FILE additionally measures experiments 1, 8 and 9 and writes
-// their cells as a machine-readable JSON report (see BENCH_pr4.json
-// and BENCH_pr7.json).
+// -json FILE additionally measures experiments 1, 8, 9 and 10 and
+// writes their cells as a machine-readable JSON report (see
+// BENCH_pr4.json, BENCH_pr7.json and BENCH_pr8.json).
 //
 // -metrics-addr starts the same HTTP observability listener as
 // ssdm-server (/metrics, /debug/vars, /debug/pprof/*) for profiling a
@@ -54,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: 1..9, a1..a3, or all")
+	exp := flag.String("exp", "all", "experiment id: 1..10, a1..a3, or all")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated SQL statement round trip")
 	fileLatency := flag.Duration("file-latency", 200*time.Microsecond, "simulated per-request file store latency (E8)")
 	par := flag.Int("par", 0, "fetch worker pool width outside the E8 sweep (0 = GOMAXPROCS / $SSDM_PARALLELISM)")
@@ -128,6 +129,7 @@ func main() {
 		{"7", func() error { return experiments.E7(os.Stdout, o) }},
 		{"8", func() error { return experiments.E8(os.Stdout, o) }},
 		{"9", func() error { return experiments.E9(os.Stdout, o) }},
+		{"10", func() error { return experiments.E10(os.Stdout, o) }},
 		{"a1", func() error { return experiments.A1(os.Stdout, o) }},
 		{"a2", func() error { return experiments.A2(os.Stdout, o) }},
 		{"a3", func() error { return experiments.A3(os.Stdout, o) }},

@@ -14,6 +14,8 @@
 //	            [-drain-timeout 10s]
 //	            [-metrics-addr 127.0.0.1:9090] [-slow-query 500ms]
 //	            [-log-format text|json]
+//	            [-wal-dir dir] [-wal-sync always|interval|none]
+//	            [-wal-group-ms N] [-wal-checkpoint-bytes N]
 //
 // -store attaches a binary-file array back-end rooted at dir; -sql
 // attaches a relational back-end (embedded) with the given retrieval
@@ -34,6 +36,15 @@
 // query-class request at or above the threshold as one structured
 // record with the query text, duration, row count and guard outcome;
 // -log-format selects text or JSON for all server log output.
+//
+// -wal-dir enables the durable write path: every update is appended
+// to a write-ahead log and (under -wal-sync always, the default)
+// fsynced before its response is sent, with concurrent updates
+// coalesced into one fsync (-wal-group-ms bounds the added latency).
+// On start the dataset recovers from the last checkpoint plus log
+// replay; on clean shutdown a final checkpoint truncates the log.
+// When the log already holds a dataset, -image/-load seeds are
+// skipped. See docs/OPERATIONS.md for the recovery runbook.
 //
 // The guard flags bound every query the server runs (clients can
 // tighten them per request, never loosen them). On SIGINT/SIGTERM the
@@ -82,6 +93,10 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "rows per binding batch in the vectorized executor (0 = default 1024, negative = tuple-at-a-time only)")
 	par := flag.Int("parallelism", 0, "fetch worker pool width per chunk retrieval (0 = GOMAXPROCS, capped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
+	walDir := flag.String("wal-dir", "", "enable the write-ahead log in this directory (recovers on start)")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always, interval or none")
+	walGroupMS := flag.Int("wal-group-ms", 2, "group-commit dwell in milliseconds (latency cap on fsync coalescing)")
+	walCkptBytes := flag.Int64("wal-checkpoint-bytes", 0, "checkpoint when the log grows past this size (0 = default 64MiB, negative = explicit only)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration (0 = disabled)")
 	logFormat := flag.String("log-format", "text", "server log format: text or json")
@@ -110,6 +125,10 @@ func main() {
 	opts.MaxBindings = *maxBindings
 	opts.ChunkCacheBytes = *chunkCache
 	opts.BatchSize = *batchSize
+	opts.WALDir = *walDir
+	opts.WALSync = *walSync
+	opts.WALGroupWait = time.Duration(*walGroupMS) * time.Millisecond
+	opts.WALCheckpointBytes = *walCkptBytes
 	storage.SetParallelism(*par)
 	db := core.OpenWith(opts)
 	switch {
@@ -139,16 +158,37 @@ func main() {
 		db.AttachBackend(rb)
 	}
 
-	if *image != "" {
+	// The WAL is enabled after the back-end attaches (recovery
+	// re-resolves proxied-array links against it) and before any seed
+	// data loads, so the seed itself is logged. When the log already
+	// holds a dataset, -image/-load are skipped: they are a first-run
+	// seed, and replaying them on every restart would duplicate
+	// blank-node-bearing data.
+	seed := true
+	if *walDir != "" {
+		ri, err := db.EnableWAL()
+		if err != nil {
+			fatalf("wal: %v", err)
+		}
+		if ri.Checkpoint || ri.Records > 0 {
+			seed = false
+			logger.Info("wal recovery complete",
+				"records", ri.Records, "checkpoint", ri.Checkpoint,
+				"duration", ri.Duration.String(), "triples", db.Dataset.Default.Size())
+		}
+	}
+	if seed && *image != "" {
 		if _, err := os.Stat(*image); err == nil {
 			if err := db.LoadSnapshot(*image); err != nil {
 				fatalf("image %s: %v", *image, err)
 			}
 		}
 	}
-	for _, path := range loads {
-		if err := db.LoadTurtleFile(path, ""); err != nil {
-			fatalf("load %s: %v", path, err)
+	if seed {
+		for _, path := range loads {
+			if err := db.LoadTurtleFile(path, ""); err != nil {
+				fatalf("load %s: %v", path, err)
+			}
 		}
 	}
 
@@ -243,6 +283,16 @@ func main() {
 	}
 	wg.Wait()
 	cancel()
+	if *walDir != "" {
+		// A clean shutdown checkpoints so the next start replays
+		// (almost) nothing, then closes the log.
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown checkpoint failed: %v\n", err)
+		}
+		if err := db.CloseWAL(); err != nil {
+			fmt.Fprintf(os.Stderr, "wal close: %v\n", err)
+		}
+	}
 	if *image != "" {
 		if err := db.SaveSnapshot(*image); err != nil {
 			fatalf("save image: %v", err)

@@ -7,6 +7,14 @@
 //
 //	ssdm [-load data.ttl]... [-e 'SELECT ...'] [-f script.sparql] [-i]
 //	     [-explain 'SELECT ...'] [-analyze 'SELECT ...']
+//	     [-wal-dir dir] [-wal-sync always|interval|none]
+//	     [-wal-group-ms N] [-wal-checkpoint-bytes N]
+//
+// -wal-dir enables the durable write path: updates are written to a
+// write-ahead log (fsynced per -wal-sync) before they are
+// acknowledged, and on start the dataset is recovered from the last
+// checkpoint plus log replay. When the log already holds a dataset,
+// -image and -load are skipped (they seed a fresh instance only).
 //
 // -explain prints the execution strategy for a query without running
 // it; -analyze (EXPLAIN ANALYZE) runs the query and prints the
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"scisparql/internal/core"
 	"scisparql/internal/engine"
@@ -49,23 +58,49 @@ func main() {
 	interactive := flag.Bool("i", false, "interactive mode after -load/-e/-f")
 	loadImage := flag.String("image", "", "restore a snapshot image before anything else")
 	saveImage := flag.String("save-image", "", "write a snapshot image before exiting")
+	walDir := flag.String("wal-dir", "", "enable the write-ahead log in this directory (recovers on start)")
+	walSync := flag.String("wal-sync", "always", "WAL sync policy: always, interval or none")
+	walGroupMS := flag.Int("wal-group-ms", 2, "group-commit dwell in milliseconds (latency cap on fsync coalescing)")
+	walCkptBytes := flag.Int64("wal-checkpoint-bytes", 0, "checkpoint when the log grows past this size (0 = default 64MiB, negative = explicit only)")
 	flag.Var(&loads, "load", "Turtle file to load (repeatable)")
 	flag.Parse()
 
-	db := core.Open()
-	if *loadImage != "" {
+	opts := core.DefaultOptions()
+	opts.WALDir = *walDir
+	opts.WALSync = *walSync
+	opts.WALGroupWait = time.Duration(*walGroupMS) * time.Millisecond
+	opts.WALCheckpointBytes = *walCkptBytes
+	db := core.OpenWith(opts)
+	seed := true
+	if *walDir != "" {
+		ri, err := db.EnableWAL()
+		if err != nil {
+			fatalf("wal: %v", err)
+		}
+		if ri.Checkpoint || ri.Records > 0 {
+			// The log already holds a dataset; -image/-load are only a
+			// first-run seed (they were WAL-logged when first applied).
+			seed = false
+			fmt.Fprintf(os.Stderr, "recovered from WAL (%d records replayed in %v, %d triples in default graph)\n",
+				ri.Records, ri.Duration, db.Dataset.Default.Size())
+		}
+		defer db.CloseWAL()
+	}
+	if seed && *loadImage != "" {
 		if err := db.LoadSnapshot(*loadImage); err != nil {
 			fatalf("image %s: %v", *loadImage, err)
 		}
 		fmt.Fprintf(os.Stderr, "restored %s (%d triples in default graph)\n",
 			*loadImage, db.Dataset.Default.Size())
 	}
-	for _, path := range loads {
-		if err := db.LoadTurtleFile(path, ""); err != nil {
-			fatalf("load %s: %v", path, err)
+	if seed {
+		for _, path := range loads {
+			if err := db.LoadTurtleFile(path, ""); err != nil {
+				fatalf("load %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %s (%d triples in default graph)\n",
+				path, db.Dataset.Default.Size())
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s (%d triples in default graph)\n",
-			path, db.Dataset.Default.Size())
 	}
 
 	ran := false
@@ -122,7 +157,7 @@ func runStatements(db *core.SSDM, src string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	for _, st := range stmts {
+	for i, st := range stmts {
 		switch v := st.(type) {
 		case *sparql.Query:
 			res, err := db.Engine.Query(v)
@@ -131,7 +166,7 @@ func runStatements(db *core.SSDM, src string) {
 			}
 			printResults(res)
 		default:
-			n, err := execUpdate(db, st)
+			n, err := execUpdate(db, st, src, i)
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -140,11 +175,14 @@ func runStatements(db *core.SSDM, src string) {
 	}
 }
 
-func execUpdate(db *core.SSDM, st sparql.Statement) (int, error) {
+// execUpdate routes updates through the manager (not the bare engine)
+// so they take the durable write path: WAL-logged, group-committed and
+// checkpointed when a log is enabled.
+func execUpdate(db *core.SSDM, st sparql.Statement, script string, index int) (int, error) {
 	if ld, ok := st.(*sparql.Load); ok {
 		return 0, db.LoadTurtleFile(strings.TrimPrefix(ld.Source, "file://"), ld.Graph)
 	}
-	return db.Engine.Update(st)
+	return db.UpdateStatement(context.Background(), st, script, index)
 }
 
 func printResults(res *engine.Results) {
@@ -224,7 +262,7 @@ func repl(db *core.SSDM) {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 				return
 			}
-			for _, st := range stmts {
+			for i, st := range stmts {
 				if q, isQ := st.(*sparql.Query); isQ {
 					res, err := db.Engine.Query(q)
 					if err != nil {
@@ -232,7 +270,7 @@ func repl(db *core.SSDM) {
 						return
 					}
 					printResults(res)
-				} else if n, err := execUpdate(db, st); err != nil {
+				} else if n, err := execUpdate(db, st, src, i); err != nil {
 					fmt.Fprintf(os.Stderr, "error: %v\n", err)
 				} else {
 					fmt.Printf("ok (%d triples affected)\n", n)

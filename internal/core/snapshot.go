@@ -25,9 +25,9 @@ import (
 
 const snapshotHeader = "#ssdm-snapshot 1"
 
-// SaveSnapshot writes the whole dataset to path. It is a read
-// operation: it shares the operation lock with running queries and
-// captures a consistent image (no update can interleave).
+// SaveSnapshot writes the whole dataset to path. It takes the
+// operation lock's read side, which excludes writers (but not queries,
+// which need no lock), so the image is cross-graph consistent.
 func (s *SSDM) SaveSnapshot(path string) error {
 	s.op.RLock()
 	defer s.op.RUnlock()
@@ -37,8 +37,17 @@ func (s *SSDM) SaveSnapshot(path string) error {
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
-	fmt.Fprintln(w, snapshotHeader)
+	if err := s.writeSnapshotBody(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
 
+// writeSnapshotBody serializes the dataset in snapshot format (header
+// plus one Turtle section per graph) to w. The caller holds the
+// operation lock (either side: writers are excluded both ways).
+func (s *SSDM) writeSnapshotBody(w *bufio.Writer) error {
+	fmt.Fprintln(w, snapshotHeader)
 	writeGraph := func(name string, g *rdf.Graph) error {
 		fmt.Fprintf(w, "#graph <%s>\n", name)
 		prepared, err := s.snapshotView(g)
@@ -59,7 +68,7 @@ func (s *SSDM) SaveSnapshot(path string) error {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
 // snapshotView rewrites proxied array terms into file-link literals so
@@ -101,9 +110,20 @@ func (s *SSDM) LoadSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	lines := strings.Split(string(data), "\n")
+	// One exclusive critical section for the whole restore, so
+	// concurrent queries see either none or all of the snapshot.
+	s.op.Lock()
+	defer s.op.Unlock()
+	return s.loadSnapshotTextLocked(string(data))
+}
+
+// loadSnapshotTextLocked restores a snapshot-format document (the body
+// SaveSnapshot and checkpoints write). The caller holds the operation
+// write lock.
+func (s *SSDM) loadSnapshotTextLocked(data string) error {
+	lines := strings.Split(data, "\n")
 	if len(lines) == 0 || strings.TrimSpace(lines[0]) != snapshotHeader {
-		return fmt.Errorf("ssdm: %s is not a snapshot file", path)
+		return fmt.Errorf("ssdm: not a snapshot document")
 	}
 	var sections []struct {
 		name string
@@ -126,10 +146,6 @@ func (s *SSDM) LoadSnapshot(path string) error {
 		}
 		sections[len(sections)-1].body = append(sections[len(sections)-1].body, line)
 	}
-	// One exclusive critical section for the whole restore, so
-	// concurrent queries see either none or all of the snapshot.
-	s.op.Lock()
-	defer s.op.Unlock()
 	for _, sec := range sections {
 		var graph rdf.IRI
 		if sec.name != "default" {

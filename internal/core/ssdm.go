@@ -26,6 +26,7 @@ import (
 	"scisparql/internal/sparql"
 	"scisparql/internal/storage"
 	"scisparql/internal/turtle"
+	"scisparql/internal/wal"
 )
 
 // Options configure an SSDM instance.
@@ -63,6 +64,22 @@ type Options struct {
 	// negative means unlimited. The cache is shared by every SSDM
 	// instance in the process, so the last instance opened wins.
 	ChunkCacheBytes int64
+
+	// WALDir is the directory of the write-ahead log; the log is armed
+	// by calling EnableWAL after Open (empty = no durability).
+	WALDir string
+	// WALSync selects the log sync policy: "always" (default; group
+	// commit, full durability), "interval" (timer-driven fsync) or
+	// "none".
+	WALSync string
+	// WALGroupWait is how long a group-commit leader dwells before
+	// fsyncing so concurrent updates can join the batch — a bounded
+	// latency bump traded for fewer fsyncs (0 = sync immediately).
+	WALGroupWait time.Duration
+	// WALCheckpointBytes triggers an automatic checkpoint once the log
+	// grows this much past the last one (0 = DefaultWALCheckpointBytes,
+	// negative = only explicit Checkpoint calls).
+	WALCheckpointBytes int64
 }
 
 // Typed failure classes re-exported from the engine so callers holding
@@ -85,16 +102,22 @@ func DefaultOptions() Options {
 
 // SSDM is a Scientific SPARQL Database Manager instance.
 //
-// SSDM is safe for concurrent use. Operations are classified under a
-// reader-writer lock: read-only operations (Query, Explain, prepared
-// Exec, WriteTurtle, SaveSnapshot, and the query statements inside
-// Execute) share the lock and run in parallel; mutating operations
-// (Update, LoadTurtle*, LoadSnapshot, StoreArray, AddArrayTriple,
-// Externalize, and the update statements inside Execute) take it
-// exclusively. A query therefore always observes a statement-atomic
-// dataset: never a half-applied update or half-loaded document.
+// SSDM is safe for concurrent use, with snapshot-isolated reads:
+// queries (Query, Explain, prepared Exec, WriteTurtle, and the query
+// statements inside Execute) take no lock at all — each execution pins
+// an immutable version of every graph it touches on first read and
+// runs against those versions to completion, so it observes a
+// statement-atomic dataset (never a half-applied update) and never
+// blocks behind a writer. Mutating operations (Update, LoadTurtle*,
+// LoadSnapshot, StoreArray, AddArrayTriple, Externalize, and the
+// update statements inside Execute) serialize on the operation write
+// lock and publish their effect as one new version. When a write-ahead
+// log is enabled (EnableWAL), a mutation is acknowledged only after
+// its log record is durable per the configured sync policy.
 type SSDM struct {
-	// op is the operation-level reader-writer lock described above.
+	// op serializes mutating operations; its read side is only used by
+	// SaveSnapshot/Checkpoint to exclude writers while capturing a
+	// cross-graph-consistent image. Queries do not touch it.
 	op sync.RWMutex
 
 	mu      sync.Mutex // guards backend and Prefixes
@@ -110,6 +133,15 @@ type SSDM struct {
 	// qcache is the compiled-query LRU cache behind Query/Explain (see
 	// querycache.go for the key and invalidation rules).
 	qcache *queryCache
+
+	// wal is the write-ahead log; nil until EnableWAL arms it. The
+	// remaining fields are its bookkeeping, guarded by op's write side:
+	// the DEFINE scripts re-executed at recovery, the log position of
+	// the last checkpoint, and what the last recovery restored.
+	wal         *wal.Log
+	defines     []recDefine
+	lastCkptLSN uint64
+	recovery    RecoveryInfo
 }
 
 // Open creates an SSDM instance with default options.
@@ -174,10 +206,49 @@ func (s *SSDM) LoadTurtle(src string, graph rdf.IRI) error {
 
 func (s *SSDM) loadTurtleLocked(src string, graph rdf.IRI) error {
 	g := s.targetGraph(graph)
-	if err := turtle.ParseString(src, g); err != nil {
+	if !s.walEnabled() {
+		if err := turtle.ParseString(src, g); err != nil {
+			return err
+		}
+		return s.postLoad(g)
+	}
+	// Durable path: parse and consolidate into a staging graph first,
+	// then merge through a recorded transaction, so the whole document
+	// is one WAL batch and one atomically published version — readers
+	// never see (and the log never holds) a half-loaded document. The
+	// staging graph's blank counter starts at the target's so document
+	// blanks cannot collide with existing ones; consolidation sees the
+	// incoming document, not the merged graph.
+	stage := rdf.NewGraph()
+	stage.EnsureBlankNo(g.BlankNo())
+	if err := turtle.ParseString(src, stage); err != nil {
 		return err
 	}
-	return s.postLoad(g)
+	if err := s.postLoad(stage); err != nil {
+		return err
+	}
+	tx := g.Begin()
+	tx.Record(true)
+	stage.Triples(func(sub, p, o rdf.Term) bool {
+		tx.Add(sub, p, o)
+		return true
+	})
+	if tx.Changed() == 0 {
+		tx.Abort()
+		return nil
+	}
+	g.EnsureBlankNo(stage.BlankNo())
+	lsn, err := s.walAppendBatch(graph, tx.Ops(), stage.BlankNo())
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	tx.Commit()
+	if err := s.walFinish(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpointLocked()
+	return nil
 }
 
 // LoadTurtleReader is LoadTurtle over an io.Reader.
@@ -224,11 +295,13 @@ func (s *SSDM) postLoad(g *rdf.Graph) error {
 	return nil
 }
 
-// Query parses and executes a single SciSPARQL query. Queries take the
-// operation read lock, so any number may run in parallel. Hot query
-// texts are served from the compiled-query cache, skipping
-// lex/parse/compile entirely on a hit. The instance's configured
-// guards (Options.QueryTimeout/MaxResultRows/MaxBindings) apply.
+// Query parses and executes a single SciSPARQL query. Queries take no
+// lock: the execution pins an immutable snapshot of each graph it
+// reads, so any number run in parallel and none waits for a concurrent
+// update. Hot query texts are served from the compiled-query cache,
+// skipping lex/parse/compile entirely on a hit. The instance's
+// configured guards (Options.QueryTimeout/MaxResultRows/MaxBindings)
+// apply.
 func (s *SSDM) Query(src string) (*engine.Results, error) {
 	return s.QueryContext(context.Background(), src)
 }
@@ -250,8 +323,6 @@ func (s *SSDM) QueryLimits(ctx context.Context, src string, lim engine.Limits) (
 	if err != nil {
 		return nil, err
 	}
-	s.op.RLock()
-	defer s.op.RUnlock()
 	return s.Engine.QueryContext(ctx, q, s.fillLimits(lim))
 }
 
@@ -287,8 +358,6 @@ func (s *SSDM) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.op.RLock()
-	defer s.op.RUnlock()
 	return s.Engine.Explain(q), nil
 }
 
@@ -306,8 +375,6 @@ func (s *SSDM) QueryAnalyze(ctx context.Context, src string, lim engine.Limits) 
 	if err != nil {
 		return nil, nil, err
 	}
-	s.op.RLock()
-	defer s.op.RUnlock()
 	res, tr, err := s.Engine.QueryTraced(ctx, q, s.fillLimits(lim))
 	if tr != nil {
 		tr.PlanCached = hit
@@ -384,8 +451,6 @@ func (p *Prepared) ExecContext(ctx context.Context, params map[string]rdf.Term) 
 	for k, v := range params {
 		initial[k] = v
 	}
-	p.ssdm.op.RLock()
-	defer p.ssdm.op.RUnlock()
 	return p.ssdm.Engine.QueryWithContext(ctx, p.q, initial, p.ssdm.fillLimits(engine.Limits{}))
 }
 
@@ -419,15 +484,13 @@ func (s *SSDM) ExecuteLimits(ctx context.Context, src string, lim engine.Limits)
 	}
 	lim = s.fillLimits(lim)
 	var out []*engine.Results
-	for _, st := range stmts {
+	for i, st := range stmts {
 		if err := engine.ContextErr(ctx); err != nil {
 			return out, err
 		}
 		switch v := st.(type) {
 		case *sparql.Query:
-			s.op.RLock()
 			res, err := s.Engine.QueryContext(ctx, v, lim)
-			s.op.RUnlock()
 			if err != nil {
 				return out, err
 			}
@@ -440,14 +503,8 @@ func (s *SSDM) ExecuteLimits(ctx context.Context, src string, lim engine.Limits)
 				return out, err
 			}
 		default:
-			s.op.Lock()
-			_, err := s.Engine.UpdateLimits(ctx, st, lim)
-			s.op.Unlock()
-			if err != nil {
+			if _, err := s.runUpdate(ctx, st, lim, src, i); err != nil {
 				return out, err
-			}
-			if redefinesFunctions(st) {
-				s.qcache.invalidate()
 			}
 		}
 	}
@@ -491,15 +548,79 @@ func (s *SSDM) UpdateLimits(ctx context.Context, src string, lim engine.Limits) 
 		return 0, err
 	}
 	lim = s.fillLimits(lim)
-	s.op.Lock()
-	defer s.op.Unlock()
 	if ld, ok := st.(*sparql.Load); ok {
+		s.op.Lock()
+		defer s.op.Unlock()
 		return 0, s.execLoadLocked(ld)
 	}
-	if redefinesFunctions(st) {
-		defer s.qcache.invalidate()
+	return s.runUpdate(ctx, st, lim, src, 0)
+}
+
+// UpdateStatement runs one already-parsed update statement from a
+// script on the durable write path. script and index identify the
+// statement's source (the whole script text and the statement's
+// position in it) so function/aggregate definitions can be re-played
+// from the log after a crash; pass the statement's own text and 0
+// when it was parsed alone. Load statements route through the Turtle
+// load path like UpdateLimits does.
+func (s *SSDM) UpdateStatement(ctx context.Context, st sparql.Statement, script string, index int) (int, error) {
+	if ld, ok := st.(*sparql.Load); ok {
+		s.op.Lock()
+		defer s.op.Unlock()
+		return 0, s.execLoadLocked(ld)
 	}
-	return s.Engine.UpdateLimits(ctx, st, lim)
+	return s.runUpdate(ctx, st, s.fillLimits(engine.Limits{}), script, index)
+}
+
+// runUpdate executes one update statement on the durable write path:
+// under the operation write lock the statement is staged (its WHERE
+// evaluated, its physical operations collected), its WAL record is
+// appended, and the staged version is published; the lock is then
+// released and the acknowledgement waits on log durability. Because
+// the wait happens outside the lock, concurrent updates stack their
+// records behind one another and the group-commit leader syncs them
+// with a single fsync. A WAL append failure aborts the staged update
+// — memory never runs ahead of the log — and returns ErrDurability.
+func (s *SSDM) runUpdate(ctx context.Context, st sparql.Statement, lim engine.Limits, script string, index int) (int, error) {
+	s.op.Lock()
+	staged, err := s.Engine.UpdateStagedLimits(ctx, st, lim, s.walEnabled())
+	if err != nil {
+		s.op.Unlock()
+		return 0, err
+	}
+	var lsn uint64
+	logged := false
+	if s.walEnabled() {
+		if redefinesFunctions(st) {
+			lsn, err = s.walAppendDefine(script, index)
+		} else if len(staged.Ops()) > 0 {
+			lsn, err = s.walAppendBatch(staged.Graph(), staged.Ops(), s.targetGraph(staged.Graph()).BlankNo())
+		} else {
+			err = nil
+		}
+		if err != nil {
+			staged.Abort()
+			s.op.Unlock()
+			return 0, err
+		}
+		logged = redefinesFunctions(st) || len(staged.Ops()) > 0
+	}
+	staged.Commit()
+	count := staged.Count()
+	if redefinesFunctions(st) {
+		if s.walEnabled() {
+			s.defines = append(s.defines, recDefine{Script: script, Index: index})
+		}
+		s.qcache.invalidate()
+	}
+	s.maybeCheckpointLocked()
+	s.op.Unlock()
+	if logged {
+		if err := s.walFinish(lsn); err != nil {
+			return count, err
+		}
+	}
+	return count, nil
 }
 
 // execLoadLocked handles LOAD <source> [INTO GRAPH g]: sources are
@@ -529,24 +650,53 @@ func (s *SSDM) StoreArray(a *array.Array) (int64, error) {
 
 // AddArrayTriple attaches an array value to (s, p) in the default
 // graph: resident when no back-end is attached, externalized
-// otherwise.
+// otherwise. With a WAL enabled the triple is logged (a proxied array
+// as its file link, a resident one in full) before it is published.
 func (s *SSDM) AddArrayTriple(subj rdf.Term, prop rdf.IRI, a *array.Array) error {
 	s.op.Lock()
 	defer s.op.Unlock()
 	b := s.Backend()
+	val := rdf.Term(nil)
 	if b == nil {
-		s.Dataset.Default.Add(subj, prop, rdf.NewArray(a))
+		val = rdf.NewArray(a)
+	} else {
+		id, err := b.Store(a, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+		if err != nil {
+			return err
+		}
+		stored, err := b.Open(id)
+		if err != nil {
+			return err
+		}
+		val = rdf.NewArray(stored)
+	}
+	g := s.Dataset.Default
+	if !s.walEnabled() {
+		g.Add(subj, prop, val)
 		return nil
 	}
-	id, err := b.Store(a, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+	tx := g.Begin()
+	tx.Record(true)
+	tx.Add(subj, prop, val)
+	if tx.Changed() == 0 {
+		tx.Abort()
+		return nil
+	}
+	lsn, err := s.walAppendBatch("", tx.Ops(), g.BlankNo())
 	if err != nil {
+		tx.Abort()
 		return err
 	}
-	return loader.LinkArray(s.Dataset.Default, subj, prop, b, id)
+	tx.Commit()
+	return s.walFinish(lsn)
 }
 
 // Externalize moves every resident array in the default graph to the
-// attached back-end (the back-end scenario of chapter 6).
+// attached back-end (the back-end scenario of chapter 6). The rewrite
+// is not operation-logged; with a WAL enabled it forces a checkpoint
+// instead, so the externalized graph is durable when Externalize
+// returns (a crash mid-operation recovers the pre-call resident
+// state, which is equivalent data).
 func (s *SSDM) Externalize() (int, error) {
 	s.op.Lock()
 	defer s.op.Unlock()
@@ -554,16 +704,22 @@ func (s *SSDM) Externalize() (int, error) {
 	if b == nil {
 		return 0, fmt.Errorf("ssdm: no storage back-end attached")
 	}
-	return loader.ExternalizeArrays(s.Dataset.Default, b, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+	n, err := loader.ExternalizeArrays(s.Dataset.Default, b, storage.ChunkElemsFor(s.Opts.ChunkBytes))
+	if err == nil && s.walEnabled() {
+		if cerr := s.checkpointLocked(); cerr != nil {
+			return n, cerr
+		}
+	}
+	return n, err
 }
 
 // WriteTurtle serializes a graph ("" = default) as Turtle. It is a
-// read operation: serializing a graph that does not exist writes an
-// empty document instead of creating the graph.
+// read operation over a pinned snapshot of the graph — like a query,
+// it neither blocks nor observes a concurrent writer. Serializing a
+// graph that does not exist writes an empty document instead of
+// creating the graph.
 func (s *SSDM) WriteTurtle(w io.Writer, graph rdf.IRI) error {
-	s.op.RLock()
-	defer s.op.RUnlock()
-	g := s.readGraph(graph)
+	g := s.readGraph(graph).Snapshot()
 	return turtle.Write(w, g, s.prefixSnapshot())
 }
 
@@ -607,10 +763,12 @@ func (s *SSDM) RegisterForeignCost(name string, minArgs, maxArgs int, cost float
 
 // SetPrefix declares a namespace prefix used when serializing output.
 // It bumps the compiled-query cache epoch: the prefix table is part of
-// the environment a cached parse was taken in.
+// the environment a cached parse was taken in. With a WAL enabled the
+// declaration is logged so it survives a restart.
 func (s *SSDM) SetPrefix(name, ns string) {
 	s.mu.Lock()
 	s.Prefixes[name] = ns
 	s.mu.Unlock()
 	s.qcache.invalidate()
+	s.walLogPrefix(name, ns)
 }

@@ -211,6 +211,15 @@ type evalCtx struct {
 	// binding.
 	plans map[planKey][]step
 
+	// snaps pins one immutable snapshot per live graph for the duration
+	// of this execution: the first read through any graph (the FROM
+	// resolution, each GRAPH clause target) freezes its version, and
+	// every later step of the same execution — including nested views
+	// and subqueries, which share the map — reads that same version. A
+	// query therefore never observes a concurrent writer's commit
+	// mid-execution, and never blocks behind one.
+	snaps map[*rdf.Graph]*rdf.Graph
+
 	// vecPlans memoizes vectorized prefixes per (group, graph), like
 	// plans. Unlike plans it is NOT shared with derived contexts: a
 	// vecPlan owns mutable scratch batches, so sharing across nested
@@ -232,7 +241,32 @@ func (c *evalCtx) child() (*evalCtx, error) {
 	if c.depth+1 > maxCallDepth {
 		return nil, errf("function call nesting exceeds %d (recursive view?)", maxCallDepth)
 	}
-	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans(), guard: c.guard, trace: c.trace}, nil
+	return &evalCtx{eng: c.eng, graph: c.graph, depth: c.depth + 1, named: c.named, plans: c.ensurePlans(), snaps: c.ensureSnaps(), guard: c.guard, trace: c.trace}, nil
+}
+
+// ensureSnaps lazily creates the snapshot-pin map; derived contexts
+// share it so one execution observes one version per graph.
+func (c *evalCtx) ensureSnaps() map[*rdf.Graph]*rdf.Graph {
+	if c.snaps == nil {
+		c.snaps = make(map[*rdf.Graph]*rdf.Graph, 2)
+	}
+	return c.snaps
+}
+
+// pin resolves a live graph to this execution's pinned snapshot of it,
+// freezing the current version on first use. Already-frozen graphs
+// (and nil) pass through.
+func (c *evalCtx) pin(g *rdf.Graph) *rdf.Graph {
+	if g == nil || g.Frozen() {
+		return g
+	}
+	m := c.ensureSnaps()
+	if sg, ok := m[g]; ok {
+		return sg
+	}
+	sg := g.Snapshot()
+	m[g] = sg
+	return sg
 }
 
 // Results is a solution table: ordered column names plus rows aligned

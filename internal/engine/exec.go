@@ -750,7 +750,7 @@ func (s *graphStep) run(c *evalCtx, b Binding, yield func(Binding) error) error 
 		if g == nil {
 			return nil
 		}
-		sub := &evalCtx{eng: c.eng, graph: g, depth: c.depth, named: c.named, plans: c.ensurePlans(), guard: c.guard, trace: c.trace}
+		sub := &evalCtx{eng: c.eng, graph: c.pin(g), depth: c.depth, named: c.named, plans: c.ensurePlans(), snaps: c.ensureSnaps(), guard: c.guard, trace: c.trace}
 		nb := b
 		if bind {
 			var ok bool

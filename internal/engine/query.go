@@ -57,7 +57,8 @@ func (e *Engine) queryCollect(ctx context.Context, q *sparql.Query, lim Limits, 
 	if tr != nil {
 		defer func() { tr.bindings = gq.bindings }()
 	}
-	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq, trace: tr}
+	ectx := &evalCtx{eng: e, guard: gq, trace: tr}
+	ectx.graph = ectx.pin(e.activeGraph(q))
 	if len(q.FromNamed) > 0 {
 		ectx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
 		for _, n := range q.FromNamed {
@@ -134,7 +135,8 @@ func (e *Engine) QueryWithContext(ctx context.Context, q *sparql.Query, initial 
 	if err := gq.checkCtx(); err != nil {
 		return nil, err
 	}
-	ectx := &evalCtx{eng: e, graph: e.activeGraph(q), guard: gq}
+	ectx := &evalCtx{eng: e, guard: gq}
+	ectx.graph = ectx.pin(e.activeGraph(q))
 	if len(q.FromNamed) > 0 {
 		ectx.named = make(map[rdf.IRI]bool, len(q.FromNamed))
 		for _, n := range q.FromNamed {

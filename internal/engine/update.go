@@ -8,6 +8,57 @@ import (
 	"scisparql/internal/sparql"
 )
 
+// StagedUpdate is an update statement evaluated but not yet committed:
+// its WHERE clause has run, its mutations are staged in a private
+// graph version (invisible to readers), and the effective physical
+// operations are available for write-ahead logging. The caller decides
+// the outcome — Commit publishes the staged version atomically, Abort
+// discards it leaving the dataset untouched. Exactly one of the two
+// must be called: a triple-mutating stage holds the target graph's
+// writer lock until then.
+type StagedUpdate struct {
+	count  int
+	ops    []rdf.Op
+	graph  rdf.IRI
+	commit func()
+	abort  func()
+	done   bool
+}
+
+// Count returns the number of triples the statement affects (will
+// affect, before Commit).
+func (u *StagedUpdate) Count() int { return u.count }
+
+// Ops returns the effective physical operations in application order
+// (only populated when staging was asked to record; empty for DEFINE
+// statements, which mutate no triples).
+func (u *StagedUpdate) Ops() []rdf.Op { return u.ops }
+
+// Graph returns the target graph name ("" = default graph).
+func (u *StagedUpdate) Graph() rdf.IRI { return u.graph }
+
+// Commit makes the staged mutations visible atomically.
+func (u *StagedUpdate) Commit() {
+	if u.done {
+		return
+	}
+	u.done = true
+	if u.commit != nil {
+		u.commit()
+	}
+}
+
+// Abort discards the staged mutations.
+func (u *StagedUpdate) Abort() {
+	if u.done {
+		return
+	}
+	u.done = true
+	if u.abort != nil {
+		u.abort()
+	}
+}
+
 // Update executes a data-modifying or defining statement. LOAD is not
 // handled here — file access policy belongs to the database manager
 // (package core), which dispatches it before delegating.
@@ -18,8 +69,8 @@ func (e *Engine) Update(st sparql.Statement) (int, error) {
 // UpdateContext is Update under a context: the WHERE evaluation of
 // DELETE/INSERT honors cancellation and panics are trapped into
 // ErrInternal. The mutation phase itself is not interruptible — once
-// solutions are materialized, the statement applies atomically under
-// the caller's write lock rather than half-applying.
+// solutions are materialized, the statement commits atomically (one
+// published graph version) rather than half-applying.
 func (e *Engine) UpdateContext(ctx context.Context, st sparql.Statement) (int, error) {
 	return e.UpdateLimits(ctx, st, Limits{})
 }
@@ -28,34 +79,50 @@ func (e *Engine) UpdateContext(ctx context.Context, st sparql.Statement) (int, e
 // timeout and bindings budget guard the WHERE evaluation exactly as
 // they guard a query (MaxResultRows is ignored — updates produce no
 // result rows).
-func (e *Engine) UpdateLimits(ctx context.Context, st sparql.Statement, lim Limits) (n int, err error) {
+func (e *Engine) UpdateLimits(ctx context.Context, st sparql.Statement, lim Limits) (int, error) {
+	u, err := e.UpdateStagedLimits(ctx, st, lim, false)
+	if err != nil {
+		return 0, err
+	}
+	u.Commit()
+	return u.Count(), nil
+}
+
+// UpdateStagedLimits evaluates an update statement and stages its
+// mutations without committing them — the hook the durable write path
+// hangs on: the manager appends the staged operations (record=true) to
+// the write-ahead log first and calls Commit only once the log accepts
+// them, or Abort on log failure, so memory never runs ahead of the
+// log. An error return means nothing was staged and there is nothing
+// to end.
+func (e *Engine) UpdateStagedLimits(ctx context.Context, st sparql.Statement, lim Limits, record bool) (u *StagedUpdate, err error) {
 	defer trapPanic("update", &err)
 	ctx, cancel := limitCtx(ctx, lim)
 	defer cancel()
 	gq := newQueryGuard(ctx, lim)
 	if err := gq.checkCtx(); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return e.update(gq, st)
-}
-
-func (e *Engine) update(gq *queryGuard, st sparql.Statement) (int, error) {
 	switch v := st.(type) {
 	case *sparql.InsertData:
-		return e.insertData(v)
+		return e.stageInsertData(v, record)
 	case *sparql.DeleteData:
-		return e.deleteData(v)
+		return e.stageDeleteData(v, record)
 	case *sparql.Modify:
-		return e.modify(gq, v)
+		return e.stageModify(gq, v, record)
 	case *sparql.Clear:
-		return e.clear(v)
+		return e.stageClear(v, record), nil
 	case *sparql.DefineFunction:
-		return 0, e.defineFunction(v)
+		f, err := buildFunction(v)
+		if err != nil {
+			return nil, err
+		}
+		return &StagedUpdate{commit: func() { e.Funcs.Register(f) }}, nil
 	case *sparql.DefineAggregate:
-		e.Funcs.RegisterAggregate(&UserAggregate{Name: v.Name, Param: v.Param, Expr: v.Expr})
-		return 0, nil
+		a := &UserAggregate{Name: v.Name, Param: v.Param, Expr: v.Expr}
+		return &StagedUpdate{commit: func() { e.Funcs.RegisterAggregate(a) }}, nil
 	default:
-		return 0, fmt.Errorf("engine: unsupported update %T", st)
+		return nil, fmt.Errorf("engine: unsupported update %T", st)
 	}
 }
 
@@ -100,47 +167,55 @@ func groundTriple(g *rdf.Graph, tp sparql.TriplePattern, b Binding, blanks map[s
 	return s, p, o, true
 }
 
-func (e *Engine) insertData(v *sparql.InsertData) (int, error) {
+// staged wraps a graph transaction as a StagedUpdate.
+func staged(tx *rdf.Tx, graph rdf.IRI) *StagedUpdate {
+	return &StagedUpdate{count: tx.Changed(), ops: tx.Ops(), graph: graph, commit: tx.Commit, abort: tx.Abort}
+}
+
+func (e *Engine) stageInsertData(v *sparql.InsertData, record bool) (*StagedUpdate, error) {
 	g := e.targetGraph(v.Graph)
+	tx := g.Begin()
+	tx.Record(record)
 	blanks := map[string]rdf.Blank{}
-	n := 0
 	for _, tp := range v.Triples {
 		s, p, o, ok := groundTriple(g, tp, nil, blanks)
 		if !ok {
-			return n, fmt.Errorf("engine: non-ground triple in INSERT DATA")
+			tx.Abort()
+			return nil, fmt.Errorf("engine: non-ground triple in INSERT DATA")
 		}
-		if g.Add(s, p.(rdf.IRI), o) {
-			n++
-		}
+		tx.Add(s, p.(rdf.IRI), o)
 	}
-	return n, nil
+	return staged(tx, v.Graph), nil
 }
 
-func (e *Engine) deleteData(v *sparql.DeleteData) (int, error) {
+func (e *Engine) stageDeleteData(v *sparql.DeleteData, record bool) (*StagedUpdate, error) {
 	g := e.targetGraph(v.Graph)
-	n := 0
+	tx := g.Begin()
+	tx.Record(record)
 	for _, tp := range v.Triples {
 		if tp.S.IsVar() || tp.O.IsVar() {
-			return n, fmt.Errorf("engine: non-ground triple in DELETE DATA")
+			tx.Abort()
+			return nil, fmt.Errorf("engine: non-ground triple in DELETE DATA")
 		}
 		pi, ok := tp.Path.(sparql.PathIRI)
 		if !ok {
-			return n, fmt.Errorf("engine: non-IRI predicate in DELETE DATA")
+			tx.Abort()
+			return nil, fmt.Errorf("engine: non-IRI predicate in DELETE DATA")
 		}
 		if _, isBlank := tp.S.Term.(rdf.Blank); isBlank {
-			return n, fmt.Errorf("engine: blank nodes not allowed in DELETE DATA")
+			tx.Abort()
+			return nil, fmt.Errorf("engine: blank nodes not allowed in DELETE DATA")
 		}
-		if g.Delete(tp.S.Term, pi.IRI, tp.O.Term) {
-			n++
-		}
+		tx.Delete(tp.S.Term, pi.IRI, tp.O.Term)
 	}
-	return n, nil
+	return staged(tx, v.Graph), nil
 }
 
-// modify implements DELETE/INSERT ... WHERE: solutions are fully
-// materialized first, then deletions and insertions are applied — the
-// standard SPARQL Update snapshot semantics.
-func (e *Engine) modify(gq *queryGuard, v *sparql.Modify) (int, error) {
+// stageModify implements DELETE/INSERT ... WHERE: solutions are fully
+// materialized against the pre-statement state first, then deletions
+// and insertions are staged — the standard SPARQL Update snapshot
+// semantics, with the whole statement becoming visible as one version.
+func (e *Engine) stageModify(gq *queryGuard, v *sparql.Modify, record bool) (*StagedUpdate, error) {
 	g := e.targetGraph(v.Graph)
 	ctx := &evalCtx{eng: e, graph: g, guard: gq}
 	var sols []Binding
@@ -150,12 +225,13 @@ func (e *Engine) modify(gq *queryGuard, v *sparql.Modify) (int, error) {
 			return nil
 		})
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 	} else {
 		sols = []Binding{{}}
 	}
-	changed := 0
+	tx := g.Begin()
+	tx.Record(record)
 	for _, b := range sols {
 		for _, tp := range v.DeleteTpl {
 			// Template blanks never match in DELETE templates (per spec
@@ -164,9 +240,7 @@ func (e *Engine) modify(gq *queryGuard, v *sparql.Modify) (int, error) {
 			if !ok {
 				continue
 			}
-			if g.Delete(s, p.(rdf.IRI), o) {
-				changed++
-			}
+			tx.Delete(s, p.(rdf.IRI), o)
 		}
 	}
 	for _, b := range sols {
@@ -176,32 +250,50 @@ func (e *Engine) modify(gq *queryGuard, v *sparql.Modify) (int, error) {
 			if !ok {
 				continue
 			}
-			if g.Add(s, p.(rdf.IRI), o) {
-				changed++
-			}
+			tx.Add(s, p.(rdf.IRI), o)
 		}
 	}
-	return changed, nil
+	return staged(tx, v.Graph), nil
 }
 
-func (e *Engine) clear(v *sparql.Clear) (int, error) {
+// stageClear stages CLEAR DEFAULT / CLEAR GRAPH: the count is taken at
+// stage time and the drop happens at Commit (the manager holds the
+// operation lock across both, so no writer slips in between).
+func (e *Engine) stageClear(v *sparql.Clear, record bool) *StagedUpdate {
+	var (
+		g    *rdf.Graph
+		name rdf.IRI
+	)
 	if v.Default {
-		n := e.Dataset.Default.Size()
-		*e.Dataset.Default = *rdf.NewGraph()
-		return n, nil
+		g = e.Dataset.Default
+	} else {
+		name = v.Graph
+		g = e.Dataset.Named(v.Graph, false)
 	}
-	g := e.Dataset.Named(v.Graph, false)
-	if g == nil {
-		return 0, nil
+	if g == nil || g.Size() == 0 {
+		// Nothing to clear; dropping an empty named graph still removes
+		// the name.
+		u := &StagedUpdate{graph: name}
+		if !v.Default {
+			u.commit = func() { e.Dataset.DropNamed(name) }
+		}
+		return u
 	}
-	n := g.Size()
-	e.Dataset.DropNamed(v.Graph)
-	return n, nil
+	u := &StagedUpdate{count: g.Size(), graph: name}
+	if record {
+		u.ops = []rdf.Op{{Kind: rdf.OpClear}}
+	}
+	if v.Default {
+		u.commit = func() { g.Clear() }
+	} else {
+		u.commit = func() { e.Dataset.DropNamed(name) }
+	}
+	return u
 }
 
-// defineFunction installs a DEFINE FUNCTION as a parameterized view or
-// expression function (§4.2).
-func (e *Engine) defineFunction(v *sparql.DefineFunction) error {
+// buildFunction validates a DEFINE FUNCTION into a registrable
+// parameterized view or expression function (§4.2).
+func buildFunction(v *sparql.DefineFunction) (*Function, error) {
 	f := &Function{
 		Name:    v.Name,
 		Params:  v.Params,
@@ -213,12 +305,11 @@ func (e *Engine) defineFunction(v *sparql.DefineFunction) error {
 		f.ExprBody = v.Expr
 	case v.Body != nil:
 		if len(v.Body.Items) != 1 {
-			return fmt.Errorf("engine: functional view %s must project exactly one variable", v.Name)
+			return nil, fmt.Errorf("engine: functional view %s must project exactly one variable", v.Name)
 		}
 		f.QueryBody = v.Body
 	default:
-		return fmt.Errorf("engine: empty DEFINE FUNCTION body")
+		return nil, fmt.Errorf("engine: empty DEFINE FUNCTION body")
 	}
-	e.Funcs.Register(f)
-	return nil
+	return f, nil
 }

@@ -158,3 +158,18 @@ func TestE7Smoke(t *testing.T) {
 		t.Fatalf("output:\n%s", sb.String())
 	}
 }
+
+func TestE10Smoke(t *testing.T) {
+	var sb strings.Builder
+	o := tinyOptions(t)
+	o.VecDocs = 40
+	if err := E10(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"read latency", "p95 ratio", "coauthors", "durable updates group-committed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -28,11 +28,14 @@ type Cell struct {
 	StmtsPerQ    int64   `json:"stmts_per_query,omitempty"`
 	InflightPeak int64   `json:"inflight_peak,omitempty"`
 	SpeedupVs1   float64 `json:"speedup_vs_1,omitempty"`
+	P95Nanos     int64   `json:"p95_nanos,omitempty"`
+	Updates      int64   `json:"updates,omitempty"`
 }
 
 // Report is the JSON document ssdm-bench -json writes: the workload
 // scale plus the cells of the retrieval-strategy comparison (E1), the
-// parallelism sweep (E8) and the vectorized-execution comparison (E9).
+// parallelism sweep (E8), the vectorized-execution comparison (E9)
+// and the read-latency-under-durable-updates quantiles (E10).
 type Report struct {
 	RTTNanos         int64  `json:"rtt_nanos"`
 	FileLatencyNanos int64  `json:"file_latency_nanos"`
@@ -46,8 +49,8 @@ type Report struct {
 	Cells            []Cell `json:"cells"`
 }
 
-// BuildReport measures experiments 1, 8 and 9 and assembles the JSON
-// report (the caller stamps GeneratedAt).
+// BuildReport measures experiments 1, 8, 9 and 10 and assembles the
+// JSON report (the caller stamps GeneratedAt).
 func BuildReport(o Options) (*Report, error) {
 	e1, err := E1Report(o)
 	if err != nil {
@@ -61,6 +64,10 @@ func BuildReport(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	e10, err := E10Report(o)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
 		RTTNanos:         int64(o.RoundTripDelay),
 		FileLatencyNanos: int64(o.FileLatency),
@@ -70,7 +77,7 @@ func BuildReport(o Options) (*Report, error) {
 		NumArrays:        o.Workload.NumArrays,
 		Iters:            o.Iters,
 		MaxParallelism:   storage.MaxParallelism,
-		Cells:            append(append(e1, e8...), e9...),
+		Cells:            append(append(append(e1, e8...), e9...), e10...),
 	}, nil
 }
 

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scisparql/internal/core"
 	"scisparql/internal/engine"
 	"scisparql/internal/metrics"
 	"scisparql/internal/turtle"
@@ -457,7 +458,10 @@ func (f *Front) writeExecError(w http.ResponseWriter, err error) {
 // short machine-readable codes. Query-fault failures — timeouts,
 // guard-limit overruns, cancellation, parse and evaluation errors —
 // are 4xx: the server is healthy and the request (or its budget) is
-// the problem. Only trapped panics (engine.ErrInternal) are 500.
+// the problem. Trapped panics (engine.ErrInternal) are 500, and a
+// durability failure (the write-ahead log cannot accept or sync the
+// update) is 503 with Retry-After: the update was NOT applied and may
+// be retried verbatim once the log is healthy again.
 func StatusForError(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, engine.ErrQueryTimeout) || errors.Is(err, context.DeadlineExceeded):
@@ -468,6 +472,8 @@ func StatusForError(err error) (status int, code string) {
 		return http.StatusRequestTimeout, "cancelled"
 	case errors.Is(err, engine.ErrInternal):
 		return http.StatusInternalServerError, "internal"
+	case errors.Is(err, core.ErrDurability):
+		return http.StatusServiceUnavailable, "durability"
 	default:
 		// Parse errors (with the parser's line/column message) and
 		// evaluation errors.

@@ -77,6 +77,10 @@ const (
 	// CodeShutdown reports that the server is draining and no longer
 	// accepts work.
 	CodeShutdown = "shutdown"
+	// CodeDurability reports that an update could not be made durable
+	// (write-ahead log append or sync failed); the update was not
+	// applied and the client may retry once the operator intervenes.
+	CodeDurability = "durability"
 )
 
 // Term is the JSON encoding of one RDF term.
@@ -171,6 +175,20 @@ type Stats struct {
 	VecQueries int64 `json:"vec_queries"`
 	VecBatches int64 `json:"vec_batches"`
 	VecRows    int64 `json:"vec_rows"`
+
+	// Write-ahead-log counters; all zero when the instance runs
+	// without a WAL (WALEnabled false).
+	WALEnabled        bool   `json:"wal_enabled,omitempty"`
+	WALAppends        int64  `json:"wal_appends,omitempty"`
+	WALAppendedBytes  int64  `json:"wal_appended_bytes,omitempty"`
+	WALSyncs          int64  `json:"wal_syncs,omitempty"`
+	WALCommits        int64  `json:"wal_commits,omitempty"`
+	WALGroupedCommits int64  `json:"wal_grouped_commits,omitempty"`
+	WALSegments       int    `json:"wal_segments,omitempty"`
+	WALTailLSN        uint64 `json:"wal_tail_lsn,omitempty"`
+	WALSyncedLSN      uint64 `json:"wal_synced_lsn,omitempty"`
+	WALRecoveredRecs  int64  `json:"wal_recovered_records,omitempty"`
+	WALRecoveryNS     int64  `json:"wal_recovery_ns,omitempty"`
 }
 
 // EncodeTerm converts an RDF term to its wire form.

@@ -32,10 +32,13 @@ func (b *TripleBatch) append(s, p, o ID) {
 }
 
 // DefaultBatchSize is the row count of one vectorized batch when the
-// caller does not choose one: large enough to amortize per-batch lock
-// and call overhead, small enough to stay cache-resident (3 columns ×
-// 1024 × 4 bytes = 12 KiB).
+// caller does not choose one: large enough to amortize per-batch call
+// overhead, small enough to stay cache-resident (3 columns × 1024 × 4
+// bytes = 12 KiB).
 const DefaultBatchSize = 1024
+
+// poolCapLimit keeps pathologically grown buffers out of the pools.
+const poolCapLimit = 1 << 16
 
 var tripleBatchPool = sync.Pool{New: func() any { return new(TripleBatch) }}
 
@@ -59,40 +62,38 @@ func putTripleBatch(b *TripleBatch) {
 // MatchIDs enumerates triples matching a pattern (0 = wildcard) as ID
 // columns in batches of up to bs rows (bs <= 0 uses DefaultBatchSize).
 // It is the columnar counterpart of MatchCtx and shares its contract:
-// matches are gathered under the read lock in bounded holds and
-// yielded after it is released, the context (which may be nil) is
-// polled at batch boundaries, and the callback returns false to stop
-// early. The yielded slices come from pooled slabs and are valid only
-// until the callback returns.
+// the enumeration runs lock-free against the state current at the
+// start, the context (which may be nil) is polled at batch boundaries,
+// and the callback returns false to stop early. The yielded slices
+// come from pooled slabs and are valid only until the callback
+// returns.
 func (g *Graph) MatchIDs(ctx context.Context, s, p, o ID, bs int, yield func(s, p, o []ID) bool) {
 	if bs <= 0 {
 		bs = DefaultBatchSize
 	}
 	buf := getTripleBatch(bs)
 	defer putTripleBatch(buf)
+	st := g.cur()
 	switch {
 	case s != 0 && p != 0 && o != 0:
-		g.mu.RLock()
-		hit := g.hasIDsLocked(s, p, o)
-		g.mu.RUnlock()
-		if hit {
+		if st.has(s, p, o) {
 			buf.append(s, p, o)
 			yield(buf.S, buf.P, buf.O)
 		}
 	case s != 0 && p != 0:
-		g.matchInnerIDs(ctx, idxSPO, s, p, 2, bs, buf, yield)
+		matchSetIDs(ctx, idxGet(st.spo, s).get(p), Triple{S: s, P: p}, 2, bs, buf, yield)
 	case p != 0 && o != 0:
-		g.matchInnerIDs(ctx, idxPOS, p, o, 0, bs, buf, yield)
+		matchSetIDs(ctx, idxGet(st.pos, p).get(o), Triple{P: p, O: o}, 0, bs, buf, yield)
 	case s != 0 && o != 0:
-		g.matchInnerIDs(ctx, idxOSP, o, s, 1, bs, buf, yield)
+		matchSetIDs(ctx, idxGet(st.osp, o).get(s), Triple{S: s, O: o}, 1, bs, buf, yield)
 	case s != 0:
-		g.matchNestedIDs(ctx, idxSPO, s, 1, 2, bs, buf, yield)
+		matchMidIDs(ctx, idxGet(st.spo, s), Triple{S: s}, 1, 2, bs, buf, yield)
 	case p != 0:
-		g.matchNestedIDs(ctx, idxPSO, p, 0, 2, bs, buf, yield)
+		matchMidIDs(ctx, idxGet(st.pso, p), Triple{P: p}, 0, 2, bs, buf, yield)
 	case o != 0:
-		g.matchNestedIDs(ctx, idxOSP, o, 0, 1, bs, buf, yield)
+		matchMidIDs(ctx, idxGet(st.osp, o), Triple{O: o}, 0, 1, bs, buf, yield)
 	default:
-		g.matchAllIDs(ctx, bs, buf, yield)
+		matchTopIDs(ctx, st.spo, bs, buf, yield)
 	}
 }
 
@@ -117,53 +118,6 @@ func fillConst(col *[]ID, v ID, n int) {
 	}
 }
 
-// matchInnerIDs is the bound-pair case: the matches are the keys of one
-// innermost index map. Gathering happens in one lock hold per batch.
-func (g *Graph) matchInnerIDs(ctx context.Context, k idxKind, a, b ID, fillPos int, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
-	// Snapshot the inner keys once (IDs are never reused).
-	keysp := idPool.Get().(*[]ID)
-	keys := (*keysp)[:0]
-	g.mu.RLock()
-	for c := range g.index(k)[a][b] {
-		keys = append(keys, c)
-	}
-	g.mu.RUnlock()
-
-	base := baseTriple(k, a, b)
-	for i := 0; i < len(keys); i += bs {
-		if ctxDone(ctx) {
-			break
-		}
-		end := min(i+bs, len(keys))
-		buf.Reset()
-		fill := buf.col(fillPos)
-		*fill = append(*fill, keys[i:end]...)
-		n := end - i
-		for pos := 0; pos < 3; pos++ {
-			if pos != fillPos {
-				fillConst(buf.col(pos), posOf(base, pos), n)
-			}
-		}
-		if !yield(buf.S, buf.P, buf.O) {
-			break
-		}
-	}
-	putIDBuf(keysp, keys)
-}
-
-// baseTriple reconstructs the fixed positions of a bound-pair pattern
-// from the index permutation and its two lookup keys.
-func baseTriple(k idxKind, a, b ID) Triple {
-	switch k {
-	case idxSPO:
-		return Triple{S: a, P: b}
-	case idxPOS:
-		return Triple{P: a, O: b}
-	default: // idxOSP
-		return Triple{O: a, S: b}
-	}
-}
-
 func posOf(t Triple, pos int) ID {
 	switch pos {
 	case 0:
@@ -175,144 +129,216 @@ func posOf(t Triple, pos int) ID {
 	}
 }
 
-// matchNestedIDs is the single-bound case: outer keys are snapshotted
-// once, then inner sets are gathered batch-by-batch under the read
-// lock and yielded outside it.
-func (g *Graph) matchNestedIDs(ctx context.Context, k idxKind, a ID, outerPos, innerPos int, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
-	keysp := idPool.Get().(*[]ID)
-	keys := (*keysp)[:0]
-	g.mu.RLock()
-	for b := range g.index(k)[a] {
-		keys = append(keys, b)
+// padFixed pads every column except fillPos with its fixed pattern
+// value up to the filled column's length, then yields the batch.
+func padFixed(base Triple, fillPos int, buf *TripleBatch, yield func(s, p, o []ID) bool) bool {
+	n := len(*buf.col(fillPos))
+	if n == 0 {
+		return true
 	}
-	g.mu.RUnlock()
-
-	constPos := 3 - outerPos - innerPos
-	stopped := false
-	for i := 0; i < len(keys) && !stopped; {
-		if ctxDone(ctx) {
-			break
-		}
-		buf.Reset()
-		outer, inner := buf.col(outerPos), buf.col(innerPos)
-		g.mu.RLock()
-		m1 := g.index(k)[a]
-		for i < len(keys) && buf.Len() < bs {
-			b := keys[i]
-			for c := range m1[b] {
-				*outer = append(*outer, b)
-				*inner = append(*inner, c)
-			}
-			i++
-		}
-		g.mu.RUnlock()
-		n := len(*outer)
-		fillConst(buf.col(constPos), a, n)
-		if n > 0 && !yield(buf.S, buf.P, buf.O) {
-			stopped = true
+	for pos := 0; pos < 3; pos++ {
+		if pos != fillPos {
+			fillConst(buf.col(pos), posOf(base, pos), n)
 		}
 	}
-	putIDBuf(keysp, keys)
+	return yield(buf.S, buf.P, buf.O)
 }
 
-// matchAllIDs enumerates the whole graph in column batches, grouped by
-// subject per lock hold like matchAll.
-func (g *Graph) matchAllIDs(ctx context.Context, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
-	keysp := idPool.Get().(*[]ID)
-	keys := (*keysp)[:0]
-	g.mu.RLock()
-	for s := range g.spo {
-		keys = append(keys, s)
+// matchSetIDs is the bound-pair case: the matches are the members of
+// one innermost set, yielded in batches.
+func matchSetIDs(ctx context.Context, set *pset, base Triple, fillPos, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	if set == nil {
+		return
 	}
-	g.mu.RUnlock()
-
-	stopped := false
-	for i := 0; i < len(keys) && !stopped; {
-		if ctxDone(ctx) {
+	var it pmIter[struct{}]
+	it.init(set.root)
+	fill := buf.col(fillPos)
+	for {
+		c, _, ok := it.next()
+		if !ok {
 			break
 		}
-		buf.Reset()
-		g.mu.RLock()
-		for i < len(keys) && buf.Len() < bs {
-			s := keys[i]
-			for p, objs := range g.spo[s] {
-				for o := range objs {
-					buf.append(s, p, o)
-				}
+		*fill = append(*fill, ID(c))
+		if len(*fill) >= bs {
+			if !padFixed(base, fillPos, buf, yield) {
+				return
 			}
-			i++
-		}
-		g.mu.RUnlock()
-		if buf.Len() > 0 && !yield(buf.S, buf.P, buf.O) {
-			stopped = true
+			buf.Reset()
+			fill = buf.col(fillPos)
+			if ctxDone(ctx) {
+				return
+			}
 		}
 	}
-	putIDBuf(keysp, keys)
+	padFixed(base, fillPos, buf, yield)
+}
+
+// matchMidIDs is the single-bound case: (outer key, set member) pairs
+// under one top-level entry, yielded in batches.
+func matchMidIDs(ctx context.Context, mid *pmid, base Triple, outerPos, innerPos, bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	if mid == nil {
+		return
+	}
+	constPos := 3 - outerPos - innerPos
+	outer, inner := buf.col(outerPos), buf.col(innerPos)
+	flush := func() bool {
+		n := len(*outer)
+		if n == 0 {
+			return true
+		}
+		fillConst(buf.col(constPos), posOf(base, constPos), n)
+		if !yield(buf.S, buf.P, buf.O) {
+			return false
+		}
+		buf.Reset()
+		outer, inner = buf.col(outerPos), buf.col(innerPos)
+		return !ctxDone(ctx)
+	}
+	var it pmIter[*pset]
+	it.init(mid.root)
+	for {
+		b, set, ok := it.next()
+		if !ok {
+			break
+		}
+		var is pmIter[struct{}]
+		is.init(set.root)
+		for {
+			c, _, ok := is.next()
+			if !ok {
+				break
+			}
+			*outer = append(*outer, ID(b))
+			*inner = append(*inner, ID(c))
+			if len(*outer) >= bs && !flush() {
+				return
+			}
+		}
+	}
+	flush()
+}
+
+// matchTopIDs enumerates the whole graph in column batches from the
+// SPO permutation.
+func matchTopIDs(ctx context.Context, root *pmNode[*pmid], bs int, buf *TripleBatch, yield func(s, p, o []ID) bool) {
+	flush := func() bool {
+		if buf.Len() == 0 {
+			return true
+		}
+		if !yield(buf.S, buf.P, buf.O) {
+			return false
+		}
+		buf.Reset()
+		return !ctxDone(ctx)
+	}
+	var it pmIter[*pmid]
+	it.init(root)
+	for {
+		s, mid, ok := it.next()
+		if !ok {
+			break
+		}
+		var im pmIter[*pset]
+		im.init(mid.root)
+		for {
+			p, set, ok := im.next()
+			if !ok {
+				break
+			}
+			var is pmIter[struct{}]
+			is.init(set.root)
+			for {
+				o, _, ok := is.next()
+				if !ok {
+					break
+				}
+				buf.append(ID(s), ID(p), ID(o))
+				if buf.Len() >= bs && !flush() {
+					return
+				}
+			}
+		}
+	}
+	flush()
 }
 
 // MatchAppend gathers every triple matching a pattern (0 = wildcard)
-// into dst's columns in a single read-lock hold and returns the number
-// of rows appended. It is the vectorized join probe: the engine calls
-// it once per probe-side row with the row's bound IDs, so the expected
-// fan-out is the pattern's selectivity, not the graph size — callers
-// enumerating weakly-bound patterns should use MatchIDs, whose bounded
-// lock holds and batch yields this fast path deliberately omits.
+// into dst's columns and returns the number of rows appended. It is
+// the vectorized join probe: the engine calls it once per probe-side
+// row with the row's bound IDs, against a pinned snapshot, so the
+// expected fan-out is the pattern's selectivity, not the graph size.
 func (g *Graph) MatchAppend(s, p, o ID, dst *TripleBatch) int {
 	before := dst.Len()
-	g.mu.RLock()
+	st := g.cur()
 	switch {
 	case s != 0 && p != 0 && o != 0:
-		if g.hasIDsLocked(s, p, o) {
+		if st.has(s, p, o) {
 			dst.append(s, p, o)
 		}
 	case s != 0 && p != 0:
-		for c := range g.spo[s][p] {
-			dst.append(s, p, c)
-		}
+		appendSet(idxGet(st.spo, s).get(p), Triple{S: s, P: p}, 2, dst)
 	case p != 0 && o != 0:
-		for c := range g.pos[p][o] {
-			dst.append(c, p, o)
-		}
+		appendSet(idxGet(st.pos, p).get(o), Triple{P: p, O: o}, 0, dst)
 	case s != 0 && o != 0:
-		for c := range g.osp[o][s] {
-			dst.append(s, c, o)
-		}
+		appendSet(idxGet(st.osp, o).get(s), Triple{S: s, O: o}, 1, dst)
 	case s != 0:
-		for p1, objs := range g.spo[s] {
-			for o1 := range objs {
-				dst.append(s, p1, o1)
-			}
-		}
+		appendMid(idxGet(st.spo, s), Triple{S: s}, 1, 2, dst)
 	case p != 0:
-		for s1, objs := range g.pso[p] {
-			for o1 := range objs {
-				dst.append(s1, p, o1)
-			}
-		}
+		appendMid(idxGet(st.pso, p), Triple{P: p}, 0, 2, dst)
 	case o != 0:
-		for s1, preds := range g.osp[o] {
-			for p1 := range preds {
-				dst.append(s1, p1, o)
-			}
-		}
+		appendMid(idxGet(st.osp, o), Triple{O: o}, 0, 1, dst)
 	default:
-		for s1, m1 := range g.spo {
-			for p1, objs := range m1 {
-				for o1 := range objs {
-					dst.append(s1, p1, o1)
-				}
+		matchTop(nil, st.spo, func(t Triple) bool {
+			dst.append(t.S, t.P, t.O)
+			return true
+		})
+	}
+	return dst.Len() - before
+}
+
+func appendSet(set *pset, base Triple, fillPos int, dst *TripleBatch) {
+	if set == nil {
+		return
+	}
+	var it pmIter[struct{}]
+	it.init(set.root)
+	for {
+		c, _, ok := it.next()
+		if !ok {
+			return
+		}
+		full := setPos(base, fillPos, ID(c))
+		dst.append(full.S, full.P, full.O)
+	}
+}
+
+func appendMid(mid *pmid, base Triple, outerPos, innerPos int, dst *TripleBatch) {
+	if mid == nil {
+		return
+	}
+	var it pmIter[*pset]
+	it.init(mid.root)
+	for {
+		b, set, ok := it.next()
+		if !ok {
+			return
+		}
+		t := setPos(base, outerPos, ID(b))
+		var is pmIter[struct{}]
+		is.init(set.root)
+		for {
+			c, _, ok := is.next()
+			if !ok {
+				break
 			}
+			full := setPos(t, innerPos, ID(c))
+			dst.append(full.S, full.P, full.O)
 		}
 	}
-	g.mu.RUnlock()
-	return dst.Len() - before
 }
 
 // HasIDs reports whether the fully-bound ID triple is present — the
 // zero-allocation membership probe of the vectorized join path.
 func (g *Graph) HasIDs(s, p, o ID) bool {
-	g.mu.RLock()
-	ok := g.hasIDsLocked(s, p, o)
-	g.mu.RUnlock()
-	return ok
+	return g.cur().has(s, p, o)
 }

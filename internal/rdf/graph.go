@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ID is a dictionary-encoded term identifier, local to one Graph's
@@ -15,55 +16,39 @@ type Triple struct {
 	S, P, O ID
 }
 
-// Graph is an in-memory RDF-with-Arrays triple store. Terms are
-// interned into a dictionary and triples are held in three hash-based
-// index permutations (SPO, POS, OSP) plus a PSO permutation maintained
-// for optimizer statistics — the arrangement mirrors the indexing of
-// main-memory RDF stores discussed in §2.2.3.
-//
-// A Graph is safe for concurrent use: any number of readers may run in
-// parallel with each other, and mutations take the write lock, so they
-// are serialized against readers and one another. Match (and the
-// enumerators built on it) gathers matching triples under the read
-// lock in bounded batches (pooled buffers, no full-graph snapshot) and
-// invokes the callback without holding any lock, so callbacks may
-// freely re-enter the graph — including mutating it. Triples present
-// for the whole duration of the enumeration are yielded exactly once;
-// a triple added or removed concurrently (or by the callback itself)
-// may or may not be observed. Bound-pair and fully-bound patterns are
-// still gathered atomically in a single lock hold.
-type Graph struct {
-	mu    sync.RWMutex
-	terms []Term
-	byKey map[string]ID
-
-	spo map[ID]map[ID]map[ID]struct{}
-	pos map[ID]map[ID]map[ID]struct{}
-	osp map[ID]map[ID]map[ID]struct{}
-	pso map[ID]map[ID]map[ID]struct{}
-
-	// Per-position triple counts, maintained incrementally so the
-	// optimizer's CountMatch/PredStats probes are O(1) rather than
-	// re-counting nested maps on every BGP.
-	subjCount map[ID]int
-	predCount map[ID]int
-	objCount  map[ID]int
-
-	size    int
-	blankNo int
-
-	// gen is a monotonic version counter bumped on every mutation that
-	// could change what a compiled ID-based plan would see: a new
-	// dictionary entry, a triple insert, or a triple delete. Plans that
-	// bake interned IDs in at compile time key themselves on the
-	// generation so a cached plan is never replayed against a graph it
-	// was not compiled for.
+// graphState is one immutable version of a graph's triple content:
+// four persistent index permutations (SPO, POS, OSP plus PSO for
+// optimizer statistics — the arrangement mirrors the indexing of
+// main-memory RDF stores discussed in §2.2.3) and the triple count.
+// States are published through an atomic pointer and never mutated
+// after publication; writers derive a successor by structural sharing
+// (pmap.go) and swing the pointer. Per-position cardinalities are not
+// separate counters: each middle index level carries its subtree's
+// triple total, so CountMatch/PredStats stay cheap.
+type graphState struct {
+	spo, pos, osp, pso *pmNode[*pmid]
+	size               int
+	// gen is the graph's mutation counter at the moment this state was
+	// published; a pinned snapshot reports it as its (stable) generation.
 	gen uint64
+}
 
-	// dictBytes approximates the dictionary's memory footprint,
-	// maintained incrementally as terms are interned (terms are never
-	// removed, so it only grows).
-	dictBytes int64
+var emptyGraphState = &graphState{}
+
+func (st *graphState) has(s, p, o ID) bool {
+	return idxGet(st.spo, s).get(p).has(o)
+}
+
+// dict is the term dictionary: an append-only terms slice published
+// through an atomic pointer (IDs are never reused, so a stale header
+// still resolves every ID it covers) plus a mutex-guarded key index.
+// The dictionary is shared between a live graph, its snapshots, and
+// its post-Clear states.
+type dict struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+	terms atomic.Pointer[[]Term]
+	bytes atomic.Int64
 }
 
 // termOverheadBytes approximates the fixed per-entry dictionary cost
@@ -72,34 +57,142 @@ type Graph struct {
 // boxed term value itself.
 const termOverheadBytes = 64
 
+func newDict() *dict {
+	return &dict{byKey: make(map[string]ID)}
+}
+
+func (d *dict) lookup(key string) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// intern returns the ID for a term, assigning a fresh one when new
+// (the bool reports a fresh assignment).
+func (d *dict) intern(t Term, key string) (ID, bool) {
+	if id, ok := d.lookup(key); ok {
+		return id, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byKey[key]; ok {
+		return id, false
+	}
+	var terms []Term
+	if p := d.terms.Load(); p != nil {
+		terms = *p
+	}
+	terms = append(terms, t)
+	id := ID(len(terms))
+	d.byKey[key] = id
+	d.terms.Store(&terms)
+	d.bytes.Add(int64(len(key)) + termOverheadBytes)
+	return id, true
+}
+
+func (d *dict) termOf(id ID) Term {
+	var terms []Term
+	if p := d.terms.Load(); p != nil {
+		terms = *p
+	}
+	if id == 0 || int(id) > len(terms) {
+		panic(fmt.Sprintf("rdf: invalid term ID %d", id))
+	}
+	return terms[id-1]
+}
+
+func (d *dict) len() int {
+	if p := d.terms.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}
+
+// Graph is an in-memory RDF-with-Arrays triple store with
+// multi-version concurrency control: the triple content lives in an
+// immutable graphState reached through an atomic pointer, so readers
+// are lock-free and always observe a consistent version, while writers
+// serialize among themselves and publish successor states derived by
+// structural sharing.
+//
+// A Graph is safe for concurrent use: any number of readers run in
+// parallel with each other and with writers, without blocking either
+// way. An enumeration (Match and everything built on it) iterates the
+// state current when it started — a point-in-time snapshot: triples
+// present for its whole duration are yielded exactly once, and
+// concurrent (or callback-own) mutations are never observed mid-scan.
+// Snapshot pins such a version explicitly; Begin opens a write
+// transaction whose triples become visible atomically at Commit.
+type Graph struct {
+	dict  *dict
+	state atomic.Pointer[graphState]
+
+	// wmu serializes writers: bare Add/Delete, transactions (held from
+	// Begin to Commit/Abort) and Clear.
+	wmu sync.Mutex
+
+	// frozen marks a Snapshot: writes panic, reads serve the pinned
+	// state forever.
+	frozen bool
+
+	// gen is a monotonic version counter bumped on every mutation that
+	// could change what a compiled ID-based plan would see: a new
+	// dictionary entry, a triple insert, or a triple delete. Plans that
+	// bake interned IDs in at compile time key themselves on the
+	// generation so a cached plan is never replayed against a graph it
+	// was not compiled for.
+	gen atomic.Uint64
+
+	blankNo atomic.Int64
+}
+
 // NewGraph creates an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		byKey:     make(map[string]ID),
-		spo:       make(map[ID]map[ID]map[ID]struct{}),
-		pos:       make(map[ID]map[ID]map[ID]struct{}),
-		osp:       make(map[ID]map[ID]map[ID]struct{}),
-		pso:       make(map[ID]map[ID]map[ID]struct{}),
-		subjCount: make(map[ID]int),
-		predCount: make(map[ID]int),
-		objCount:  make(map[ID]int),
+	g := &Graph{dict: newDict()}
+	g.state.Store(emptyGraphState)
+	return g
+}
+
+func (g *Graph) cur() *graphState { return g.state.Load() }
+
+// Snapshot pins the graph's current version: the returned Graph serves
+// exactly the triples committed before the call, forever, without
+// blocking or being blocked by writers to the parent. It shares the
+// parent's dictionary (IDs and terms stay resolvable) and is itself
+// read-only — mutating it panics. Snapshotting a snapshot returns it
+// unchanged.
+func (g *Graph) Snapshot() *Graph {
+	if g.frozen {
+		return g
+	}
+	st := g.cur()
+	sg := &Graph{dict: g.dict, frozen: true}
+	sg.state.Store(st)
+	sg.gen.Store(st.gen)
+	return sg
+}
+
+// Frozen reports whether this Graph is a pinned read-only snapshot.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+func (g *Graph) checkWritable() {
+	if g.frozen {
+		panic("rdf: write on a pinned snapshot")
 	}
 }
 
 // Size returns the number of triples.
 func (g *Graph) Size() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.size
+	return g.cur().size
 }
 
 // Generation returns the graph's mutation counter. Two calls returning
 // the same value bracket a window with no dictionary growth, inserts,
-// or deletes — the validity condition for replaying a compiled ID plan.
+// or deletes — the validity condition for replaying a compiled ID
+// plan. A snapshot's generation is fixed at pin time.
 func (g *Graph) Generation() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.gen
+	return g.gen.Load()
 }
 
 // DictStats describes one dictionary: how many terms it interns, the
@@ -112,232 +205,304 @@ type DictStats struct {
 
 // DictStats returns the graph's dictionary statistics.
 func (g *Graph) DictStats() DictStats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return DictStats{Terms: len(g.terms), Bytes: g.dictBytes, Generation: g.gen}
+	return DictStats{Terms: g.dict.len(), Bytes: g.dict.bytes.Load(), Generation: g.Generation()}
 }
 
 // Intern maps a term to its dictionary ID, assigning a fresh one when
 // the term is new.
 func (g *Graph) Intern(t Term) ID {
-	key := t.Key()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.internLocked(t, key)
-}
-
-func (g *Graph) internLocked(t Term, key string) ID {
-	if id, ok := g.byKey[key]; ok {
-		return id
+	id, fresh := g.dict.intern(t, t.Key())
+	if fresh {
+		g.gen.Add(1)
 	}
-	g.terms = append(g.terms, t)
-	id := ID(len(g.terms))
-	g.byKey[key] = id
-	g.dictBytes += int64(len(key)) + termOverheadBytes
-	g.gen++
 	return id
 }
 
 // Lookup returns the ID of a term if it is already interned.
 func (g *Graph) Lookup(t Term) (ID, bool) {
-	key := t.Key()
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	id, ok := g.byKey[key]
-	return id, ok
+	return g.dict.lookup(t.Key())
 }
 
 // TermOf returns the term for a dictionary ID. IDs are never reused,
-// so a term obtained from any enumeration remains resolvable.
+// so a term obtained from any enumeration remains resolvable — even
+// through Clear and on snapshots.
 func (g *Graph) TermOf(id ID) Term {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if id == 0 || int(id) > len(g.terms) {
-		panic(fmt.Sprintf("rdf: invalid term ID %d", id))
-	}
-	return g.terms[id-1]
+	return g.dict.termOf(id)
 }
 
 // NewBlank allocates a blank node unique within this graph.
 func (g *Graph) NewBlank() Blank {
-	g.mu.Lock()
-	g.blankNo++
-	n := g.blankNo
-	g.mu.Unlock()
-	return Blank(fmt.Sprintf("g%d", n))
+	return Blank(fmt.Sprintf("g%d", g.blankNo.Add(1)))
 }
 
-func put(idx map[ID]map[ID]map[ID]struct{}, a, b, c ID) bool {
-	m1, ok := idx[a]
-	if !ok {
-		m1 = make(map[ID]map[ID]struct{})
-		idx[a] = m1
+// BlankNo returns the blank-node counter — persisted by checkpoints so
+// recovery never re-mints a label already used by logged triples.
+func (g *Graph) BlankNo() int64 { return g.blankNo.Load() }
+
+// EnsureBlankNo raises the blank-node counter to at least n; recovery
+// and staged loads use it so freshly minted labels never collide with
+// ones already present.
+func (g *Graph) EnsureBlankNo(n int64) {
+	for {
+		cur := g.blankNo.Load()
+		if cur >= n || g.blankNo.CompareAndSwap(cur, n) {
+			return
+		}
 	}
-	m2, ok := m1[b]
-	if !ok {
-		m2 = make(map[ID]struct{})
-		m1[b] = m2
-	}
-	if _, exists := m2[c]; exists {
+}
+
+// publish installs st as the next version, stamping it with a fresh
+// generation. Caller holds wmu.
+func (g *Graph) publish(st *graphState) {
+	st.gen = g.gen.Add(1)
+	g.state.Store(st)
+}
+
+// add inserts into a state in place (the state must be a private,
+// not-yet-published copy).
+func (st *graphState) add(s, p, o ID) bool {
+	spo, added := idxAdd(st.spo, s, p, o)
+	if !added {
 		return false
 	}
-	m2[c] = struct{}{}
+	st.spo = spo
+	st.pos, _ = idxAdd(st.pos, p, o, s)
+	st.osp, _ = idxAdd(st.osp, o, s, p)
+	st.pso, _ = idxAdd(st.pso, p, s, o)
+	st.size++
 	return true
 }
 
-func del(idx map[ID]map[ID]map[ID]struct{}, a, b, c ID) bool {
-	m1, ok := idx[a]
-	if !ok {
+// del removes from a state in place (same contract as add).
+func (st *graphState) del(s, p, o ID) bool {
+	spo, removed := idxDel(st.spo, s, p, o)
+	if !removed {
 		return false
 	}
-	m2, ok := m1[b]
-	if !ok {
-		return false
-	}
-	if _, exists := m2[c]; !exists {
-		return false
-	}
-	delete(m2, c)
-	if len(m2) == 0 {
-		delete(m1, b)
-		if len(m1) == 0 {
-			delete(idx, a)
-		}
-	}
+	st.spo = spo
+	st.pos, _ = idxDel(st.pos, p, o, s)
+	st.osp, _ = idxDel(st.osp, o, s, p)
+	st.pso, _ = idxDel(st.pso, p, s, o)
+	st.size--
 	return true
 }
 
 // Add inserts a triple of terms; it returns false when the triple was
-// already present. The intern and index insertions happen under one
-// write-lock acquisition, so the triple appears atomically to readers.
+// already present. The triple appears atomically to readers.
 func (g *Graph) Add(s, p, o Term) bool {
-	ks, kp, ko := s.Key(), p.Key(), o.Key()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.addIDsLocked(g.internLocked(s, ks), g.internLocked(p, kp), g.internLocked(o, ko))
+	g.checkWritable()
+	si, fs := g.dict.intern(s, s.Key())
+	pi, fp := g.dict.intern(p, p.Key())
+	oi, fo := g.dict.intern(o, o.Key())
+	if fs || fp || fo {
+		g.gen.Add(1)
+	}
+	return g.AddIDs(si, pi, oi)
 }
 
 // AddIDs inserts a triple of already-interned IDs.
 func (g *Graph) AddIDs(s, p, o ID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.addIDsLocked(s, p, o)
-}
-
-func (g *Graph) addIDsLocked(s, p, o ID) bool {
-	if !put(g.spo, s, p, o) {
+	g.checkWritable()
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	st := *g.cur()
+	if !st.add(s, p, o) {
 		return false
 	}
-	put(g.pos, p, o, s)
-	put(g.osp, o, s, p)
-	put(g.pso, p, s, o)
-	g.subjCount[s]++
-	g.predCount[p]++
-	g.objCount[o]++
-	g.size++
-	g.gen++
+	g.publish(&st)
 	return true
 }
 
 // Delete removes a triple; it returns false when it was absent.
 func (g *Graph) Delete(s, p, o Term) bool {
-	ks, kp, ko := s.Key(), p.Key(), o.Key()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	si, ok := g.byKey[ks]
+	g.checkWritable()
+	si, ok := g.dict.lookup(s.Key())
 	if !ok {
 		return false
 	}
-	pi, ok := g.byKey[kp]
+	pi, ok := g.dict.lookup(p.Key())
 	if !ok {
 		return false
 	}
-	oi, ok := g.byKey[ko]
+	oi, ok := g.dict.lookup(o.Key())
 	if !ok {
 		return false
 	}
-	return g.deleteIDsLocked(si, pi, oi)
+	return g.DeleteIDs(si, pi, oi)
 }
 
 // DeleteIDs removes a triple of interned IDs.
 func (g *Graph) DeleteIDs(s, p, o ID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.deleteIDsLocked(s, p, o)
-}
-
-func (g *Graph) deleteIDsLocked(s, p, o ID) bool {
-	if !del(g.spo, s, p, o) {
+	g.checkWritable()
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	st := *g.cur()
+	if !st.del(s, p, o) {
 		return false
 	}
-	del(g.pos, p, o, s)
-	del(g.osp, o, s, p)
-	del(g.pso, p, s, o)
-	decCount(g.subjCount, s)
-	decCount(g.predCount, p)
-	decCount(g.objCount, o)
-	g.size--
-	g.gen++
+	g.publish(&st)
 	return true
 }
 
-func decCount(m map[ID]int, k ID) {
-	if m[k] <= 1 {
-		delete(m, k)
-	} else {
-		m[k]--
+// Clear atomically removes every triple, returning how many there
+// were. The dictionary is retained: interned IDs stay resolvable (for
+// concurrent readers pinned to older versions) and are never reused.
+func (g *Graph) Clear() int {
+	g.checkWritable()
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	old := g.cur()
+	if old.size == 0 {
+		return 0
 	}
+	g.publish(&graphState{})
+	return old.size
 }
 
 // Has reports whether the triple is present.
 func (g *Graph) Has(s, p, o Term) bool {
-	ks, kp, ko := s.Key(), p.Key(), o.Key()
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	si, found := g.byKey[ks]
-	if !found {
+	si, ok := g.dict.lookup(s.Key())
+	if !ok {
 		return false
 	}
-	pi, found := g.byKey[kp]
-	if !found {
+	pi, ok := g.dict.lookup(p.Key())
+	if !ok {
 		return false
 	}
-	oi, found := g.byKey[ko]
-	if !found {
+	oi, ok := g.dict.lookup(o.Key())
+	if !ok {
 		return false
 	}
-	return g.hasIDsLocked(si, pi, oi)
+	return g.cur().has(si, pi, oi)
 }
 
-// hasIDsLocked is the fully-bound probe: a pure membership test with
-// no allocation. The caller holds at least the read lock.
-func (g *Graph) hasIDsLocked(s, p, o ID) bool {
-	_, ok := g.spo[s][p][o]
-	return ok
-}
+// OpKind discriminates the physical mutation operations a write
+// transaction records for the write-ahead log.
+type OpKind uint8
 
-// idxKind names an index permutation; helpers resolve it to the map
-// field under the lock (the fields themselves are never reassigned).
-type idxKind uint8
-
+// The physical operation kinds: triple insert, triple delete, and
+// whole-graph clear (CLEAR/DROP; its S, P, O are nil).
 const (
-	idxSPO idxKind = iota
-	idxPOS
-	idxOSP
-	idxPSO
+	OpAdd OpKind = iota
+	OpDelete
+	OpClear
 )
 
-func (g *Graph) index(k idxKind) map[ID]map[ID]map[ID]struct{} {
-	switch k {
-	case idxSPO:
-		return g.spo
-	case idxPOS:
-		return g.pos
-	case idxOSP:
-		return g.osp
-	default:
-		return g.pso
+// Op is one recorded physical mutation: the term-level form of an
+// insert or delete, exactly as applied. Replaying a transaction's ops
+// in order against the same starting state reproduces its effect
+// deterministically (terms, not IDs, so the log is dictionary-independent).
+type Op struct {
+	Kind    OpKind
+	S, P, O Term
+}
+
+// Tx is a write transaction: a batch of Add/Delete calls that becomes
+// visible to readers atomically at Commit. The writer lock is held
+// from Begin until Commit or Abort, so transactions serialize among
+// themselves; readers are never blocked. With recording enabled, the
+// transaction collects the effective (state-changing) operations in
+// application order for the write-ahead log.
+type Tx struct {
+	g    *Graph
+	st   graphState
+	done bool
+
+	record bool
+	ops    []Op
+
+	// changed counts effective mutations (adds that inserted, deletes
+	// that removed).
+	changed int
+}
+
+// Begin opens a write transaction. The caller must end it with Commit
+// or Abort; until then all other writers block.
+func (g *Graph) Begin() *Tx {
+	g.checkWritable()
+	g.wmu.Lock()
+	return &Tx{g: g, st: *g.cur()}
+}
+
+// Record enables (or disables) operation recording for Ops.
+func (t *Tx) Record(on bool) { t.record = on }
+
+// Ops returns the effective operations recorded so far (only with
+// Record(true)); the slice is owned by the transaction until Commit.
+func (t *Tx) Ops() []Op { return t.ops }
+
+// Changed returns the number of effective mutations staged so far.
+func (t *Tx) Changed() int { return t.changed }
+
+// Size returns the staged triple count (as it will be after Commit).
+func (t *Tx) Size() int { return t.st.size }
+
+// Add stages a triple insert; false when already present in the staged
+// state.
+func (t *Tx) Add(s, p, o Term) bool {
+	si, fs := t.g.dict.intern(s, s.Key())
+	pi, fp := t.g.dict.intern(p, p.Key())
+	oi, fo := t.g.dict.intern(o, o.Key())
+	if fs || fp || fo {
+		t.g.gen.Add(1)
 	}
+	if !t.st.add(si, pi, oi) {
+		return false
+	}
+	t.changed++
+	if t.record {
+		t.ops = append(t.ops, Op{Kind: OpAdd, S: s, P: p, O: o})
+	}
+	return true
+}
+
+// Delete stages a triple removal; false when absent from the staged
+// state.
+func (t *Tx) Delete(s, p, o Term) bool {
+	si, ok := t.g.dict.lookup(s.Key())
+	if !ok {
+		return false
+	}
+	pi, ok := t.g.dict.lookup(p.Key())
+	if !ok {
+		return false
+	}
+	oi, ok := t.g.dict.lookup(o.Key())
+	if !ok {
+		return false
+	}
+	if !t.st.del(si, pi, oi) {
+		return false
+	}
+	t.changed++
+	if t.record {
+		t.ops = append(t.ops, Op{Kind: OpDelete, S: s, P: p, O: o})
+	}
+	return true
+}
+
+// Commit publishes the staged state: all of the transaction's changes
+// become visible to new readers at once.
+func (t *Tx) Commit() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.changed > 0 {
+		st := t.st
+		t.g.publish(&st)
+	}
+	t.g.wmu.Unlock()
+}
+
+// Abort discards the staged state; the graph is left exactly as it was
+// at Begin.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.g.wmu.Unlock()
 }
 
 // setPos returns t with the pos-th component (0=S, 1=P, 2=O) set.
@@ -353,187 +518,142 @@ func setPos(t Triple, pos int, v ID) Triple {
 	return t
 }
 
-// matchBatchSize bounds how many triples are gathered per read-lock
-// acquisition during multi-key enumerations, so an early-terminating
-// caller (ASK, LIMIT 1, EXISTS) never pays for materializing the whole
-// result and a long enumeration never starves writers.
-const matchBatchSize = 1024
-
-// poolCapLimit keeps pathologically grown buffers out of the pools.
-const poolCapLimit = 1 << 16
-
-var (
-	triplePool = sync.Pool{New: func() any { return new([]Triple) }}
-	idPool     = sync.Pool{New: func() any { return new([]ID) }}
-)
-
-func putTripleBuf(p *[]Triple, buf []Triple) {
-	if cap(buf) <= poolCapLimit {
-		*p = buf[:0]
-		triplePool.Put(p)
-	}
-}
-
-func putIDBuf(p *[]ID, buf []ID) {
-	if cap(buf) <= poolCapLimit {
-		*p = buf[:0]
-		idPool.Put(p)
-	}
-}
-
-// Match enumerates triples matching a pattern where ID 0 is a
-// wildcard. The callback returns false to stop early. The index
-// permutation is chosen from the bound positions.
-//
-// Matching triples are gathered under the read lock and yielded after
-// it is released: the callback may re-enter the graph (nested matches,
-// term resolution, even mutation) without holding any lock — this is
-// what makes the query engine's recursive join loops safe against
-// concurrent writers without risking reader-lock recursion. The fully
-// bound probe allocates nothing; bound-pair probes fill a pooled
-// buffer in one lock hold; single-bound and wildcard scans proceed in
-// bounded batches (see the Graph type comment for the consistency
-// contract).
-func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
-	g.MatchCtx(nil, s, p, o, yield)
-}
-
-// MatchCtx is Match with cooperative cancellation: between batches —
-// i.e. at every point where the read lock is dropped — the context is
-// polled and the enumeration stops early when it is done. A nil
-// context imposes nothing. The truncated enumeration is not an error
-// at this layer; callers that care (the query engine's guards) detect
-// the cancellation themselves.
-func (g *Graph) MatchCtx(ctx context.Context, s, p, o ID, yield func(Triple) bool) {
-	switch {
-	case s != 0 && p != 0 && o != 0:
-		g.mu.RLock()
-		hit := g.hasIDsLocked(s, p, o)
-		g.mu.RUnlock()
-		if hit {
-			yield(Triple{s, p, o})
-		}
-	case s != 0 && p != 0:
-		g.matchInner(idxSPO, s, p, Triple{S: s, P: p}, 2, yield)
-	case p != 0 && o != 0:
-		g.matchInner(idxPOS, p, o, Triple{P: p, O: o}, 0, yield)
-	case s != 0 && o != 0:
-		g.matchInner(idxOSP, o, s, Triple{S: s, O: o}, 1, yield)
-	case s != 0:
-		g.matchNested(ctx, idxSPO, s, Triple{S: s}, 1, 2, yield)
-	case p != 0:
-		g.matchNested(ctx, idxPSO, p, Triple{P: p}, 0, 2, yield)
-	case o != 0:
-		g.matchNested(ctx, idxOSP, o, Triple{O: o}, 0, 1, yield)
-	default:
-		g.matchAll(ctx, yield)
-	}
-}
+// ctxCheckEvery bounds how many triples are yielded between context
+// polls during long enumerations, so cancellation is honored promptly
+// without paying a ctx.Err per triple.
+const ctxCheckEvery = 1024
 
 // ctxDone reports whether a (possibly nil) context has been cancelled.
 func ctxDone(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
 
-// matchInner enumerates a bound-pair pattern: the matches are exactly
-// the keys of one innermost index map, gathered atomically into a
-// pooled buffer.
-func (g *Graph) matchInner(k idxKind, a, b ID, base Triple, fillPos int, yield func(Triple) bool) {
-	bufp := idPool.Get().(*[]ID)
-	buf := (*bufp)[:0]
-	g.mu.RLock()
-	for c := range g.index(k)[a][b] {
-		buf = append(buf, c)
-	}
-	g.mu.RUnlock()
-	for _, c := range buf {
-		if !yield(setPos(base, fillPos, c)) {
-			break
-		}
-	}
-	putIDBuf(bufp, buf)
+// Match enumerates triples matching a pattern where ID 0 is a
+// wildcard. The callback returns false to stop early. The index
+// permutation is chosen from the bound positions.
+//
+// The enumeration runs against the immutable state current when it
+// started, without taking any lock: the callback may freely re-enter
+// the graph — including mutating it — and concurrent writers proceed
+// unhindered; neither affects what this enumeration yields (see the
+// Graph type comment for the consistency contract).
+func (g *Graph) Match(s, p, o ID, yield func(Triple) bool) {
+	g.MatchCtx(nil, s, p, o, yield)
 }
 
-// matchNested enumerates a single-bound pattern: outer keys are
-// snapshotted once (IDs are never reused, so they stay resolvable),
-// then each outer key's inner set is gathered batch-by-batch under the
-// read lock and yielded outside it.
-func (g *Graph) matchNested(ctx context.Context, k idxKind, a ID, base Triple, outerPos, innerPos int, yield func(Triple) bool) {
-	keysp := idPool.Get().(*[]ID)
-	keys := (*keysp)[:0]
-	g.mu.RLock()
-	for b := range g.index(k)[a] {
-		keys = append(keys, b)
+// MatchCtx is Match with cooperative cancellation: the context is
+// polled at bounded intervals and the enumeration stops early when it
+// is done. A nil context imposes nothing. The truncated enumeration is
+// not an error at this layer; callers that care (the query engine's
+// guards) detect the cancellation themselves.
+func (g *Graph) MatchCtx(ctx context.Context, s, p, o ID, yield func(Triple) bool) {
+	st := g.cur()
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if st.has(s, p, o) {
+			yield(Triple{s, p, o})
+		}
+	case s != 0 && p != 0:
+		matchSet(idxGet(st.spo, s).get(p), Triple{S: s, P: p}, 2, yield)
+	case p != 0 && o != 0:
+		matchSet(idxGet(st.pos, p).get(o), Triple{P: p, O: o}, 0, yield)
+	case s != 0 && o != 0:
+		matchSet(idxGet(st.osp, o).get(s), Triple{S: s, O: o}, 1, yield)
+	case s != 0:
+		matchMid(ctx, idxGet(st.spo, s), Triple{S: s}, 1, 2, yield)
+	case p != 0:
+		matchMid(ctx, idxGet(st.pso, p), Triple{P: p}, 0, 2, yield)
+	case o != 0:
+		matchMid(ctx, idxGet(st.osp, o), Triple{O: o}, 0, 1, yield)
+	default:
+		matchTop(ctx, st.spo, yield)
 	}
-	g.mu.RUnlock()
+}
 
-	bufp := triplePool.Get().(*[]Triple)
-	buf := (*bufp)[:0]
-	stopped := false
-	for i := 0; i < len(keys) && !stopped; {
-		if ctxDone(ctx) {
-			break
+// matchSet yields the members of one innermost set into the open
+// triple position.
+func matchSet(set *pset, base Triple, fillPos int, yield func(Triple) bool) {
+	if set == nil {
+		return
+	}
+	var it pmIter[struct{}]
+	it.init(set.root)
+	for {
+		c, _, ok := it.next()
+		if !ok {
+			return
 		}
-		buf = buf[:0]
-		g.mu.RLock()
-		m1 := g.index(k)[a]
-		for i < len(keys) && len(buf) < matchBatchSize {
-			t := setPos(base, outerPos, keys[i])
-			for c := range m1[keys[i]] {
-				buf = append(buf, setPos(t, innerPos, c))
-			}
-			i++
+		if !yield(setPos(base, fillPos, ID(c))) {
+			return
 		}
-		g.mu.RUnlock()
-		for _, t := range buf {
-			if !yield(t) {
-				stopped = true
+	}
+}
+
+// matchMid yields a single-bound pattern: every (middle key, set
+// member) pair under one top-level entry.
+func matchMid(ctx context.Context, mid *pmid, base Triple, outerPos, innerPos int, yield func(Triple) bool) {
+	if mid == nil {
+		return
+	}
+	var it pmIter[*pset]
+	it.init(mid.root)
+	n := 0
+	for {
+		b, set, ok := it.next()
+		if !ok {
+			return
+		}
+		t := setPos(base, outerPos, ID(b))
+		var is pmIter[struct{}]
+		is.init(set.root)
+		for {
+			c, _, ok := is.next()
+			if !ok {
 				break
 			}
+			if !yield(setPos(t, innerPos, ID(c))) {
+				return
+			}
+			if n++; n%ctxCheckEvery == 0 && ctxDone(ctx) {
+				return
+			}
 		}
 	}
-	putIDBuf(keysp, keys)
-	putTripleBuf(bufp, buf)
 }
 
-// matchAll enumerates the whole graph, batched by subject.
-func (g *Graph) matchAll(ctx context.Context, yield func(Triple) bool) {
-	keysp := idPool.Get().(*[]ID)
-	keys := (*keysp)[:0]
-	g.mu.RLock()
-	for s := range g.spo {
-		keys = append(keys, s)
-	}
-	g.mu.RUnlock()
-
-	bufp := triplePool.Get().(*[]Triple)
-	buf := (*bufp)[:0]
-	stopped := false
-	for i := 0; i < len(keys) && !stopped; {
-		if ctxDone(ctx) {
-			break
+// matchTop yields the whole graph from the SPO permutation.
+func matchTop(ctx context.Context, root *pmNode[*pmid], yield func(Triple) bool) {
+	var it pmIter[*pmid]
+	it.init(root)
+	n := 0
+	for {
+		s, mid, ok := it.next()
+		if !ok {
+			return
 		}
-		buf = buf[:0]
-		g.mu.RLock()
-		for i < len(keys) && len(buf) < matchBatchSize {
-			s := keys[i]
-			for p, objs := range g.spo[s] {
-				for o := range objs {
-					buf = append(buf, Triple{s, p, o})
+		var im pmIter[*pset]
+		im.init(mid.root)
+		for {
+			p, set, ok := im.next()
+			if !ok {
+				break
+			}
+			var is pmIter[struct{}]
+			is.init(set.root)
+			for {
+				o, _, ok := is.next()
+				if !ok {
+					break
+				}
+				if !yield(Triple{ID(s), ID(p), ID(o)}) {
+					return
+				}
+				if n++; n%ctxCheckEvery == 0 && ctxDone(ctx) {
+					return
 				}
 			}
-			i++
-		}
-		g.mu.RUnlock()
-		for _, t := range buf {
-			if !yield(t) {
-				stopped = true
-				break
-			}
 		}
 	}
-	putIDBuf(keysp, keys)
-	putTripleBuf(bufp, buf)
 }
 
 // MatchTerms is Match with term-valued pattern positions; nil is a
@@ -569,45 +689,43 @@ func (g *Graph) MatchTermsCtx(ctx context.Context, s, p, o Term, yield func(s, p
 
 // CountMatch returns the number of triples matching a pattern without
 // enumerating terms; it backs the optimizer's cardinality estimates.
-// Every pattern class is O(1): single-bound counts come from the
-// incrementally maintained per-position counters, the rest from map
-// sizes.
+// Every pattern class costs at most a couple of index lookups: the
+// middle index levels carry their subtree totals, so no enumeration
+// ever happens.
 func (g *Graph) CountMatch(s, p, o ID) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	st := g.cur()
 	switch {
 	case s != 0 && p != 0 && o != 0:
-		if g.hasIDsLocked(s, p, o) {
+		if st.has(s, p, o) {
 			return 1
 		}
 		return 0
 	case s != 0 && p != 0:
-		return len(g.spo[s][p])
+		return idxGet(st.spo, s).get(p).len()
 	case p != 0 && o != 0:
-		return len(g.pos[p][o])
+		return idxGet(st.pos, p).get(o).len()
 	case s != 0 && o != 0:
-		return len(g.osp[o][s])
+		return idxGet(st.osp, o).get(s).len()
 	case s != 0:
-		return g.subjCount[s]
+		return idxGet(st.spo, s).triples()
 	case p != 0:
-		return g.predCount[p]
+		return idxGet(st.pso, p).triples()
 	case o != 0:
-		return g.objCount[o]
+		return idxGet(st.osp, o).triples()
 	default:
-		return g.size
+		return st.size
 	}
 }
 
 // PredStats returns, for a predicate, the triple count and the numbers
 // of distinct subjects and objects — the histogram-style statistics the
 // cost-based optimizer uses (dissertation §5.4, cf. RDF-3X's indexes
-// doubling as histograms, §2.3.1). All three are O(1): the count is
-// maintained incrementally and the distinct counts are index map
-// sizes, so the join orderer can afford to call this on every BGP.
+// doubling as histograms, §2.3.1). All three are index lookups, so the
+// join orderer can afford to call this on every BGP.
 func (g *Graph) PredStats(p ID) (count, distinctS, distinctO int) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.predCount[p], len(g.pso[p]), len(g.pos[p])
+	st := g.cur()
+	pso := idxGet(st.pso, p)
+	return pso.triples(), pso.keys(), idxGet(st.pos, p).keys()
 }
 
 // Triples enumerates all triples in unspecified order.

@@ -1,0 +1,385 @@
+package rdf
+
+import "math/bits"
+
+// This file implements the persistent (immutable, structurally shared)
+// containers the copy-on-write graph states are built from: a
+// bitmap-compressed radix trie keyed by uint32 dictionary IDs — the
+// classic hash-array-mapped-trie layout, except IDs are dense and
+// uncorrelated enough that the key bits are used directly, no hashing.
+// Every mutation returns a new root that shares all untouched nodes
+// with the old one, so a published graph state is frozen forever while
+// a writer derives its successor in O(depth) node copies per triple.
+//
+// Layout: each node consumes 5 key bits per level (low bits first, so
+// dense IDs spread across children immediately); a set bitmap bit marks
+// a populated child slot, and slots are packed in bit order. A slot is
+// either a leaf (key + value) or an edge to a deeper node. Two keys
+// sharing a 5-bit chunk split lazily, so tries over sparse key sets
+// stay shallow. Depth is bounded by ceil(32/5) = 7.
+
+const (
+	pmBits = 5
+	pmMask = 1<<pmBits - 1
+	// pmMaxDepth bounds the iterator stack: 7 chunk levels plus one
+	// guard frame.
+	pmMaxDepth = 8
+)
+
+// pmSlot is one populated position of a node: a leaf when child is
+// nil, an edge otherwise.
+type pmSlot[V any] struct {
+	child *pmNode[V]
+	key   uint32
+	val   V
+}
+
+// pmNode is an immutable trie node. A nil *pmNode is the empty trie.
+type pmNode[V any] struct {
+	bitmap uint32
+	slots  []pmSlot[V]
+}
+
+// pmGet returns the value stored under key.
+func pmGet[V any](n *pmNode[V], key uint32) (V, bool) {
+	shift := uint(0)
+	for n != nil {
+		bit := uint32(1) << ((key >> shift) & pmMask)
+		if n.bitmap&bit == 0 {
+			break
+		}
+		sl := &n.slots[bits.OnesCount32(n.bitmap&(bit-1))]
+		if sl.child == nil {
+			if sl.key == key {
+				return sl.val, true
+			}
+			break
+		}
+		n = sl.child
+		shift += pmBits
+	}
+	var zero V
+	return zero, false
+}
+
+// pmSet returns a trie with key bound to v; the bool reports whether
+// the key was absent before (an insert rather than a replace).
+func pmSet[V any](n *pmNode[V], shift uint, key uint32, v V) (*pmNode[V], bool) {
+	if n == nil {
+		idx := (key >> shift) & pmMask
+		return &pmNode[V]{bitmap: 1 << idx, slots: []pmSlot[V]{{key: key, val: v}}}, true
+	}
+	bit := uint32(1) << ((key >> shift) & pmMask)
+	pos := bits.OnesCount32(n.bitmap & (bit - 1))
+	if n.bitmap&bit == 0 {
+		slots := make([]pmSlot[V], len(n.slots)+1)
+		copy(slots, n.slots[:pos])
+		slots[pos] = pmSlot[V]{key: key, val: v}
+		copy(slots[pos+1:], n.slots[pos:])
+		return &pmNode[V]{bitmap: n.bitmap | bit, slots: slots}, true
+	}
+	sl := n.slots[pos]
+	var (
+		child *pmNode[V]
+		added bool
+	)
+	switch {
+	case sl.child != nil:
+		child, added = pmSet(sl.child, shift+pmBits, key, v)
+	case sl.key == key:
+		slots := append([]pmSlot[V](nil), n.slots...)
+		slots[pos].val = v
+		return &pmNode[V]{bitmap: n.bitmap, slots: slots}, false
+	default:
+		child = pmSplit(sl.key, sl.val, key, v, shift+pmBits)
+		added = true
+	}
+	slots := append([]pmSlot[V](nil), n.slots...)
+	slots[pos] = pmSlot[V]{child: child}
+	return &pmNode[V]{bitmap: n.bitmap, slots: slots}, added
+}
+
+// pmSplit builds the subtree holding two distinct keys that collided
+// at the parent level. Distinct uint32 keys differ in some chunk, so
+// the recursion terminates.
+func pmSplit[V any](k1 uint32, v1 V, k2 uint32, v2 V, shift uint) *pmNode[V] {
+	i1 := (k1 >> shift) & pmMask
+	i2 := (k2 >> shift) & pmMask
+	if i1 == i2 {
+		child := pmSplit(k1, v1, k2, v2, shift+pmBits)
+		return &pmNode[V]{bitmap: 1 << i1, slots: []pmSlot[V]{{child: child}}}
+	}
+	n := &pmNode[V]{bitmap: 1<<i1 | 1<<i2}
+	if i1 < i2 {
+		n.slots = []pmSlot[V]{{key: k1, val: v1}, {key: k2, val: v2}}
+	} else {
+		n.slots = []pmSlot[V]{{key: k2, val: v2}, {key: k1, val: v1}}
+	}
+	return n
+}
+
+// pmDel returns a trie without key; the bool reports whether the key
+// was present. Nodes left with a single leaf are collapsed into their
+// parent slot, keeping lookup paths short after churn.
+func pmDel[V any](n *pmNode[V], shift uint, key uint32) (*pmNode[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	bit := uint32(1) << ((key >> shift) & pmMask)
+	if n.bitmap&bit == 0 {
+		return n, false
+	}
+	pos := bits.OnesCount32(n.bitmap & (bit - 1))
+	sl := n.slots[pos]
+	if sl.child != nil {
+		child, removed := pmDel(sl.child, shift+pmBits, key)
+		if !removed {
+			return n, false
+		}
+		if child == nil {
+			return pmWithout(n, bit, pos), true
+		}
+		slots := append([]pmSlot[V](nil), n.slots...)
+		if len(child.slots) == 1 && child.slots[0].child == nil {
+			slots[pos] = child.slots[0]
+		} else {
+			slots[pos] = pmSlot[V]{child: child}
+		}
+		return &pmNode[V]{bitmap: n.bitmap, slots: slots}, true
+	}
+	if sl.key != key {
+		return n, false
+	}
+	return pmWithout(n, bit, pos), true
+}
+
+// pmWithout removes the slot at pos (bitmap bit) from a copy of n,
+// returning nil when it was the last one.
+func pmWithout[V any](n *pmNode[V], bit uint32, pos int) *pmNode[V] {
+	if len(n.slots) == 1 {
+		return nil
+	}
+	slots := make([]pmSlot[V], len(n.slots)-1)
+	copy(slots, n.slots[:pos])
+	copy(slots[pos:], n.slots[pos+1:])
+	return &pmNode[V]{bitmap: n.bitmap &^ bit, slots: slots}
+}
+
+// pmIter is an explicit-stack in-order cursor over a trie. It lives on
+// the caller's stack (fixed-depth frame array, no allocation), which
+// is what keeps the bound-probe and early-termination enumeration
+// paths allocation-free.
+type pmIter[V any] struct {
+	stack [pmMaxDepth]pmIterState[V]
+	depth int
+}
+
+// pmIterState is one stack frame: a node and the next slot to visit.
+type pmIterState[V any] struct {
+	n *pmNode[V]
+	i int
+}
+
+func (it *pmIter[V]) init(n *pmNode[V]) {
+	it.depth = 0
+	if n != nil {
+		it.stack[0] = pmIterState[V]{n: n}
+		it.depth = 1
+	}
+}
+
+// next yields the following (key, value) leaf, or ok=false at the end.
+func (it *pmIter[V]) next() (uint32, V, bool) {
+	for it.depth > 0 {
+		fr := &it.stack[it.depth-1]
+		if fr.i >= len(fr.n.slots) {
+			it.depth--
+			continue
+		}
+		sl := &fr.n.slots[fr.i]
+		fr.i++
+		if sl.child != nil {
+			it.stack[it.depth] = pmIterState[V]{n: sl.child}
+			it.depth++
+			continue
+		}
+		return sl.key, sl.val, true
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// pset is an immutable set of IDs: the innermost index level.
+// A nil *pset is empty.
+type pset struct {
+	root *pmNode[struct{}]
+	n    int32
+}
+
+func (s *pset) len() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.n)
+}
+
+func (s *pset) has(id ID) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := pmGet(s.root, uint32(id))
+	return ok
+}
+
+// with returns the set including id; false when it was already there.
+func (s *pset) with(id ID) (*pset, bool) {
+	var (
+		root *pmNode[struct{}]
+		n    int32
+	)
+	if s != nil {
+		root, n = s.root, s.n
+	}
+	nr, added := pmSet(root, 0, uint32(id), struct{}{})
+	if !added {
+		return s, false
+	}
+	return &pset{root: nr, n: n + 1}, true
+}
+
+// without returns the set excluding id (nil when it becomes empty);
+// false when id was absent.
+func (s *pset) without(id ID) (*pset, bool) {
+	if s == nil {
+		return nil, false
+	}
+	nr, removed := pmDel(s.root, 0, uint32(id))
+	if !removed {
+		return s, false
+	}
+	if s.n == 1 {
+		return nil, true
+	}
+	return &pset{root: nr, n: s.n - 1}, true
+}
+
+// pmid is an immutable map from ID to *pset — the middle index level —
+// carrying the subtree's triple total so single-bound cardinality
+// probes stay O(lookup). A nil *pmid is empty.
+type pmid struct {
+	root  *pmNode[*pset]
+	n     int32 // distinct keys
+	total int   // triples in all sets
+}
+
+func (m *pmid) keys() int {
+	if m == nil {
+		return 0
+	}
+	return int(m.n)
+}
+
+func (m *pmid) triples() int {
+	if m == nil {
+		return 0
+	}
+	return m.total
+}
+
+func (m *pmid) get(k ID) *pset {
+	if m == nil {
+		return nil
+	}
+	s, _ := pmGet(m.root, uint32(k))
+	return s
+}
+
+// withAdd returns the map with v added to the set under k; false when
+// the (k, v) pair was already present.
+func (m *pmid) withAdd(k, v ID) (*pmid, bool) {
+	var (
+		root  *pmNode[*pset]
+		n     int32
+		total int
+	)
+	if m != nil {
+		root, n, total = m.root, m.n, m.total
+	}
+	set, _ := pmGet(root, uint32(k))
+	nset, added := set.with(v)
+	if !added {
+		return m, false
+	}
+	nr, isNew := pmSet(root, 0, uint32(k), nset)
+	if isNew {
+		n++
+	}
+	return &pmid{root: nr, n: n, total: total + 1}, true
+}
+
+// withDel returns the map with v removed from the set under k (nil
+// when the map becomes empty); false when the pair was absent.
+func (m *pmid) withDel(k, v ID) (*pmid, bool) {
+	if m == nil {
+		return nil, false
+	}
+	set, ok := pmGet(m.root, uint32(k))
+	if !ok {
+		return m, false
+	}
+	nset, removed := set.without(v)
+	if !removed {
+		return m, false
+	}
+	n := m.n
+	var nr *pmNode[*pset]
+	if nset == nil {
+		nr, _ = pmDel(m.root, 0, uint32(k))
+		n--
+	} else {
+		nr, _ = pmSet(m.root, 0, uint32(k), nset)
+	}
+	if n == 0 {
+		return nil, true
+	}
+	return &pmid{root: nr, n: n, total: m.total - 1}, true
+}
+
+// idxGet resolves the middle level of a three-level index.
+func idxGet(root *pmNode[*pmid], a ID) *pmid {
+	if root == nil {
+		return nil
+	}
+	m, _ := pmGet(root, uint32(a))
+	return m
+}
+
+// idxAdd inserts (a → b → c) into a three-level index.
+func idxAdd(root *pmNode[*pmid], a, b, c ID) (*pmNode[*pmid], bool) {
+	mid := idxGet(root, a)
+	nmid, added := mid.withAdd(b, c)
+	if !added {
+		return root, false
+	}
+	nr, _ := pmSet(root, 0, uint32(a), nmid)
+	return nr, true
+}
+
+// idxDel removes (a → b → c) from a three-level index.
+func idxDel(root *pmNode[*pmid], a, b, c ID) (*pmNode[*pmid], bool) {
+	mid := idxGet(root, a)
+	if mid == nil {
+		return root, false
+	}
+	nmid, removed := mid.withDel(b, c)
+	if !removed {
+		return root, false
+	}
+	var nr *pmNode[*pmid]
+	if nmid == nil {
+		nr, _ = pmDel(root, 0, uint32(a))
+	} else {
+		nr, _ = pmSet(root, 0, uint32(a), nmid)
+	}
+	return nr, true
+}

@@ -138,10 +138,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Every acknowledged update has left the group-commit queue
+		// (acknowledgement implies its fsync completed); a final flush
+		// covers interval/none sync policies so a clean shutdown loses
+		// nothing.
+		return s.DB.FlushWAL()
 	case <-ctx.Done():
 		s.forceCloseConns()
 		<-done
+		_ = s.DB.FlushWAL()
 		return ctx.Err()
 	}
 }
@@ -329,6 +334,24 @@ func (s *Server) registerGauges(r *metrics.Registry) {
 		func() float64 { return float64(db.VecStats().Batches) })
 	r.GaugeFunc("ssdm_vec_rows_total", "Rows emitted by vectorized pipelines.",
 		func() float64 { return float64(db.VecStats().Rows) })
+	r.GaugeFunc("ssdm_wal_appends_total", "WAL records appended (0 when running without a WAL).",
+		func() float64 { return float64(db.WALStats().Appends) })
+	r.GaugeFunc("ssdm_wal_appended_bytes_total", "WAL frame bytes appended.",
+		func() float64 { return float64(db.WALStats().AppendedBytes) })
+	r.GaugeFunc("ssdm_wal_syncs_total", "WAL fsyncs issued.",
+		func() float64 { return float64(db.WALStats().Syncs) })
+	r.GaugeFunc("ssdm_wal_commits_total", "WAL commit acknowledgements.",
+		func() float64 { return float64(db.WALStats().Commits) })
+	r.GaugeFunc("ssdm_wal_grouped_commits_total", "WAL commits that rode another commit's fsync (group commit).",
+		func() float64 { return float64(db.WALStats().GroupedCommit) })
+	r.GaugeFunc("ssdm_wal_segments", "Live WAL segment files.",
+		func() float64 { return float64(db.WALStats().Segments) })
+	r.GaugeFunc("ssdm_wal_tail_lsn", "Next WAL append position.",
+		func() float64 { return float64(db.WALStats().TailLSN) })
+	r.GaugeFunc("ssdm_wal_synced_lsn", "Everything below this LSN is durable.",
+		func() float64 { return float64(db.WALStats().SyncedLSN) })
+	r.GaugeFunc("ssdm_wal_recovery_seconds", "Time the last startup spent in checkpoint load and log replay.",
+		func() float64 { return float64(db.WALStats().RecoveryNanos) / 1e9 })
 	r.GaugeFunc("ssdm_storage_read_calls", "Back-end chunk read calls since start (0 when resident-only).",
 		func() float64 {
 			if b, ok := db.Backend().(interface{ ReadCallCount() int64 }); ok {
@@ -503,6 +526,7 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 		cc := s.DB.ChunkCacheStats()
 		dict := s.DB.DictStats()
 		vec := s.DB.VecStats()
+		wal := s.DB.WALStats()
 		return &protocol.Response{OK: true, Stats: &protocol.Stats{
 			CacheHits:    cs.Hits,
 			CacheMisses:  cs.Misses,
@@ -526,6 +550,18 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 			VecQueries: vec.Queries,
 			VecBatches: vec.Batches,
 			VecRows:    vec.Rows,
+
+			WALEnabled:        wal.Enabled,
+			WALAppends:        wal.Appends,
+			WALAppendedBytes:  wal.AppendedBytes,
+			WALSyncs:          wal.Syncs,
+			WALCommits:        wal.Commits,
+			WALGroupedCommits: wal.GroupedCommit,
+			WALSegments:       wal.Segments,
+			WALTailLSN:        wal.TailLSN,
+			WALSyncedLSN:      wal.SyncedLSN,
+			WALRecoveredRecs:  wal.RecoveredRecords,
+			WALRecoveryNS:     wal.RecoveryNanos,
 		}}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}
@@ -576,6 +612,8 @@ func errorCode(err error) string {
 		return protocol.CodeCancelled
 	case errors.Is(err, engine.ErrInternal):
 		return protocol.CodeInternal
+	case errors.Is(err, core.ErrDurability):
+		return protocol.CodeDurability
 	default:
 		return protocol.CodeError
 	}
