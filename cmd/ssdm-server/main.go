@@ -91,6 +91,8 @@ func main() {
 	maxBindings := flag.Int64("max-bindings", 0, "default cap on intermediate bindings per query (0 = unlimited)")
 	chunkCache := flag.Int64("chunk-cache", 0, "byte budget of the shared array chunk cache (0 = default 64MiB, negative = unlimited)")
 	batchSize := flag.Int("batch-size", 0, "rows per binding batch in the vectorized executor (0 = default 1024, negative = tuple-at-a-time only)")
+	vecAgg := flag.Bool("vec-agg", true, "fold GROUP BY/aggregates batch-natively over ID columns when the WHERE clause vectorizes")
+	vecTopK := flag.Int("vec-topk", 0, "largest OFFSET+LIMIT bound the ORDER BY top-K pushdown accepts (0 = default 4096, negative = full sort always)")
 	par := flag.Int("parallelism", 0, "fetch worker pool width per chunk retrieval (0 = GOMAXPROCS, capped)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	walDir := flag.String("wal-dir", "", "enable the write-ahead log in this directory (recovers on start)")
@@ -125,6 +127,8 @@ func main() {
 	opts.MaxBindings = *maxBindings
 	opts.ChunkCacheBytes = *chunkCache
 	opts.BatchSize = *batchSize
+	opts.DisableVecAgg = !*vecAgg
+	opts.VecTopK = *vecTopK
 	opts.WALDir = *walDir
 	opts.WALSync = *walSync
 	opts.WALGroupWait = time.Duration(*walGroupMS) * time.Millisecond

@@ -47,10 +47,24 @@ type Engine struct {
 	// entirely (pure tuple-at-a-time, the pre-vectorization behavior).
 	BatchSize int
 
+	// DisableVecAgg turns off batch-native aggregation (the GROUP
+	// BY/aggregate fast path over ID columns) while leaving the rest of
+	// vectorized execution on — the ablation knob for experiment E11.
+	DisableVecAgg bool
+
+	// VecTopK bounds the ORDER BY + LIMIT top-K pushdown: the bounded
+	// heap is used when OFFSET+LIMIT <= VecTopK. 0 uses the default
+	// (4096); a negative value disables the pushdown (full sort always).
+	VecTopK int
+
 	// Vectorized-execution counters, exposed through VecStats.
-	vecQueries atomic.Int64
-	vecBatches atomic.Int64
-	vecRows    atomic.Int64
+	vecQueries     atomic.Int64
+	vecBatches     atomic.Int64
+	vecRows        atomic.Int64
+	vecAggQueries  atomic.Int64
+	vecAggGroups   atomic.Int64
+	vecSortQueries atomic.Int64
+	vecTopKQueries atomic.Int64
 }
 
 // effBatchSize resolves the BatchSize knob: rows per batch, or <= 0
@@ -62,22 +76,47 @@ func (e *Engine) effBatchSize() int {
 	return e.BatchSize
 }
 
+// effTopK resolves the VecTopK knob: the largest OFFSET+LIMIT bound the
+// ORDER BY top-K pushdown accepts. Negative VecTopK disables it.
+func (e *Engine) effTopK() int {
+	if e.VecTopK == 0 {
+		return 4096
+	}
+	if e.VecTopK < 0 {
+		return -1
+	}
+	return e.VecTopK
+}
+
 // VecStats reports cumulative vectorized-execution activity: how many
-// query executions used a batch plan, and how many batches/rows flowed
-// out of vectorized pipelines.
+// query executions used a batch plan, how many batches/rows flowed out
+// of vectorized pipelines, and how often the batch-native aggregation
+// and ORDER BY fast paths engaged.
 type VecStats struct {
 	Queries int64
 	Batches int64
 	Rows    int64
+
+	// AggQueries/AggGroups count batch-native aggregation runs and the
+	// groups they produced; SortQueries counts vectorized ORDER BY
+	// sorts, TopKQueries the subset that used the bounded top-K heap.
+	AggQueries  int64
+	AggGroups   int64
+	SortQueries int64
+	TopKQueries int64
 }
 
 // VecStats returns a snapshot of the engine's vectorized-execution
 // counters.
 func (e *Engine) VecStats() VecStats {
 	return VecStats{
-		Queries: e.vecQueries.Load(),
-		Batches: e.vecBatches.Load(),
-		Rows:    e.vecRows.Load(),
+		Queries:     e.vecQueries.Load(),
+		Batches:     e.vecBatches.Load(),
+		Rows:        e.vecRows.Load(),
+		AggQueries:  e.vecAggQueries.Load(),
+		AggGroups:   e.vecAggGroups.Load(),
+		SortQueries: e.vecSortQueries.Load(),
+		TopKQueries: e.vecTopKQueries.Load(),
 	}
 }
 

@@ -177,8 +177,13 @@ func (e *Engine) activeGraph(q *sparql.Query) *rdf.Graph {
 }
 
 // whereSolutions enumerates the WHERE solutions (a single empty
-// binding when the query has no WHERE clause).
-func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, yield func(Binding) error) error {
+// binding when the query has no WHERE clause). budget, when >= 0, is
+// the number of solutions the caller will consume before stopping (the
+// LIMIT pushdown bound): the vectorized path clamps its batch size to
+// it so a small LIMIT over a wide fallback bridge does not decode —
+// and charge the binding budget for — a full batch of rows nobody
+// reads.
+func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, budget int, yield func(Binding) error) error {
 	if q.Where == nil {
 		return yield(initial)
 	}
@@ -187,7 +192,7 @@ func (c *evalCtx) whereSolutions(q *sparql.Query, initial Binding, yield func(Bi
 	// bridge each row into the remaining tuple steps. vecWhere declines
 	// (handled == false) when batch mode is off or nothing vectorizes.
 	if len(initial) == 0 {
-		if handled, err := c.vecWhere(q.Where, yield); handled {
+		if handled, err := c.vecWhere(q.Where, budget, yield); handled {
 			return err
 		}
 	}
@@ -230,7 +235,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 	// materialize as Bindings — DISTINCT/OFFSET/LIMIT run over ID rows
 	// and only surviving rows decode to terms. vecSelect declines
 	// (ok == false) whenever any pipeline stage below would differ.
-	if !grouped && len(q.Having) == 0 && len(q.OrderBy) == 0 && len(initial) == 0 && q.Where != nil {
+	if !grouped && len(q.Having) == 0 && len(initial) == 0 && q.Where != nil {
 		if res, ok, err := ctx.vecSelect(q, rowCap, earlyCap); ok {
 			return res, err
 		}
@@ -262,7 +267,7 @@ func (e *Engine) execSelect(ctx *evalCtx, q *sparql.Query, initial Binding) (*Re
 			stopAt = q.Offset + q.Limit
 		}
 		stopWhere := ctx.trace.startPhase(phaseWhere)
-		err := ctx.whereSolutions(q, initial, func(b Binding) error {
+		err := ctx.whereSolutions(q, initial, stopAt, func(b Binding) error {
 			solutions = append(solutions, b)
 			if earlyCap >= 0 && len(q.Having) == 0 && len(solutions) > earlyCap {
 				return errResultRows(rowCap)
@@ -453,7 +458,7 @@ func rowKey(cells []rdf.Term) string {
 func (e *Engine) execAsk(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 	found := false
 	stop := ctx.trace.startPhase(phaseWhere)
-	err := ctx.whereSolutions(q, Binding{}, func(Binding) error {
+	err := ctx.whereSolutions(q, Binding{}, 1, func(Binding) error {
 		found = true
 		return errStop
 	})
@@ -467,7 +472,7 @@ func (e *Engine) execAsk(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 func (e *Engine) execConstruct(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 	out := rdf.NewGraph()
 	stop := ctx.trace.startPhase(phaseWhere)
-	err := ctx.whereSolutions(q, Binding{}, func(b Binding) error {
+	err := ctx.whereSolutions(q, Binding{}, -1, func(b Binding) error {
 		instantiateTemplate(out, q.ConstructTemplate, b)
 		return nil
 	})
@@ -530,7 +535,7 @@ func (e *Engine) execDescribe(ctx *evalCtx, q *sparql.Query) (*Results, error) {
 		case sparql.ELit:
 			targets[v.Term.Key()] = v.Term
 		case sparql.EVar:
-			err := ctx.whereSolutions(q, Binding{}, func(b Binding) error {
+			err := ctx.whereSolutions(q, Binding{}, -1, func(b Binding) error {
 				if t, ok := b[v.Name]; ok {
 					targets[t.Key()] = t
 				}
@@ -665,6 +670,13 @@ func (e *Engine) aggregateSolutions(ctx *evalCtx, q *sparql.Query, initial Bindi
 		q.OrderBy[i].Expr = e.rewriteAggs(q.OrderBy[i].Expr, &specs)
 	}
 
+	// Batch-native fast path: group and fold directly over the ID
+	// columns when the WHERE clause fully vectorizes and every GROUP BY
+	// criterion / aggregate argument is a plain variable (vecagg.go).
+	if out, ok, err := e.vecAggregate(ctx, q, initial, specs); ok {
+		return out, err
+	}
+
 	type group struct {
 		rep    Binding
 		states []*aggState
@@ -672,7 +684,7 @@ func (e *Engine) aggregateSolutions(ctx *evalCtx, q *sparql.Query, initial Bindi
 	groups := map[string]*group{}
 	var orderKeys []string
 
-	err := ctx.whereSolutions(q, initial, func(b Binding) error {
+	err := ctx.whereSolutions(q, initial, -1, func(b Binding) error {
 		// Cancellation check per folded solution: aggregation consumes
 		// the full solution stream, so it must stop promptly too.
 		if err := ctx.guard.tick(); err != nil {

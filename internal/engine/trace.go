@@ -58,6 +58,15 @@ type Trace struct {
 	VecBatches int64
 	VecRows    int64
 
+	// VecAggGroups is the number of groups the batch-native aggregation
+	// path produced (zero when aggregation ran tuple-at-a-time or not at
+	// all). VecSortRows is the number of ID rows the vectorized ORDER BY
+	// sorted; VecSortTopK is the bounded top-K heap size when the ORDER
+	// BY + LIMIT pushdown engaged (zero otherwise).
+	VecAggGroups int64
+	VecSortRows  int64
+	VecSortTopK  int64
+
 	// ChunkFetches is the number of array chunks fetched from a storage
 	// back-end on this query's behalf (cache hits are not fetches).
 	ChunkFetches int64
@@ -90,7 +99,17 @@ func (t *Trace) String() string {
 		time.Duration(t.ProjNanos), time.Duration(t.SortNanos))
 	fmt.Fprintf(&sb, "matching: calls=%d matched=%d\n", t.MatchCalls, t.Matched)
 	if t.Vectorized {
-		fmt.Fprintf(&sb, "vectorized: batches=%d rows=%d\n", t.VecBatches, t.VecRows)
+		fmt.Fprintf(&sb, "vectorized: batches=%d rows=%d", t.VecBatches, t.VecRows)
+		if t.VecAggGroups > 0 {
+			fmt.Fprintf(&sb, " agg-groups=%d", t.VecAggGroups)
+		}
+		if t.VecSortRows > 0 {
+			fmt.Fprintf(&sb, " sort-rows=%d", t.VecSortRows)
+		}
+		if t.VecSortTopK > 0 {
+			fmt.Fprintf(&sb, " top-k=%d", t.VecSortTopK)
+		}
+		sb.WriteByte('\n')
 	}
 	if t.ChunkFetches > 0 || t.ChunkWaitNanos > 0 {
 		fmt.Fprintf(&sb, "chunks: fetched=%d wait=%v\n",
@@ -129,10 +148,13 @@ type traceCollector struct {
 
 	// Vectorized-execution accounting: per-group operator rows plus the
 	// headline totals plan.run adds after each pipeline run.
-	vecGroups  map[*sparql.Group]*vecGroupTrace
-	vectorized bool
-	vecBatches int64
-	vecRows    int64
+	vecGroups    map[*sparql.Group]*vecGroupTrace
+	vectorized   bool
+	vecBatches   int64
+	vecRows      int64
+	vecAggGroups int64
+	vecSortRows  int64
+	vecSortTopK  int64
 
 	whereNanos, aggNanos, projNanos, sortNanos int64
 }
@@ -230,10 +252,12 @@ func (tr *traceCollector) wrap(g *sparql.Group, steps []step) []step {
 // vecGroupTrace holds the operator counter rows of one group's
 // vectorized plan; covered is how many leading tuple steps the vec
 // pipeline replaces (their rows are elided from the rendering unless
-// the tuple path also ran them).
+// the tuple path also ran them). sub holds the per-branch operator rows
+// of union ops, keyed by the op's index in ops.
 type vecGroupTrace struct {
 	ops     []*vecOpTrace
 	covered int
+	sub     map[int][][]*vecOpTrace
 }
 
 // vecOpTrace is one vectorized operator with its runtime counters.
@@ -245,6 +269,8 @@ type vecOpTrace struct {
 // registerVec attaches counter rows to a group's vectorized plan,
 // reusing existing rows when the group is re-planned (by a nested
 // context) so the report aggregates across executions, like wrap.
+// Union operators additionally get one row set per branch so EXPLAIN
+// ANALYZE attributes rows/batches to the branch that produced them.
 func (tr *traceCollector) registerVec(g *sparql.Group, pl *vecPlan) {
 	if tr.vecGroups == nil {
 		tr.vecGroups = map[*sparql.Group]*vecGroupTrace{}
@@ -259,6 +285,33 @@ func (tr *traceCollector) registerVec(g *sparql.Group, pl *vecPlan) {
 		tr.vecGroups[g] = vt
 	}
 	pl.opTr = vt.ops
+	for i, op := range pl.ops {
+		u, isUnion := op.(*vecUnion)
+		if !isUnion {
+			continue
+		}
+		if vt.sub == nil {
+			vt.sub = map[int][][]*vecOpTrace{}
+		}
+		rows, ok := vt.sub[i]
+		if !ok || len(rows) != len(u.branches) {
+			rows = make([][]*vecOpTrace, len(u.branches))
+			for bi := range u.branches {
+				br := &u.branches[bi]
+				rows[bi] = make([]*vecOpTrace, len(br.ops))
+				for oi, bop := range br.ops {
+					k, d := bop.describe()
+					rows[bi][oi] = &vecOpTrace{kind: k, detail: d}
+				}
+			}
+			vt.sub[i] = rows
+		}
+		for bi := range u.branches {
+			if len(rows[bi]) == len(u.branches[bi].ops) {
+				u.branches[bi].opTr = rows[bi]
+			}
+		}
+	}
 }
 
 // tracedStep counts a step's input bindings and emissions around the
@@ -332,6 +385,9 @@ func (tr *traceCollector) finish(q *sparql.Query, total time.Duration, res *Resu
 		VecBatches:     tr.vecBatches,
 		VecRows:        tr.vecRows,
 	}
+	t.VecAggGroups = tr.vecAggGroups
+	t.VecSortRows = tr.vecSortRows
+	t.VecSortTopK = tr.vecSortTopK
 	if res != nil {
 		t.Rows = res.Len()
 	}
@@ -355,8 +411,19 @@ func (tr *traceCollector) renderPlan(q *sparql.Query) string {
 	if len(q.GroupBy) > 0 {
 		fmt.Fprintf(&sb, "  group by %d expression(s)\n", len(q.GroupBy))
 	}
+	if tr.vecAggGroups > 0 {
+		fmt.Fprintf(&sb, "  aggregate: batch-native over ID columns, %d group(s)\n", tr.vecAggGroups)
+	}
 	if len(q.OrderBy) > 0 {
-		fmt.Fprintf(&sb, "  order by %d criterion(s)\n", len(q.OrderBy))
+		if tr.vecSortRows > 0 {
+			line := fmt.Sprintf("  order by %d criterion(s): vectorized, %d ID row(s) sorted", len(q.OrderBy), tr.vecSortRows)
+			if tr.vecSortTopK > 0 {
+				line += fmt.Sprintf(", top-k heap bound=%d", tr.vecSortTopK)
+			}
+			sb.WriteString(line + "\n")
+		} else {
+			fmt.Fprintf(&sb, "  order by %d criterion(s)\n", len(q.OrderBy))
+		}
 	}
 	if q.Limit >= 0 {
 		fmt.Fprintf(&sb, "  limit %d\n", q.Limit)
@@ -373,15 +440,33 @@ func (tr *traceCollector) renderGroup(g *sparql.Group, sb *strings.Builder, dept
 	}
 	covered := 0
 	if vt, ok := tr.vecGroups[g]; ok {
-		for _, op := range vt.ops {
+		for i, op := range vt.ops {
 			indent(sb, depth)
 			line := op.kind
 			if op.detail != "" {
 				line += " " + op.detail
 			}
 			fmt.Fprintf(sb, "%-58s batches=%d rows=%d\n", line, op.batches, op.rows)
+			for bi, branch := range vt.sub[i] {
+				indent(sb, depth+1)
+				fmt.Fprintf(sb, "branch %d:\n", bi)
+				for _, bop := range branch {
+					indent(sb, depth+2)
+					bl := bop.kind
+					if bop.detail != "" {
+						bl += " " + bop.detail
+					}
+					fmt.Fprintf(sb, "%-54s batches=%d rows=%d\n", bl, bop.batches, bop.rows)
+				}
+			}
 		}
 		covered = vt.covered
+		// The vectorized prefix ended mid-group: everything below this
+		// line ran tuple-at-a-time over decoded bindings.
+		if covered > 0 && covered < len(gt.steps) {
+			indent(sb, depth)
+			fmt.Fprintf(sb, "-- fallback boundary: %d step(s) below run tuple-at-a-time --\n", len(gt.steps)-covered)
+		}
 	}
 	for i, row := range gt.steps {
 		// Tuple rows the vec pipeline replaced are elided unless the

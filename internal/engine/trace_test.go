@@ -89,9 +89,9 @@ func TestQueryTracedCountersAndPlan(t *testing.T) {
 }
 
 // TestQueryTracedVectorized: with batch mode on (the default), the
-// trace reports the vectorized prefix — per-operator batch/row rows in
-// the plan, headline batch counters, and the tuple suffix (OPTIONAL)
-// still traced tuple-style behind it.
+// trace reports the vectorized pipeline — per-operator batch/row rows
+// in the plan (including the batch left-outer OPTIONAL) and the
+// vectorized ORDER BY annotation.
 func TestQueryTracedVectorized(t *testing.T) {
 	e := traceTestEngine(t)
 	q := mustParse(t, `PREFIX ex: <http://ex/>
@@ -114,8 +114,8 @@ func TestQueryTracedVectorized(t *testing.T) {
 		"vec scan",
 		"vec filter (?v >= 5)",
 		"batches=",
-		"optional left join",
-		"order by 1 criterion(s)",
+		"vec optional",
+		"order by 1 criterion(s): vectorized",
 	} {
 		if !strings.Contains(tr.Plan, want) {
 			t.Errorf("plan missing %q:\n%s", want, tr.Plan)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -17,11 +18,15 @@ import (
 // flows fixed-size batches of dictionary-ID columns (colbatch) through
 // a short pipeline of vec operators compiled from the same step
 // sequence, decoding IDs to rdf.Term only at projection (or at the
-// bridge into the remaining tuple steps). Steps outside the supported
-// core — property paths, OPTIONAL/UNION/MINUS, BIND, EXISTS,
-// subqueries, VALUES, GRAPH — run unchanged as the tuple suffix, so
-// the two paths always agree on semantics; only the prefix is
-// accelerated.
+// bridge into the remaining tuple steps). The supported core covers
+// scans, joins, simple FILTERs, single-pattern OPTIONAL (left-outer
+// join emitting rdf.Unbound for unmatched rows), UNION (branches run
+// batch-at-a-time, schemas aligned and padded), plus — above the
+// pipeline — batch-native aggregation (vecagg.go) and ORDER BY over ID
+// rows (vecSelect). Steps outside it — property paths, MINUS, BIND,
+// EXISTS, subqueries, VALUES, GRAPH — run unchanged as the tuple
+// suffix, so the two paths always agree on semantics; only the prefix
+// is accelerated.
 //
 // ID semantics make this sound: the dictionary is bijective on
 // Term.Key(), so ID equality is exactly the Key-equality the tuple
@@ -31,9 +36,11 @@ import (
 // value semantics (Integer(5) = Float(5.0) holds across distinct IDs).
 
 // colbatch is a batch of solutions in columnar (struct-of-arrays)
-// form: one ID column per schema variable, row-aligned. IDs are always
-// valid (scans and joins only ever bind real terms), so 0 never
-// appears in a column.
+// form: one ID column per schema variable, row-aligned. Scans and
+// joins only ever bind real terms, so their columns hold valid IDs;
+// columns introduced under OPTIONAL or absent from a UNION branch are
+// nullable and hold rdf.Unbound (0) on rows where the variable has no
+// binding (the plan's nullable mask records which columns may).
 type colbatch struct {
 	cols [][]rdf.ID
 	n    int
@@ -71,6 +78,9 @@ type decoder struct {
 }
 
 func (d *decoder) term(id rdf.ID) rdf.Term {
+	if id == rdf.Unbound {
+		return nil
+	}
 	if int(id) < len(d.terms) {
 		if t := d.terms[id]; t != nil {
 			return t
@@ -156,7 +166,7 @@ func (s *vecScan) push(c *evalCtx, pl *vecPlan, _ *colbatch, yield vecSink) erro
 	}
 	sid, pid, oid := s.pat.probe(nil, 0)
 	var ierr error
-	c.graph.MatchIDs(c.matchCtx(), sid, pid, oid, pl.bs, func(ss, pp, oo []rdf.ID) bool {
+	c.graph.MatchIDs(c.matchCtx(), sid, pid, oid, pl.ebs, func(ss, pp, oo []rdf.ID) bool {
 		cols := [3][]rdf.ID{ss, pp, oo}
 		b := &s.out
 		if !s.eqs {
@@ -229,7 +239,7 @@ func (j *vecJoin) push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) err
 				out.cols[k] = append(out.cols[k], in.cols[k][r])
 			}
 			out.n++
-			if out.n >= pl.bs {
+			if out.n >= pl.ebs {
 				if err := out.flushTo(yield); err != nil {
 					return err
 				}
@@ -261,7 +271,7 @@ func (j *vecJoin) push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) err
 				}
 			}
 			out.n++
-			if out.n >= pl.bs {
+			if out.n >= pl.ebs {
 				if err := out.flushTo(yield); err != nil {
 					return err
 				}
@@ -347,8 +357,15 @@ func compileVecExpr(x sparql.Expression, colOf map[string]int) (vecExpr, bool) {
 		if !ok {
 			return nil, false
 		}
+		name := v.Name
 		return func(e *vecEval) (rdf.Term, error) {
-			return e.pl.dec.term(e.b.cols[col][e.row]), nil
+			id := e.b.cols[col][e.row]
+			if id == rdf.Unbound {
+				// Mirror eval.go: an unbound variable is an expression
+				// error (a FILTER collapses it to false, §3.6).
+				return nil, errf("unbound variable ?%s", name)
+			}
+			return e.pl.dec.term(id), nil
 		}, true
 	case sparql.ELit:
 		t := v.Term
@@ -519,6 +536,205 @@ func vecOperands(l, r vecExpr, e *vecEval) (lv, rv rdf.Term, err error) {
 	return lv, rv, nil
 }
 
+// --- optional: left-outer batch join ---
+
+// vecOptional lowers OPTIONAL { pattern [FILTER...] }: every input row
+// is probed like a join; matching candidates (that pass the
+// OPTIONAL-local filters) extend the row, and a row with no surviving
+// candidate is emitted once with rdf.Unbound in each column the
+// OPTIONAL introduces. The filters must run inside the operator — a
+// candidate rejected by them still leaves the left row eligible for
+// the unbound emission, exactly like the tuple optionalStep running
+// its group's filter steps.
+type vecOptional struct {
+	pat   vecPattern
+	inW   int // input schema width (columns copied through)
+	nNew  int // variables the OPTIONAL introduces (nullable columns)
+	conds []sparql.Expression
+	fns   []vecExpr
+	ev    vecEval // reused per candidate so evaluation allocates nothing
+	out   colbatch
+	tb    rdf.TripleBatch
+}
+
+func (o *vecOptional) pattern() *vecPattern { return &o.pat }
+func (o *vecOptional) describe() (string, string) {
+	detail := o.pat.text
+	if n := len(o.conds); n > 0 {
+		detail += fmt.Sprintf(" + %d filter(s)", n)
+	}
+	return "vec optional", detail
+}
+
+func (o *vecOptional) push(c *evalCtx, pl *vecPlan, in *colbatch, yield vecSink) error {
+	out := &o.out
+	o.ev.pl = pl
+	dead := o.pat.dead()
+	for r := 0; r < in.n; r++ {
+		matched := false
+		if !dead {
+			s, p, ob := o.pat.probe(in, r)
+			o.tb.Reset()
+			c.graph.MatchAppend(s, p, ob, &o.tb)
+			tcols := [3][]rdf.ID{o.tb.S, o.tb.P, o.tb.O}
+			for m := 0; m < o.tb.Len(); m++ {
+				ok := true
+				for i := 0; i < 3; i++ {
+					if eq := o.pat.pos[i].eqPos; eq >= 0 && tcols[i][m] != tcols[eq][m] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				// Tentatively append the full output row, evaluate the
+				// OPTIONAL-local filters against it in place, and truncate
+				// it back off on rejection.
+				row := out.n
+				for k := 0; k < o.inW; k++ {
+					out.cols[k] = append(out.cols[k], in.cols[k][r])
+				}
+				for i := 0; i < 3; i++ {
+					if oc := o.pat.pos[i].outCol; oc >= 0 {
+						out.cols[oc] = append(out.cols[oc], tcols[i][m])
+					}
+				}
+				keep := true
+				if len(o.fns) > 0 {
+					o.ev.b = out
+					o.ev.row = row
+					for _, fn := range o.fns {
+						t, err := fn(&o.ev)
+						if err == nil {
+							var bv bool
+							bv, err = EBV(t)
+							keep = err == nil && bv
+						}
+						if err != nil {
+							if _, isExpr := err.(*exprError); !isExpr {
+								return err
+							}
+							keep = false // expression error -> filter false (§3.6)
+						}
+						if !keep {
+							break
+						}
+					}
+				}
+				if !keep {
+					for k := range out.cols {
+						out.cols[k] = out.cols[k][:row]
+					}
+					continue
+				}
+				out.n++
+				matched = true
+				if out.n >= pl.ebs {
+					if err := out.flushTo(yield); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !matched {
+			for k := 0; k < o.inW; k++ {
+				out.cols[k] = append(out.cols[k], in.cols[k][r])
+			}
+			for k := o.inW; k < o.inW+o.nNew; k++ {
+				out.cols[k] = append(out.cols[k], rdf.Unbound)
+			}
+			out.n++
+			if out.n >= pl.ebs {
+				if err := out.flushTo(yield); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return out.flushTo(yield)
+}
+
+// --- union: branch pipelines concatenated onto one aligned schema ---
+
+// vecUnionBranch is one branch's private pipeline plus the mapping
+// from the union's output schema to the branch's columns (-1 = the
+// branch does not bind the variable; the cell is padded rdf.Unbound).
+type vecUnionBranch struct {
+	ops   []vecOp
+	srcOf []int
+	opTr  []*vecOpTrace // parallel to ops; nil when untraced
+}
+
+// vecUnion runs at the root of a plan: each branch's fully-vectorized
+// pipeline executes in turn, and its batches are re-mapped onto the
+// union schema (the ordered union of the branch schemas) and
+// concatenated.
+type vecUnion struct {
+	branches []vecUnionBranch
+	out      colbatch
+}
+
+func (u *vecUnion) pattern() *vecPattern { return nil }
+func (u *vecUnion) describe() (string, string) {
+	return "vec union", fmt.Sprintf("%d branches", len(u.branches))
+}
+
+func (u *vecUnion) push(c *evalCtx, pl *vecPlan, _ *colbatch, yield vecSink) error {
+	out := &u.out
+	for bi := range u.branches {
+		br := &u.branches[bi]
+		final := func(b *colbatch) error {
+			for r := 0; r < b.n; r++ {
+				for ci, src := range br.srcOf {
+					if src >= 0 {
+						out.cols[ci] = append(out.cols[ci], b.cols[src][r])
+					} else {
+						out.cols[ci] = append(out.cols[ci], rdf.Unbound)
+					}
+				}
+				out.n++
+				if out.n >= pl.ebs {
+					if err := out.flushTo(yield); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		// Chain the branch ops like run() chains the top-level ones,
+		// with the same per-output guard accounting.
+		sinks := make([]vecSink, len(br.ops))
+		for i := len(br.ops) - 1; i >= 0; i-- {
+			i := i
+			var next vecSink
+			if i+1 < len(br.ops) {
+				nextOp := br.ops[i+1]
+				nextOut := sinks[i+1]
+				next = func(b *colbatch) error { return nextOp.push(c, pl, b, nextOut) }
+			}
+			tr := br.opTr
+			sinks[i] = func(b *colbatch) error {
+				if err := c.guard.batch(b.n); err != nil {
+					return err
+				}
+				if tr != nil && tr[i] != nil {
+					tr[i].batches++
+					tr[i].rows += int64(b.n)
+				}
+				if next == nil {
+					return final(b)
+				}
+				return next(b)
+			}
+		}
+		if err := br.ops[0].push(c, pl, nil, sinks[0]); err != nil {
+			return err
+		}
+	}
+	return out.flushTo(yield)
+}
+
 // --- plan ---
 
 // vecPlan is the vectorized prefix of one compiled group: the vec
@@ -538,6 +754,27 @@ type vecPlan struct {
 	bs      int
 	dec     decoder
 
+	// nullable is schema-aligned: true when the column may hold
+	// rdf.Unbound (it was introduced under OPTIONAL, or is absent from —
+	// or nullable within — a UNION branch). Later patterns refuse to
+	// probe nullable columns (0 would act as a wildcard, not a join).
+	nullable []bool
+
+	// subPats are patterns living inside composite operators (UNION
+	// branch pipelines) rather than in ops directly; refresh re-resolves
+	// their constants too.
+	subPats []*vecPattern
+
+	// ebs is the effective batch size of the current run: bs, clamped
+	// down when the caller has a small row budget (a LIMIT already
+	// satisfied downstream must not materialize — and be guard-charged
+	// for — a full batch it will never read).
+	ebs int
+
+	// nums memoizes per-ID numeric coercion for batch aggregation; it
+	// fronts the graph-level cache with plan-local (lock-free) slices.
+	nums vecNumCache
+
 	// Constant-term IDs are baked in at compile; gen records the graph
 	// generation they were resolved at, and run() re-resolves them when
 	// the graph has mutated since — a plan never probes stale IDs.
@@ -546,21 +783,26 @@ type vecPlan struct {
 	busy  bool
 }
 
+func refreshPat(g *rdf.Graph, pat *vecPattern) {
+	for i := range pat.pos {
+		if pat.pos[i].constTerm != nil {
+			pat.pos[i].constID, _ = g.Lookup(pat.pos[i].constTerm)
+		}
+	}
+}
+
 func (pl *vecPlan) refresh(g *rdf.Graph) {
 	gen := g.Generation()
 	if pl.fresh && gen == pl.gen {
 		return
 	}
 	for _, op := range pl.ops {
-		pat := op.pattern()
-		if pat == nil {
-			continue
+		if pat := op.pattern(); pat != nil {
+			refreshPat(g, pat)
 		}
-		for i := range pat.pos {
-			if pat.pos[i].constTerm != nil {
-				pat.pos[i].constID, _ = g.Lookup(pat.pos[i].constTerm)
-			}
-		}
+	}
+	for _, pat := range pl.subPats {
+		refreshPat(g, pat)
 	}
 	pl.gen = gen
 	pl.fresh = true
@@ -571,9 +813,22 @@ func (pl *vecPlan) refresh(g *rdf.Graph) {
 // per emitted candidate on the tuple path), and the context is polled
 // at the same boundaries.
 func (pl *vecPlan) run(c *evalCtx, final vecSink) error {
+	return pl.runWithBudget(c, -1, final)
+}
+
+// runWithBudget is run with a downstream row budget: when the caller
+// will stop after at most `budget` rows (a pushed-down LIMIT), batches
+// are clamped to that size so the pipeline neither materializes nor
+// guard-charges rows the consumer will never read. budget <= 0 means
+// unbounded.
+func (pl *vecPlan) runWithBudget(c *evalCtx, budget int, final vecSink) error {
 	pl.busy = true
 	defer func() { pl.busy = false }()
 	pl.refresh(c.graph)
+	pl.ebs = pl.bs
+	if budget > 0 && budget < pl.bs {
+		pl.ebs = budget
+	}
 
 	var batches, rows int64
 	// Build the sink chain once per run: outs[i] is where op i pushes
@@ -644,9 +899,12 @@ func (c *evalCtx) vecPlanFor(g *sparql.Group) *vecPlan {
 // IRI or variable (property paths stay on the tuple path); its
 // patterns are cost-ordered once against the schema bound so far,
 // matching the order the tuple path would pick for the first binding.
-// A filter vectorizes when compileVecExpr supports its condition. The
-// first unsupported step ends the prefix; it and everything after run
-// as tuple steps over decoded bindings.
+// A filter vectorizes when compileVecExpr supports its condition. An
+// OPTIONAL vectorizes when its body is a single plain pattern plus
+// supported filters; a UNION at the start of the group vectorizes when
+// every branch vectorizes completely. The first unsupported step ends
+// the prefix; it and everything after run as tuple steps over decoded
+// bindings.
 func (c *evalCtx) buildVecPlan(g *sparql.Group, bs int) *vecPlan {
 	steps := c.compiledSteps(g)
 	pl := &vecPlan{group: g, bs: bs, dec: decoder{g: c.graph}}
@@ -664,6 +922,12 @@ loop:
 				switch tp.Path.(type) {
 				case sparql.PathIRI, sparql.PathVar:
 				default:
+					break loop
+				}
+				// A pattern may not probe a nullable column: 0 in a
+				// probe position acts as a wildcard, not as "join with
+				// an unbound variable" — end the prefix instead.
+				if pl.refsNullable(tp, colOf) {
 					break loop
 				}
 			}
@@ -687,6 +951,17 @@ loop:
 				break loop
 			}
 			pl.ops = append(pl.ops, &vecFilter{cond: v.cond, fn: fn})
+		case *optionalStep:
+			if len(pl.ops) == 0 || !c.lowerOptional(pl, v.group, colOf) {
+				break loop
+			}
+		case *unionStep:
+			// Only at the root: a union over an existing prefix would be
+			// a correlated join against every branch, which the branch
+			// pipelines (built uncorrelated) cannot express.
+			if len(pl.ops) != 0 || !c.lowerUnion(pl, v.branches, colOf) {
+				break loop
+			}
 		default:
 			break loop
 		}
@@ -700,11 +975,22 @@ loop:
 	return pl
 }
 
-// addPattern lowers one triple pattern to a scan (first op) or join,
-// growing the plan schema with the pattern's new variables.
-func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
-	inW := len(pl.schema)
-	var pat vecPattern
+// refsNullable reports whether a pattern references (and would
+// therefore probe) a schema column that may hold the unbound sentinel.
+func (pl *vecPlan) refsNullable(tp sparql.TriplePattern, colOf map[string]int) bool {
+	for _, name := range patternVars(tp) {
+		if col, ok := colOf[name]; ok && pl.nullable[col] {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerPattern computes the vecPos layout of one triple pattern
+// against the current schema, appending the pattern's new variables to
+// the schema (as non-nullable; the caller adjusts). added lists the
+// appended names so a caller that fails later can roll them back.
+func (pl *vecPlan) lowerPattern(tp sparql.TriplePattern, colOf map[string]int) (pat vecPattern, nNew int, eqs bool, added []string) {
 	pat.text = tp.String()
 	for i := range pat.pos {
 		pat.pos[i] = vecPos{inCol: -1, outCol: -1, eqPos: -1}
@@ -730,7 +1016,6 @@ func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
 	}
 
 	firstOf := map[string]int{}
-	nNew, eqs := 0, false
 	for i := 0; i < 3; i++ {
 		if consts[i] != nil {
 			pat.pos[i].constTerm = consts[i]
@@ -753,9 +1038,18 @@ func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
 		pat.pos[i].outCol = len(pl.schema)
 		colOf[name] = len(pl.schema)
 		pl.schema = append(pl.schema, name)
+		pl.nullable = append(pl.nullable, false)
+		added = append(added, name)
 		nNew++
 	}
+	return pat, nNew, eqs, added
+}
 
+// addPattern lowers one triple pattern to a scan (first op) or join,
+// growing the plan schema with the pattern's new variables.
+func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
+	inW := len(pl.schema)
+	pat, nNew, eqs, _ := pl.lowerPattern(tp, colOf)
 	width := len(pl.schema)
 	if len(pl.ops) == 0 {
 		op := &vecScan{pat: pat, eqs: eqs}
@@ -776,21 +1070,164 @@ func (pl *vecPlan) addPattern(tp sparql.TriplePattern, colOf map[string]int) {
 	pl.ops = append(pl.ops, op)
 }
 
+// lowerOptional lowers OPTIONAL { body } onto the plan when the body
+// is one BGP with a single plain-path pattern plus any number of
+// filters compileVecExpr supports, and the pattern does not probe a
+// nullable column. On failure the plan is left exactly as it was and
+// the caller ends the prefix (the tuple optionalStep handles it).
+func (c *evalCtx) lowerOptional(pl *vecPlan, g *sparql.Group, colOf map[string]int) bool {
+	var pats []sparql.TriplePattern
+	var conds []sparql.Expression
+	for _, st := range c.compiledSteps(g) {
+		inner := st
+		if ts, ok := st.(*tracedStep); ok {
+			inner = ts.inner
+		}
+		switch v := inner.(type) {
+		case *bgpStep:
+			pats = append(pats, v.patterns...)
+		case *filterStep:
+			conds = append(conds, v.cond)
+		default:
+			return false
+		}
+	}
+	if len(pats) != 1 {
+		// Multi-pattern OPTIONAL is all-or-nothing (the whole body must
+		// match), which a single left-outer probe cannot express.
+		return false
+	}
+	tp := pats[0]
+	switch tp.Path.(type) {
+	case sparql.PathIRI, sparql.PathVar:
+	default:
+		return false
+	}
+	if pl.refsNullable(tp, colOf) {
+		return false
+	}
+
+	inW := len(pl.schema)
+	pat, nNew, _, added := pl.lowerPattern(tp, colOf)
+	rollback := func() {
+		for _, name := range added {
+			delete(colOf, name)
+		}
+		pl.schema = pl.schema[:inW]
+		pl.nullable = pl.nullable[:inW]
+	}
+	var fns []vecExpr
+	for _, cond := range conds {
+		fn, ok := compileVecExpr(cond, colOf)
+		if !ok {
+			// The filter must run inside the OPTIONAL (it gates whether
+			// a candidate counts as a match); it cannot move to the
+			// tuple suffix, so the whole OPTIONAL falls back.
+			rollback()
+			return false
+		}
+		fns = append(fns, fn)
+	}
+	for i := inW; i < len(pl.schema); i++ {
+		pl.nullable[i] = true
+	}
+	op := &vecOptional{pat: pat, inW: inW, nNew: nNew, conds: conds, fns: fns}
+	op.out.cols = make([][]rdf.ID, len(pl.schema))
+	for i := range op.out.cols {
+		op.out.cols[i] = make([]rdf.ID, 0, pl.bs)
+	}
+	pl.ops = append(pl.ops, op)
+	return true
+}
+
+// lowerUnion lowers { A } UNION { B } ... at the root of the plan when
+// every branch compiles to a complete vectorized pipeline (no tuple
+// suffix). The union schema is the ordered union of the branch
+// schemas; a variable missing from any branch — or nullable inside one
+// — is nullable in the union.
+func (c *evalCtx) lowerUnion(pl *vecPlan, branches []*sparql.Group, colOf map[string]int) bool {
+	brPlans := make([]*vecPlan, 0, len(branches))
+	for _, br := range branches {
+		bp := c.buildVecPlan(br, pl.bs)
+		if bp == nil || len(bp.rest) != 0 {
+			return false
+		}
+		brPlans = append(brPlans, bp)
+	}
+	u := &vecUnion{}
+	for _, bp := range brPlans {
+		for _, name := range bp.schema {
+			if _, ok := colOf[name]; !ok {
+				colOf[name] = len(pl.schema)
+				pl.schema = append(pl.schema, name)
+				pl.nullable = append(pl.nullable, false)
+			}
+		}
+	}
+	for ci, name := range pl.schema {
+		for _, bp := range brPlans {
+			bc := -1
+			for j, s := range bp.schema {
+				if s == name {
+					bc = j
+					break
+				}
+			}
+			if bc < 0 || bp.nullable[bc] {
+				pl.nullable[ci] = true
+				break
+			}
+		}
+	}
+	for _, bp := range brPlans {
+		srcOf := make([]int, len(pl.schema))
+		for ci, name := range pl.schema {
+			srcOf[ci] = -1
+			for j, s := range bp.schema {
+				if s == name {
+					srcOf[ci] = j
+					break
+				}
+			}
+		}
+		u.branches = append(u.branches, vecUnionBranch{ops: bp.ops, srcOf: srcOf})
+		// The branch pipelines run under the outer plan; their constants
+		// refresh through the outer plan's subPats walk.
+		for _, op := range bp.ops {
+			if pat := op.pattern(); pat != nil {
+				pl.subPats = append(pl.subPats, pat)
+			}
+		}
+		pl.subPats = append(pl.subPats, bp.subPats...)
+	}
+	u.out.cols = make([][]rdf.ID, len(pl.schema))
+	for i := range u.out.cols {
+		u.out.cols[i] = make([]rdf.ID, 0, pl.bs)
+	}
+	pl.ops = append(pl.ops, u)
+	return true
+}
+
 // vecWhere runs the hybrid path for whereSolutions: the vectorized
 // prefix enumerates ID batches, each row is decoded to a Binding at
-// the bridge, and the remaining tuple steps (OPTIONAL, paths, BIND, …)
-// run on it unchanged. Returns handled=false when the group has no
+// the bridge, and the remaining tuple steps (paths, BIND, …) run on it
+// unchanged. budget is the downstream row budget (a pushed-down LIMIT;
+// <= 0 = unbounded): batches are clamped to it so a satisfied LIMIT
+// stops the pipeline without materializing — or guard-charging — the
+// rest of a full batch. Returns handled=false when the group has no
 // vectorized plan (caller falls back to the pure tuple path).
-func (c *evalCtx) vecWhere(g *sparql.Group, yield func(Binding) error) (bool, error) {
+func (c *evalCtx) vecWhere(g *sparql.Group, budget int, yield func(Binding) error) (bool, error) {
 	pl := c.vecPlanFor(g)
 	if pl == nil || pl.busy {
 		return false, nil
 	}
-	err := pl.run(c, func(b *colbatch) error {
+	err := pl.runWithBudget(c, budget, func(b *colbatch) error {
 		for r := 0; r < b.n; r++ {
 			bind := make(Binding, len(pl.schema))
 			for i, name := range pl.schema {
-				bind[name] = pl.dec.term(b.cols[i][r])
+				if id := b.cols[i][r]; id != rdf.Unbound {
+					bind[name] = pl.dec.term(id)
+				}
 			}
 			if err := runSteps(c, pl.rest, 0, bind, yield); err != nil {
 				return err
@@ -804,10 +1241,13 @@ func (c *evalCtx) vecWhere(g *sparql.Group, yield func(Binding) error) (bool, er
 // vecSelect is the fully-columnar SELECT fast path: the entire WHERE
 // clause runs vectorized (no tuple suffix) and the projection is plain
 // variables (or *), so solutions never materialize as Bindings —
-// DISTINCT, the incremental row cap, and LIMIT pushdown operate on ID
-// rows, and only surviving rows decode to terms. Returns ok=false when
-// any SELECT pipeline stage below would behave differently, and the
-// caller runs the regular path.
+// DISTINCT, ORDER BY, the incremental row cap, and LIMIT pushdown
+// operate on ID rows, and only surviving rows decode to terms. ORDER
+// BY sorts row indices over ID-resident keys (each distinct ID decodes
+// once through the plan decoder), and ORDER BY + LIMIT pushes down
+// into a bounded top-K heap. Returns ok=false when any SELECT pipeline
+// stage below would behave differently, and the caller runs the
+// regular path.
 func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bool, error) {
 	pl := c.vecPlanFor(q.Where)
 	if pl == nil || pl.busy || len(pl.rest) != 0 {
@@ -817,6 +1257,16 @@ func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bo
 	// Projection columns. colIdx -1 = variable absent from the schema
 	// (projected but never bound — nil cells, like the tuple path).
 	star := q.Star || len(q.Items) == 0
+	if star {
+		// SELECT * discovers variables from the solutions on the tuple
+		// path, omitting one that is never bound; with nullable columns
+		// the two could diverge — decline and take the hybrid path.
+		for _, nb := range pl.nullable {
+			if nb {
+				return nil, false, nil
+			}
+		}
+	}
 	var vars []string
 	var colIdx []int
 	if star {
@@ -845,27 +1295,131 @@ func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bo
 		}
 	}
 
-	// LIMIT pushdown: no ORDER BY/HAVING here by construction, and with
-	// DISTINCT the dedup happens before accumulation, so the stream can
-	// stop at OFFSET+LIMIT surviving rows in every vecSelect query.
+	// ORDER BY lowering: every criterion must be a plain variable, so
+	// the sort keys stay ID-resident. A key that is not projected gets
+	// an extra slot in the materialized row; with DISTINCT such hidden
+	// keys could make dedup order-sensitive, so that combination
+	// declines. A criterion over a never-bound variable compares equal
+	// everywhere and is dropped.
+	type sortCond struct {
+		pos  int
+		desc bool
+	}
+	var sortConds []sortCond
+	rowW := len(colIdx)
+	ordered := len(q.OrderBy) > 0
+	for _, oc := range q.OrderBy {
+		ev, ok := oc.Expr.(sparql.EVar)
+		if !ok {
+			return nil, false, nil
+		}
+		sc := -1
+		for j, s := range pl.schema {
+			if s == ev.Name {
+				sc = j
+				break
+			}
+		}
+		if sc < 0 {
+			continue
+		}
+		pos := -1
+		for i, ci := range colIdx {
+			if ci == sc {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			if q.Distinct {
+				return nil, false, nil
+			}
+			pos = rowW
+			rowW++
+			colIdx = append(colIdx, sc) // hidden sort slot
+		}
+		sortConds = append(sortConds, sortCond{pos: pos, desc: oc.Desc})
+	}
+	nProj := len(vars)
+
+	// LIMIT pushdown: without ORDER BY the stream can stop at
+	// OFFSET+LIMIT surviving rows (with DISTINCT the dedup happens
+	// before accumulation). With ORDER BY every row must be seen, but
+	// ORDER BY + LIMIT keeps only a bounded top-K heap of rows when the
+	// bound fits under the engine's VecTopK knob.
 	stopAt := -1
-	if q.Limit >= 0 {
+	if q.Limit >= 0 && !ordered {
 		stopAt = q.Offset + q.Limit
 	}
+	budget := -1
+	if stopAt >= 0 && !q.Distinct {
+		budget = stopAt
+	}
+	topK := -1
+	if ordered && q.Limit >= 0 && !q.Distinct && earlyCap < 0 {
+		if bound := q.Offset + q.Limit; bound <= c.eng.effTopK() {
+			topK = bound
+		}
+	}
 
-	var rows [][]rdf.ID
+	// Accumulated ID rows live in one flat slab, rowW IDs per row slot —
+	// no per-row allocation, pointer-free for the collector. ORDER BY
+	// works on a slot permutation; unordered queries read slots in
+	// arrival order.
+	var (
+		buf     []rdf.ID // nAcc*rowW flat row storage (+1 scratch slot with top-K)
+		seqs    []int64  // per-slot arrival sequence (ordered only)
+		order   []int    // heap / sort permutation of row slots (ordered only)
+		nAcc    int
+		seq     int64
+		scratch = -1 // slot reused for rejected top-K probes
+	)
+	if topK > 0 {
+		buf = make([]rdf.ID, (topK+1)*rowW)
+		seqs = make([]int64, topK+1)
+		order = make([]int, 0, topK)
+		scratch = topK
+	}
+	// less is a total order on row slots: the ORDER BY comparator
+	// (mirroring the tuple path: unbound first ascending, incomparable
+	// pairs tie) with the arrival sequence as the final tiebreak —
+	// sorting by it equals the tuple path's stable sort.
+	less := func(a, b int) bool {
+		pa, pb := a*rowW, b*rowW
+		for _, sc := range sortConds {
+			ia, ib := buf[pa+sc.pos], buf[pb+sc.pos]
+			if ia == ib {
+				continue // same term, or both unbound
+			}
+			if ia == rdf.Unbound {
+				return !sc.desc // errors/unbound sort first ascending
+			}
+			if ib == rdf.Unbound {
+				return sc.desc
+			}
+			cmp, err := Compare(pl.dec.term(ia), pl.dec.term(ib), false)
+			if err != nil || cmp == 0 {
+				continue
+			}
+			if sc.desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return seqs[a] < seqs[b]
+	}
 	var seen map[string]bool
 	if q.Distinct {
 		seen = map[string]bool{}
 	}
 	var keyBuf []byte
 	stopWhere := c.trace.startPhase(phaseWhere)
-	err := pl.run(c, func(b *colbatch) error {
+	err := pl.runWithBudget(c, budget, func(b *colbatch) error {
 		for r := 0; r < b.n; r++ {
 			if q.Distinct {
 				keyBuf = keyBuf[:0]
-				for _, ci := range colIdx {
-					var id rdf.ID // columns never hold 0, so 0 = unbound
+				for _, ci := range colIdx[:nProj] {
+					var id rdf.ID // nullable columns hold 0 = unbound
 					if ci >= 0 {
 						id = b.cols[ci][r]
 					}
@@ -876,17 +1430,91 @@ func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bo
 				}
 				seen[string(keyBuf)] = true
 			}
-			row := make([]rdf.ID, len(colIdx))
-			for i, ci := range colIdx {
-				if ci >= 0 {
-					row[i] = b.cols[ci][r]
+			if topK >= 0 && nAcc >= topK {
+				if topK == 0 {
+					continue
+				}
+				// Heap full: replace the max (heap root) when the new row
+				// sorts strictly before it, else drop the new row. The
+				// seq tiebreak makes this keep exactly the rows the full
+				// stable sort would. The probe writes into a scratch slot
+				// and swaps slot numbers on replacement, so rejected rows
+				// cost no allocation and no copy.
+				base := scratch * rowW
+				for i, ci := range colIdx {
+					buf[base+i] = 0
+					if ci >= 0 {
+						buf[base+i] = b.cols[ci][r]
+					}
+				}
+				seqs[scratch] = seq
+				seq++
+				if !less(scratch, order[0]) {
+					continue
+				}
+				order[0], scratch = scratch, order[0]
+				// Sift down.
+				cur := 0
+				for {
+					l, rr := 2*cur+1, 2*cur+2
+					big := cur
+					if l < len(order) && less(order[big], order[l]) {
+						big = l
+					}
+					if rr < len(order) && less(order[big], order[rr]) {
+						big = rr
+					}
+					if big == cur {
+						break
+					}
+					order[cur], order[big] = order[big], order[cur]
+					cur = big
+				}
+				continue
+			}
+			slot := nAcc
+			nAcc++
+			if topK >= 0 {
+				base := slot * rowW
+				for i, ci := range colIdx {
+					buf[base+i] = 0
+					if ci >= 0 {
+						buf[base+i] = b.cols[ci][r]
+					}
+				}
+				seqs[slot] = seq
+			} else {
+				for _, ci := range colIdx {
+					var id rdf.ID
+					if ci >= 0 {
+						id = b.cols[ci][r]
+					}
+					buf = append(buf, id)
+				}
+				if ordered {
+					seqs = append(seqs, seq)
 				}
 			}
-			rows = append(rows, row)
-			if earlyCap >= 0 && len(rows) > earlyCap {
+			seq++
+			if ordered {
+				order = append(order, slot)
+				if topK >= 0 {
+					// Sift up: keep the max at the root.
+					cur := len(order) - 1
+					for cur > 0 {
+						parent := (cur - 1) / 2
+						if !less(order[parent], order[cur]) {
+							break
+						}
+						order[parent], order[cur] = order[cur], order[parent]
+						cur = parent
+					}
+				}
+			}
+			if earlyCap >= 0 && nAcc > earlyCap {
 				return errResultRows(rowCap)
 			}
-			if stopAt >= 0 && len(rows) >= stopAt {
+			if stopAt >= 0 && nAcc >= stopAt {
 				return errStop
 			}
 		}
@@ -897,27 +1525,58 @@ func (c *evalCtx) vecSelect(q *sparql.Query, rowCap, earlyCap int) (*Results, bo
 		return nil, true, err
 	}
 
-	// OFFSET / LIMIT over ID rows, then decode only the survivors.
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[q.Offset:]
+	if ordered {
+		stopSort := c.trace.startPhase(phaseSort)
+		sort.Slice(order, func(i, j int) bool { return less(order[i], order[j]) })
+		stopSort()
+		c.eng.vecSortQueries.Add(1)
+		if topK >= 0 {
+			c.eng.vecTopKQueries.Add(1)
+		}
+		if c.trace != nil {
+			c.trace.vecSortRows += int64(len(order))
+			if topK >= 0 {
+				c.trace.vecSortTopK = int64(topK)
+			}
 		}
 	}
-	if q.Limit >= 0 && len(rows) > q.Limit {
-		rows = rows[:q.Limit]
+
+	// OFFSET / LIMIT over ID row slots, then decode only the survivors.
+	nOut := nAcc
+	if ordered {
+		nOut = len(order)
+	}
+	start := 0
+	if q.Offset > 0 {
+		start = q.Offset
+		if start > nOut {
+			start = nOut
+		}
+	}
+	if q.Limit >= 0 && nOut-start > q.Limit {
+		nOut = start + q.Limit
 	}
 	res := &Results{Vars: vars, Form: sparql.FormSelect}
 	stopProj := c.trace.startPhase(phaseProj)
-	for _, r := range rows {
-		cells := make([]rdf.Term, len(r))
-		for i, id := range r {
-			if id != 0 {
-				cells[i] = pl.dec.term(id)
+	if nOut > start {
+		// One term slab for the whole result set; each row is a subslice.
+		flat := make([]rdf.Term, (nOut-start)*nProj)
+		res.Rows = make([][]rdf.Term, 0, nOut-start)
+		for k := start; k < nOut; k++ {
+			slot := k
+			if ordered {
+				slot = order[k]
 			}
+			base := slot * rowW
+			cells := flat[:nProj:nProj]
+			flat = flat[nProj:]
+			for i := 0; i < nProj; i++ {
+				if id := buf[base+i]; id != rdf.Unbound {
+					cells[i] = pl.dec.term(id)
+				}
+			}
+			res.Rows = append(res.Rows, cells)
 		}
-		res.Rows = append(res.Rows, cells)
 	}
 	stopProj()
 	// SELECT * over zero solutions reports no variables on the tuple

@@ -49,8 +49,8 @@ type Report struct {
 	Cells            []Cell `json:"cells"`
 }
 
-// BuildReport measures experiments 1, 8, 9 and 10 and assembles the
-// JSON report (the caller stamps GeneratedAt).
+// BuildReport measures experiments 1, 8, 9, 10 and 11 and assembles
+// the JSON report (the caller stamps GeneratedAt).
 func BuildReport(o Options) (*Report, error) {
 	e1, err := E1Report(o)
 	if err != nil {
@@ -68,6 +68,10 @@ func BuildReport(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	e11, err := E11Report(o)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
 		RTTNanos:         int64(o.RoundTripDelay),
 		FileLatencyNanos: int64(o.FileLatency),
@@ -77,7 +81,7 @@ func BuildReport(o Options) (*Report, error) {
 		NumArrays:        o.Workload.NumArrays,
 		Iters:            o.Iters,
 		MaxParallelism:   storage.MaxParallelism,
-		Cells:            append(append(append(e1, e8...), e9...), e10...),
+		Cells:            append(append(append(append(e1, e8...), e9...), e10...), e11...),
 	}, nil
 }
 

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"scisparql/internal/engine"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Experiment 11: full-pipeline vectorization vs the tuple path on the
+// SP²Bench query shapes PR 7 could not batch — OPTIONAL (Q2's
+// left-outer abstract lookup), UNION (Q4/Q5-style branch merges),
+// GROUP BY aggregation and ORDER BY + LIMIT. Same contract as E9:
+// every timed query runs on both executors over the same dataset and
+// the result sets are verified identical before any number is
+// reported.
+
+// vecPipelineQueries is the E11 workload. Each query's relational
+// pipeline now runs entirely batch-at-a-time: left-outer probes,
+// branch concatenation, ID-keyed grouping and ID-resident sort keys.
+var vecPipelineQueries = []struct{ name, text string }{
+	// SP²Bench Q2 shape: wide scan with an OPTIONAL property that only
+	// a third of the documents carry, ordered output.
+	{"optional-abstract", `PREFIX b: <http://bench/> SELECT ?d ?y ?abs WHERE {
+		?d b:type b:Article . ?d b:year ?y OPTIONAL { ?d b:abstract ?abs } } ORDER BY ?y`},
+	// Q4/Q5 shape: union of two labelled entity kinds (articles by
+	// title, authors by name), then a join on the shared variable so the
+	// batch path's hash probe runs against the concatenated branches.
+	{"union-labels", `PREFIX b: <http://bench/> SELECT ?x ?n ?t WHERE {
+		{ ?x b:title ?n } UNION { ?x b:name ?n } . ?x b:type ?t }`},
+	// Aggregation: per-journal document counts and mean year with a
+	// HAVING cut, folded batch-natively over ID columns.
+	{"group-journal", `PREFIX b: <http://bench/> SELECT ?j (COUNT(?d) AS ?n) (AVG(?y) AS ?avg) WHERE {
+		?d b:journal ?j . ?d b:year ?y } GROUP BY ?j HAVING (COUNT(?d) > 10)`},
+	// ORDER BY DESC + LIMIT: the bounded top-K heap vs the tuple path's
+	// full materialize-and-sort.
+	{"topk-recent", `PREFIX b: <http://bench/> SELECT ?d ?y WHERE {
+		?d b:type b:Article . ?d b:year ?y } ORDER BY DESC(?y) LIMIT 10`},
+}
+
+// e11Dataset is the E9 bibliographic graph plus abstracts on every
+// third document, so the OPTIONAL probe has both hits and misses.
+func e11Dataset(docs int) *rdf.Dataset {
+	ds := vecDataset(docs)
+	g := ds.Default
+	abstract := rdf.IRI("http://bench/abstract")
+	for d := 0; d < docs; d += 3 {
+		g.Add(rdf.IRI(fmt.Sprintf("http://bench/doc%d", d)), abstract,
+			rdf.String{Val: fmt.Sprintf("Abstract of doc %d", d)})
+	}
+	return ds
+}
+
+// E11Report measures the tuple-vs-batch comparison on the OPTIONAL/
+// UNION/aggregation/ORDER BY workload and returns its cells (Config
+// "tuple" / "batch"; SpeedupVs1 on the batch cell is the
+// batch-over-tuple throughput ratio).
+func E11Report(o Options) ([]Cell, error) {
+	docs := o.VecDocs
+	if docs <= 0 {
+		docs = 1000
+	}
+	ds := e11Dataset(docs)
+	tuple := engine.New(ds)
+	tuple.BatchSize = -1
+	batch := engine.New(ds)
+	batch.BatchSize = o.BatchSize // 0 = engine default (1024)
+
+	var cells []Cell
+	for _, bq := range vecPipelineQueries {
+		q, err := sparql.ParseQuery(bq.text)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s: %v", bq.name, err)
+		}
+		tn, tres, err := timeQuery(tuple, q, o.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s (tuple): %v", bq.name, err)
+		}
+		bn, bres, err := timeQuery(batch, q, o.Iters)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s (batch): %v", bq.name, err)
+		}
+		// Result-set equivalence is part of the experiment contract: a
+		// speedup over a wrong answer is not a speedup.
+		tc, bc := canonResult(tres), canonResult(bres)
+		if len(tc) != len(bc) {
+			return nil, fmt.Errorf("E11 %s: tuple %d rows, batch %d rows", bq.name, len(tc), len(bc))
+		}
+		for i := range tc {
+			if tc[i] != bc[i] {
+				return nil, fmt.Errorf("E11 %s: result sets diverge at row %d", bq.name, i)
+			}
+		}
+		cells = append(cells,
+			Cell{Experiment: "E11", Pattern: bq.name, Config: "tuple", NanosPerQ: tn},
+			Cell{Experiment: "E11", Pattern: bq.name, Config: "batch", NanosPerQ: bn,
+				SpeedupVs1: float64(tn) / float64(bn)})
+	}
+	return cells, nil
+}
+
+// E11 prints the full-pipeline vectorization comparison table.
+func E11(w io.Writer, o Options) error {
+	docs := o.VecDocs
+	if docs <= 0 {
+		docs = 1000
+	}
+	fmt.Fprintf(w, "Experiment 11: batch-native OPTIONAL/UNION/aggregation/ORDER BY vs tuple path (SP²Bench-shaped, %d docs, best of %d)\n", docs, o.Iters)
+	cells, err := E11Report(o)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\ttuple\tbatch\tspeedup\trows-verified")
+	for i := 0; i+1 < len(cells); i += 2 {
+		t, b := cells[i], cells[i+1]
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%.2fx\tidentical\n",
+			t.Pattern, time.Duration(t.NanosPerQ), time.Duration(b.NanosPerQ), b.SpeedupVs1)
+	}
+	return tw.Flush()
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -97,6 +98,15 @@ func canonResult(res *engine.Results) []string {
 // (minimum) wall-clock nanos — the standard steady-state estimator for
 // in-memory microbenchmarks — plus the last result for verification.
 func timeQuery(e *engine.Engine, q *sparql.Query, iters int) (int64, *engine.Results, error) {
+	// Quiesce the collector, then run one unmeasured warmup: on small
+	// machines a cell would otherwise pay GC pacing debt left by the
+	// previous cell's garbage (a sustained bias best-of-iters cannot
+	// wash out), and the forced collection empties the sync.Pool slab
+	// caches — the warmup refills them so samples measure steady state.
+	runtime.GC()
+	if _, err := e.Query(q); err != nil {
+		return 0, nil, err
+	}
 	var best int64 = 1<<63 - 1
 	var res *engine.Results
 	for i := 0; i < iters; i++ {

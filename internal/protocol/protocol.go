@@ -137,6 +137,11 @@ type TraceInfo struct {
 	VecBatches int64 `json:"vec_batches,omitempty"`
 	VecRows    int64 `json:"vec_rows,omitempty"`
 
+	// Batch-native aggregation / vectorized ORDER BY counters.
+	VecAggGroups int64 `json:"vec_agg_groups,omitempty"`
+	VecSortRows  int64 `json:"vec_sort_rows,omitempty"`
+	VecSortTopK  int64 `json:"vec_sort_topk,omitempty"`
+
 	ChunkFetches int64 `json:"chunk_fetches"`
 	ChunkWaitNS  int64 `json:"chunk_wait_ns"`
 
@@ -175,6 +180,12 @@ type Stats struct {
 	VecQueries int64 `json:"vec_queries"`
 	VecBatches int64 `json:"vec_batches"`
 	VecRows    int64 `json:"vec_rows"`
+
+	// Batch-native aggregation and vectorized ORDER BY activity.
+	VecAggQueries  int64 `json:"vec_agg_queries"`
+	VecAggGroups   int64 `json:"vec_agg_groups"`
+	VecSortQueries int64 `json:"vec_sort_queries"`
+	VecTopKQueries int64 `json:"vec_topk_queries"`
 
 	// Write-ahead-log counters; all zero when the instance runs
 	// without a WAL (WALEnabled false).

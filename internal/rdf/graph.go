@@ -11,6 +11,14 @@ import (
 // dictionary. 0 is the invalid / wildcard ID.
 type ID uint32
 
+// Unbound is the explicit unbound-row sentinel in columnar batches: a
+// column cell holding Unbound means the variable has no binding on that
+// row (OPTIONAL left rows without a match, UNION branches missing a
+// projection). It is the same value as the Match wildcard / invalid ID,
+// which is what makes the sentinel safe — no interned term ever has
+// ID 0, so 0 in a column can only mean "unbound".
+const Unbound ID = 0
+
 // Triple is a dictionary-encoded (subject, property, value) triple.
 type Triple struct {
 	S, P, O ID
@@ -49,6 +57,11 @@ type dict struct {
 	byKey map[string]ID
 	terms atomic.Pointer[[]Term]
 	bytes atomic.Int64
+
+	// num memoizes per-ID numeric coercions (numcache.go) so batch
+	// aggregation can SUM/AVG dictionary-resident literals without
+	// re-decoding the term on every row.
+	num numCache
 }
 
 // termOverheadBytes approximates the fixed per-entry dictionary cost

@@ -1,0 +1,81 @@
+package rdf
+
+import (
+	"sync"
+
+	"scisparql/internal/array"
+)
+
+// numCache memoizes the numeric interpretation of dictionary IDs.
+// Terms are immutable and IDs are never reused, so a cached entry is
+// valid forever; the cache only ever grows, in step with the
+// dictionary. It is shared — like the dictionary itself — between a
+// live graph, its snapshots, and post-Clear states.
+//
+// The state byte distinguishes "not computed yet" from "computed,
+// not numeric" so string-heavy columns pay the coercion only once.
+type numCache struct {
+	mu    sync.RWMutex
+	state []uint8 // 0 = unknown, 1 = numeric, 2 = non-numeric
+	vals  []array.Number
+}
+
+const (
+	numUnknown uint8 = iota
+	numNumeric
+	numNot
+)
+
+// numericOf resolves the numeric value of id, consulting the cache
+// first and falling back to decoding the term through the dictionary.
+func (d *dict) numericOf(id ID) (array.Number, bool) {
+	if id == 0 {
+		return array.Number{}, false
+	}
+	c := &d.num
+	c.mu.RLock()
+	if int(id) <= len(c.state) {
+		switch c.state[id-1] {
+		case numNumeric:
+			v := c.vals[id-1]
+			c.mu.RUnlock()
+			return v, true
+		case numNot:
+			c.mu.RUnlock()
+			return array.Number{}, false
+		}
+	}
+	c.mu.RUnlock()
+
+	v, ok := Numeric(d.termOf(id))
+
+	c.mu.Lock()
+	if int(id) > len(c.state) {
+		// Grow past id with headroom so a scan over a fresh dictionary
+		// range does not reallocate per entry.
+		n := int(id) + 1024
+		if n < 2*len(c.state) {
+			n = 2 * len(c.state)
+		}
+		state := make([]uint8, n)
+		copy(state, c.state)
+		vals := make([]array.Number, n)
+		copy(vals, c.vals)
+		c.state, c.vals = state, vals
+	}
+	if ok {
+		c.state[id-1] = numNumeric
+		c.vals[id-1] = v
+	} else {
+		c.state[id-1] = numNot
+	}
+	c.mu.Unlock()
+	return v, ok
+}
+
+// NumericOf returns the cached numeric interpretation of a dictionary
+// ID (Numeric over TermOf, memoized per ID). The zero ID — the unbound
+// sentinel — is never numeric.
+func (g *Graph) NumericOf(id ID) (array.Number, bool) {
+	return g.dict.numericOf(id)
+}

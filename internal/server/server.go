@@ -334,6 +334,14 @@ func (s *Server) registerGauges(r *metrics.Registry) {
 		func() float64 { return float64(db.VecStats().Batches) })
 	r.GaugeFunc("ssdm_vec_rows_total", "Rows emitted by vectorized pipelines.",
 		func() float64 { return float64(db.VecStats().Rows) })
+	r.GaugeFunc("ssdm_vec_agg_queries_total", "Aggregations folded batch-natively over ID columns.",
+		func() float64 { return float64(db.VecStats().AggQueries) })
+	r.GaugeFunc("ssdm_vec_agg_groups_total", "Groups produced by batch-native aggregation.",
+		func() float64 { return float64(db.VecStats().AggGroups) })
+	r.GaugeFunc("ssdm_vec_sort_queries_total", "Vectorized ORDER BY sorts over ID-resident keys.",
+		func() float64 { return float64(db.VecStats().SortQueries) })
+	r.GaugeFunc("ssdm_vec_topk_queries_total", "Vectorized sorts that used the bounded top-K heap.",
+		func() float64 { return float64(db.VecStats().TopKQueries) })
 	r.GaugeFunc("ssdm_wal_appends_total", "WAL records appended (0 when running without a WAL).",
 		func() float64 { return float64(db.WALStats().Appends) })
 	r.GaugeFunc("ssdm_wal_appended_bytes_total", "WAL frame bytes appended.",
@@ -547,9 +555,13 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 			DictBytes:      dict.Bytes,
 			DictGeneration: dict.Generation,
 
-			VecQueries: vec.Queries,
-			VecBatches: vec.Batches,
-			VecRows:    vec.Rows,
+			VecQueries:     vec.Queries,
+			VecBatches:     vec.Batches,
+			VecRows:        vec.Rows,
+			VecAggQueries:  vec.AggQueries,
+			VecAggGroups:   vec.AggGroups,
+			VecSortQueries: vec.SortQueries,
+			VecTopKQueries: vec.TopKQueries,
 
 			WALEnabled:        wal.Enabled,
 			WALAppends:        wal.Appends,
@@ -588,6 +600,9 @@ func encodeTrace(tr *engine.Trace) *protocol.TraceInfo {
 		Vectorized:   tr.Vectorized,
 		VecBatches:   tr.VecBatches,
 		VecRows:      tr.VecRows,
+		VecAggGroups: tr.VecAggGroups,
+		VecSortRows:  tr.VecSortRows,
+		VecSortTopK:  tr.VecSortTopK,
 		ChunkFetches: tr.ChunkFetches,
 		ChunkWaitNS:  tr.ChunkWaitNanos,
 		Error:        tr.Error,
