@@ -12,6 +12,7 @@
 //	-exp 9   batch-at-a-time (vectorized) execution vs tuple path
 //	-exp 10  read latency under a durable (WAL group-commit) update stream
 //	-exp 11  full-pipeline vectorization: OPTIONAL/UNION/aggregation/ORDER BY
+//	-exp 12  scale-out: scatter-gather over partitioned shards
 //	-exp a1  ablation: cost-based join ordering
 //	-exp a2  ablation: sequence pattern detection
 //	-exp a3  ablation: aggregate pushdown (AAPR)
@@ -30,9 +31,9 @@
 // environment variable is the fallback when the flag is absent) and
 // -chunk-cache sets the shared chunk-cache byte budget.
 //
-// -json FILE additionally measures experiments 1, 8, 9, 10 and 11 and
-// writes their cells as a machine-readable JSON report (see
-// BENCH_pr4.json, BENCH_pr7.json and BENCH_pr8.json).
+// -json FILE additionally measures experiments 1, 8, 9, 10, 11 and 12
+// and writes their cells as a machine-readable JSON report (see
+// BENCH_pr4.json through BENCH_pr10.json).
 //
 // -metrics-addr starts the same HTTP observability listener as
 // ssdm-server (/metrics, /debug/vars, /debug/pprof/*) for profiling a
@@ -56,12 +57,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: 1..11, a1..a3, or all")
+	exp := flag.String("exp", "all", "experiment id: 1..12, a1..a3, or all")
 	rtt := flag.Duration("rtt", 200*time.Microsecond, "simulated SQL statement round trip")
-	fileLatency := flag.Duration("file-latency", 200*time.Microsecond, "simulated per-request file store latency (E8)")
+	fileLatency := flag.Duration("file-latency", 200*time.Microsecond, "simulated per-request file store latency (E8, E12)")
 	par := flag.Int("par", 0, "fetch worker pool width outside the E8 sweep (0 = GOMAXPROCS / $SSDM_PARALLELISM)")
 	chunkCache := flag.Int64("chunk-cache", 0, "shared chunk cache byte budget (0 = default, negative = unlimited)")
-	jsonOut := flag.String("json", "", "write a JSON report of experiments 1, 8, 9, 10 and 11 to this file")
+	jsonOut := flag.String("json", "", "write a JSON report of experiments 1, 8, 9, 10, 11 and 12 to this file")
 	iters := flag.Int("iters", 5, "timed iterations per cell")
 	rows := flag.Int("rows", 256, "mini-benchmark array rows")
 	cols := flag.Int("cols", 256, "mini-benchmark array cols")
@@ -132,6 +133,7 @@ func main() {
 		{"9", func() error { return experiments.E9(os.Stdout, o) }},
 		{"10", func() error { return experiments.E10(os.Stdout, o) }},
 		{"11", func() error { return experiments.E11(os.Stdout, o) }},
+		{"12", func() error { return experiments.E12(os.Stdout, o) }},
 		{"a1", func() error { return experiments.A1(os.Stdout, o) }},
 		{"a2", func() error { return experiments.A2(os.Stdout, o) }},
 		{"a3", func() error { return experiments.A3(os.Stdout, o) }},

@@ -8,6 +8,7 @@
 //	ssdm-server [-addr 127.0.0.1:7564] [-load data.ttl]...
 //	            [-http-addr 127.0.0.1:8080] [-tenants tenants.json]
 //	            [-http-max-inflight N]
+//	            [-shards addr1,addr2,...]
 //	            [-store dir | -sql single|buffer|spd]
 //	            [-query-timeout 30s] [-max-rows N] [-max-bindings N]
 //	            [-chunk-cache 64MiB] [-parallelism N] [-batch-size N]
@@ -16,6 +17,12 @@
 //	            [-log-format text|json]
 //	            [-wal-dir dir] [-wal-sync always|interval|none]
 //	            [-wal-group-ms N] [-wal-checkpoint-bytes N]
+//
+// -shards turns the instance into a scatter-gather coordinator over
+// the listed shard servers (plain ssdm-server peers): triples
+// partition by subject hash, single-subject queries and
+// COUNT/SUM/MIN/MAX aggregates push down with coordinator-side partial
+// merging, and everything else gathers. See docs/SHARDING.md.
 //
 // -store attaches a binary-file array back-end rooted at dir; -sql
 // attaches a relational back-end (embedded) with the given retrieval
@@ -73,6 +80,7 @@ import (
 	"scisparql/internal/metrics"
 	"scisparql/internal/relstore"
 	"scisparql/internal/server"
+	"scisparql/internal/shard"
 	"scisparql/internal/storage"
 	"scisparql/internal/storage/filestore"
 	"scisparql/internal/storage/relbackend"
@@ -99,6 +107,7 @@ func main() {
 	walSync := flag.String("wal-sync", "always", "WAL sync policy: always, interval or none")
 	walGroupMS := flag.Int("wal-group-ms", 2, "group-commit dwell in milliseconds (latency cap on fsync coalescing)")
 	walCkptBytes := flag.Int64("wal-checkpoint-bytes", 0, "checkpoint when the log grows past this size (0 = default 64MiB, negative = explicit only)")
+	shardAddrs := flag.String("shards", "", "comma-separated shard server addresses; this instance becomes a scatter-gather coordinator over them")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP observability listener: /metrics, /debug/vars, /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries at or above this duration (0 = disabled)")
 	logFormat := flag.String("log-format", "text", "server log format: text or json")
@@ -160,6 +169,32 @@ func main() {
 			fatalf("unknown strategy %q", *sqlStrat)
 		}
 		db.AttachBackend(rb)
+	}
+
+	// Coordinator mode: dial the shard peers and route all query and
+	// update traffic through the scatter-gather coordinator. The
+	// distributor attaches before the seed loads so -load documents are
+	// partitioned across the shards rather than held locally.
+	if *shardAddrs != "" {
+		var peers []shard.Shard
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			sh, err := shard.Dial(a)
+			if err != nil {
+				fatalf("shard %s: %v", a, err)
+			}
+			peers = append(peers, sh)
+		}
+		coord, err := shard.New(db, peers)
+		if err != nil {
+			fatalf("shards: %v", err)
+		}
+		db.SetDistributor(coord)
+		defer coord.Close()
+		logger.Info("coordinator mode", "shards", len(peers))
 	}
 
 	// The WAL is enabled after the back-end attaches (recovery

@@ -113,3 +113,9 @@ func (c *queryCache) stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Epoch: c.epoch}
 }
+
+// InvalidateQueryCache drops every compiled-query cache entry. The
+// shard coordinator calls it after applying a DEFINE statement
+// directly to the engine (bypassing runUpdate, which would otherwise
+// handle the invalidation).
+func (s *SSDM) InvalidateQueryCache() { s.qcache.invalidate() }

@@ -152,6 +152,10 @@ type SSDM struct {
 	defines     []recDefine
 	lastCkptLSN uint64
 	recovery    RecoveryInfo
+
+	// dist, when non-nil, redirects queries, updates and loads to a
+	// shard coordinator (see Distributor). Set once at startup.
+	dist Distributor
 }
 
 // Open creates an SSDM instance with default options.
@@ -211,6 +215,9 @@ func (s *SSDM) Backend() storage.Backend {
 // LoadTurtle loads a Turtle document into a graph ("" = default) and
 // runs the configured consolidations.
 func (s *SSDM) LoadTurtle(src string, graph rdf.IRI) error {
+	if s.dist != nil {
+		return s.dist.LoadTurtle(src, graph)
+	}
 	s.op.Lock()
 	defer s.op.Unlock()
 	return s.loadTurtleLocked(src, graph)
@@ -335,6 +342,9 @@ func (s *SSDM) QueryLimits(ctx context.Context, src string, lim engine.Limits) (
 	if err != nil {
 		return nil, err
 	}
+	if s.dist != nil {
+		return s.dist.Query(ctx, src, q, s.fillLimits(lim))
+	}
 	return s.Engine.QueryContext(ctx, q, s.fillLimits(lim))
 }
 
@@ -387,7 +397,15 @@ func (s *SSDM) QueryAnalyze(ctx context.Context, src string, lim engine.Limits) 
 	if err != nil {
 		return nil, nil, err
 	}
-	res, tr, err := s.Engine.QueryTraced(ctx, q, s.fillLimits(lim))
+	var (
+		res *engine.Results
+		tr  *engine.Trace
+	)
+	if s.dist != nil {
+		res, tr, err = s.dist.QueryTraced(ctx, src, q, s.fillLimits(lim))
+	} else {
+		res, tr, err = s.Engine.QueryTraced(ctx, q, s.fillLimits(lim))
+	}
 	if tr != nil {
 		tr.PlanCached = hit
 		if !hit {
@@ -500,6 +518,18 @@ func (s *SSDM) ExecuteLimits(ctx context.Context, src string, lim engine.Limits)
 		if err := engine.ContextErr(ctx); err != nil {
 			return out, err
 		}
+		if s.dist != nil {
+			if q, ok := st.(*sparql.Query); ok {
+				res, err := s.dist.Query(ctx, "", q, lim)
+				if err != nil {
+					return out, err
+				}
+				out = append(out, res)
+			} else if _, err := s.dist.Update(ctx, st, src, i, lim); err != nil {
+				return out, err
+			}
+			continue
+		}
 		switch v := st.(type) {
 		case *sparql.Query:
 			res, err := s.Engine.QueryContext(ctx, v, lim)
@@ -560,6 +590,9 @@ func (s *SSDM) UpdateLimits(ctx context.Context, src string, lim engine.Limits) 
 		return 0, err
 	}
 	lim = s.fillLimits(lim)
+	if s.dist != nil {
+		return s.dist.Update(ctx, st, src, 0, lim)
+	}
 	if ld, ok := st.(*sparql.Load); ok {
 		s.op.Lock()
 		defer s.op.Unlock()
@@ -576,6 +609,9 @@ func (s *SSDM) UpdateLimits(ctx context.Context, src string, lim engine.Limits) 
 // when it was parsed alone. Load statements route through the Turtle
 // load path like UpdateLimits does.
 func (s *SSDM) UpdateStatement(ctx context.Context, st sparql.Statement, script string, index int) (int, error) {
+	if s.dist != nil {
+		return s.dist.Update(ctx, st, script, index, s.fillLimits(engine.Limits{}))
+	}
 	if ld, ok := st.(*sparql.Load); ok {
 		s.op.Lock()
 		defer s.op.Unlock()

@@ -74,6 +74,18 @@ type Trace struct {
 	// retrieval.
 	ChunkWaitNanos int64
 
+	// Distributed execution (filled by the shard coordinator when the
+	// instance runs a sharded topology; zero otherwise). ShardMode is
+	// "pushdown" (per-shard execution, partials merged at the
+	// coordinator) or "gather" (triple-pattern masks scattered, query
+	// evaluated over the merged scratch graph). Shards is the topology
+	// size, ShardCalls the shard requests this query issued, and
+	// ShardRows the result rows / scan triples streamed back.
+	ShardMode  string
+	Shards     int
+	ShardCalls int64
+	ShardRows  int64
+
 	// Error carries the failure that ended the execution, empty on
 	// success — so a traced timeout still reports where the time went.
 	Error string
@@ -110,6 +122,10 @@ func (t *Trace) String() string {
 			fmt.Fprintf(&sb, " top-k=%d", t.VecSortTopK)
 		}
 		sb.WriteByte('\n')
+	}
+	if t.ShardMode != "" {
+		fmt.Fprintf(&sb, "distributed: mode=%s shards=%d calls=%d rows=%d\n",
+			t.ShardMode, t.Shards, t.ShardCalls, t.ShardRows)
 	}
 	if t.ChunkFetches > 0 || t.ChunkWaitNanos > 0 {
 		fmt.Fprintf(&sb, "chunks: fetched=%d wait=%v\n",

@@ -72,6 +72,10 @@ func BuildReport(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	e12, err := E12Report(o)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{
 		RTTNanos:         int64(o.RoundTripDelay),
 		FileLatencyNanos: int64(o.FileLatency),
@@ -81,7 +85,7 @@ func BuildReport(o Options) (*Report, error) {
 		NumArrays:        o.Workload.NumArrays,
 		Iters:            o.Iters,
 		MaxParallelism:   storage.MaxParallelism,
-		Cells:            append(append(append(append(e1, e8...), e9...), e10...), e11...),
+		Cells:            append(append(append(append(append(e1, e8...), e9...), e10...), e11...), e12...),
 	}, nil
 }
 

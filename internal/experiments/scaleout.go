@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"scisparql/internal/array"
+	"scisparql/internal/core"
+	"scisparql/internal/loader"
+	"scisparql/internal/rdf"
+	"scisparql/internal/shard"
+	"scisparql/internal/storage"
+	"scisparql/internal/storage/filestore"
+)
+
+// Experiment 12 — scale-out: the same latency-bound workload on one
+// node and on coordinator/shard topologies of increasing width. Every
+// deployment stores its array chunks in file back-ends charged the
+// simulated per-request latency of E8's remote-store scenario, and
+// per-node fetch pools are pinned to one worker, so the only latency
+// hiding available is the coordinator's scatter fan-out: a full-array
+// aggregate costs (chunks × latency) on one node and roughly
+// (chunks/N × latency) across N shards. Per-node fetch pools (E8)
+// compose with this — the experiment pins them to isolate the
+// topology's contribution.
+//
+// Every cell's result is checked for exact equality against the
+// single-node answer (the array values are integer-valued, so sums
+// are order-independent in float64) — a speedup that changes the
+// answer is a bug, not a result.
+
+const (
+	e12Arrays     = 32
+	e12Elems      = 8192
+	e12ChunkBytes = 4096 // 512 elements per chunk, 16 chunks per array
+	e12NS         = "http://ssdm/e12#"
+)
+
+// e12ShardCounts is the topology sweep; "single" is the baseline.
+var e12ShardCounts = []int{2, 4, 8}
+
+// e12Value generates element i of array k: deterministic and
+// integer-valued, so any summation order yields the identical float64.
+func e12Value(k, i int) float64 { return float64((k*31+i*7)%1000 + 1) }
+
+func e12Array(k int) (*rdf.IRI, []float64) {
+	subj := rdf.IRI(fmt.Sprintf("%sm%d", e12NS, k))
+	vals := make([]float64, e12Elems)
+	for i := range vals {
+		vals[i] = e12Value(k, i)
+	}
+	return &subj, vals
+}
+
+// e12Queries are the measured patterns: the full-array aggregate scan
+// (every chunk of every array) and the metadata count (no chunk I/O,
+// measuring scatter overhead). Both push down.
+var e12Queries = []struct {
+	pattern, src string
+}{
+	{"full-sum", `SELECT (SUM(asum(?a)) AS ?t) WHERE { ?s <` + e12NS + `data> ?a }`},
+	{"count-meta", `SELECT (COUNT(?s) AS ?n) WHERE { ?s <` + e12NS + `size> ?v }`},
+}
+
+// e12Deployment is one built configuration: the query entry point and
+// the graphs whose proxy caches must drop between iterations.
+type e12Deployment struct {
+	name   string
+	entry  *core.SSDM
+	graphs []*rdf.Graph
+}
+
+// e12NewDB opens one SSDM with a file store at dir charged the
+// simulated latency.
+func e12NewDB(o Options, dir string) (*core.SSDM, error) {
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = e12ChunkBytes
+	db := core.OpenWith(opts)
+	fs, err := filestore.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs.SimulatedLatency = o.FileLatency
+	db.AttachBackend(fs)
+	return db, nil
+}
+
+// e12Build constructs a deployment: n == 1 is the single node, n > 1
+// a coordinator over n local shards, with arrays placed on their
+// owner shards by the coordinator's own partitioner.
+func e12Build(o Options, n int, tag string) (*e12Deployment, error) {
+	if n == 1 {
+		db, err := e12NewDB(o, o.TempDir+"/"+tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := e12Load(db, nil, nil); err != nil {
+			return nil, err
+		}
+		return &e12Deployment{name: "single", entry: db, graphs: []*rdf.Graph{db.Dataset.Default}}, nil
+	}
+
+	node := core.Open()
+	shards := make([]shard.Shard, n)
+	dbs := make([]*core.SSDM, n)
+	graphs := make([]*rdf.Graph, n)
+	for i := 0; i < n; i++ {
+		db, err := e12NewDB(o, fmt.Sprintf("%s/%s-s%d", o.TempDir, tag, i))
+		if err != nil {
+			return nil, err
+		}
+		dbs[i] = db
+		graphs[i] = db.Dataset.Default
+		shards[i] = shard.NewLocalShard(fmt.Sprintf("shard-%d", i), db)
+	}
+	c, err := shard.New(node, shards)
+	if err != nil {
+		return nil, err
+	}
+	node.SetDistributor(c)
+	if err := e12Load(nil, dbs, c.Partitioner()); err != nil {
+		return nil, err
+	}
+	return &e12Deployment{name: fmt.Sprintf("shards-%d", n), entry: node, graphs: graphs}, nil
+}
+
+// e12Load places the dataset. With a partitioner, each array lands on
+// its subject's owner shard — the same placement the distributed
+// loader would produce; without one everything lands on single.
+func e12Load(single *core.SSDM, dbs []*core.SSDM, part *shard.Partitioner) error {
+	for k := 0; k < e12Arrays; k++ {
+		subj, vals := e12Array(k)
+		db := single
+		if part != nil {
+			db = dbs[part.Owner(*subj)]
+		}
+		a, err := array.FromFloats(vals, len(vals))
+		if err != nil {
+			return err
+		}
+		if err := db.AddArrayTriple(*subj, rdf.IRI(e12NS+"data"), a); err != nil {
+			return err
+		}
+		if _, err := db.Update(fmt.Sprintf("INSERT DATA { <%s> <%ssize> %d }", string(*subj), e12NS, e12Elems)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// e12Time measures the mean latency of one query on a deployment,
+// dropping every proxy cache before each timed run so chunk I/O (and
+// its simulated latency) is paid every iteration.
+func e12Time(d *e12Deployment, src string, iters int) (time.Duration, rdf.Term, error) {
+	drop := func() {
+		for _, g := range d.graphs {
+			loader.DropProxyCaches(g)
+		}
+	}
+	// Untimed warm-up compiles the query and checks the answer.
+	drop()
+	res, err := d.entry.Query(src)
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Len() != 1 || len(res.Rows[0]) < 1 {
+		return 0, nil, fmt.Errorf("E12: unexpected result shape %v", res.Rows)
+	}
+	answer := res.Rows[0][0]
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		drop()
+		res, err := d.entry.Query(src)
+		if err != nil {
+			return 0, nil, err
+		}
+		if res.Len() != 1 || res.Rows[0][0] != answer {
+			return 0, nil, fmt.Errorf("E12: answer drifted across iterations: %v vs %v", res.Rows[0][0], answer)
+		}
+	}
+	return time.Since(start) / time.Duration(iters), answer, nil
+}
+
+// E12Report runs the scale-out sweep and enforces per-cell result
+// equivalence against the single-node baseline.
+func E12Report(o Options) ([]Cell, error) {
+	// Pin per-node fetch pools: the speedup measured here must come
+	// from the topology, not from intra-node parallel fetching.
+	storage.SetParallelism(1)
+	defer storage.SetParallelism(0)
+
+	iters := o.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+
+	var cells []Cell
+	base := map[string]time.Duration{}
+	want := map[string]rdf.Term{}
+
+	configs := []int{1}
+	configs = append(configs, e12ShardCounts...)
+	for _, n := range configs {
+		d, err := e12Build(o, n, fmt.Sprintf("e12-n%d", n))
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range e12Queries {
+			dur, answer, err := e12Time(d, q.src, iters)
+			if err != nil {
+				return nil, fmt.Errorf("E12 %s/%s: %w", d.name, q.pattern, err)
+			}
+			if n == 1 {
+				base[q.pattern] = dur
+				want[q.pattern] = answer
+			} else if answer != want[q.pattern] {
+				return nil, fmt.Errorf("E12 %s/%s: answer %v differs from single-node %v",
+					d.name, q.pattern, answer, want[q.pattern])
+			}
+			cell := Cell{
+				Experiment: "12",
+				Pattern:    q.pattern,
+				Config:     d.name,
+				Workers:    n,
+				NanosPerQ:  int64(dur),
+			}
+			if b := base[q.pattern]; b > 0 && dur > 0 {
+				cell.SpeedupVs1 = float64(b) / float64(dur)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// E12 — scale-out over partitioned shards: full-array aggregate scans
+// against coordinator topologies of 1, 2, 4 and 8 shards, file-backed
+// with simulated per-request chunk latency. The aggregate pushes down
+// (each shard sums its own arrays; the coordinator merges partials),
+// so the scan's latency bill divides by the shard count — near-linear
+// speedup until scatter overhead shows. count-meta bounds that
+// overhead: no chunk I/O, so it measures the fan-out cost itself.
+func E12(w io.Writer, o Options) error {
+	fmt.Fprintf(w, "Experiment 12: scale-out scatter-gather (file latency %v, chunk %d B, %d arrays × %d elems)\n",
+		o.FileLatency, e12ChunkBytes, e12Arrays, e12Elems)
+	cells, err := E12Report(o)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pattern\tconfig\tper-query\tspeedup\n")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%.2fx\n",
+			c.Pattern, c.Config, time.Duration(c.NanosPerQ).Round(10*time.Microsecond), c.SpeedupVs1)
+	}
+	return tw.Flush()
+}

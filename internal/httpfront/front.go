@@ -474,6 +474,10 @@ func StatusForError(err error) (status int, code string) {
 		return http.StatusInternalServerError, "internal"
 	case errors.Is(err, core.ErrDurability):
 		return http.StatusServiceUnavailable, "durability"
+	case errors.Is(err, core.ErrShardUnavailable):
+		// Partial results are suppressed, not served: retry once the
+		// shard is reachable again.
+		return http.StatusServiceUnavailable, "shard_unavailable"
 	default:
 		// Parse errors (with the parser's line/column message) and
 		// evaluation errors.

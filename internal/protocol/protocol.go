@@ -81,6 +81,10 @@ const (
 	// (write-ahead log append or sync failed); the update was not
 	// applied and the client may retry once the operator intervenes.
 	CodeDurability = "durability"
+	// CodeShardUnavailable reports that a shard of a partitioned
+	// deployment could not be reached; partial results were suppressed
+	// and the request may be retried once the shard is back.
+	CodeShardUnavailable = "shard_unavailable"
 )
 
 // Term is the JSON encoding of one RDF term.
@@ -145,8 +149,25 @@ type TraceInfo struct {
 	ChunkFetches int64 `json:"chunk_fetches"`
 	ChunkWaitNS  int64 `json:"chunk_wait_ns"`
 
+	// Distributed-execution counters, set when the query ran through a
+	// shard coordinator: the dispatch mode ("pushdown" or "gather"),
+	// the topology width, and the per-query shard traffic.
+	ShardMode  string `json:"shard_mode,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	ShardCalls int64  `json:"shard_calls,omitempty"`
+	ShardRows  int64  `json:"shard_rows,omitempty"`
+
 	Error string `json:"error,omitempty"`
 	Plan  string `json:"plan"`
+}
+
+// ShardInfo is the wire form of one shard's cumulative coordinator
+// counters.
+type ShardInfo struct {
+	Name   string `json:"name"`
+	Calls  int64  `json:"calls"`
+	Errors int64  `json:"errors"`
+	Rows   int64  `json:"rows"`
 }
 
 // Stats is the server statistics snapshot returned for OpStats:
@@ -200,6 +221,15 @@ type Stats struct {
 	WALSyncedLSN      uint64 `json:"wal_synced_lsn,omitempty"`
 	WALRecoveredRecs  int64  `json:"wal_recovered_records,omitempty"`
 	WALRecoveryNS     int64  `json:"wal_recovery_ns,omitempty"`
+
+	// Shard-coordinator counters; all zero/empty on single-node
+	// instances (Shards 0).
+	Shards         int         `json:"shards,omitempty"`
+	ShardPushdown  int64       `json:"shard_pushdown_queries,omitempty"`
+	ShardGather    int64       `json:"shard_gather_queries,omitempty"`
+	ShardScatters  int64       `json:"shard_scatters,omitempty"`
+	ShardErrors    int64       `json:"shard_errors,omitempty"`
+	ShardBreakdown []ShardInfo `json:"shard_breakdown,omitempty"`
 }
 
 // EncodeTerm converts an RDF term to its wire form.

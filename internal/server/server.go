@@ -374,6 +374,40 @@ func (s *Server) registerGauges(r *metrics.Registry) {
 			}
 			return 0
 		})
+	shardStat := func(f func(core.ShardStats) float64) func() float64 {
+		return func() float64 {
+			if ss, ok := db.ShardStats(); ok {
+				return f(ss)
+			}
+			return 0
+		}
+	}
+	r.GaugeFunc("ssdm_shard_topology", "Shards in the coordinator's topology (0 on single-node instances).",
+		shardStat(func(ss core.ShardStats) float64 { return float64(ss.Shards) }))
+	r.GaugeFunc("ssdm_shard_pushdown_queries_total", "Queries executed per-shard with coordinator-side partial merging.",
+		shardStat(func(ss core.ShardStats) float64 { return float64(ss.PushdownQueries) }))
+	r.GaugeFunc("ssdm_shard_gather_queries_total", "Queries answered by gathering shard triples to the coordinator.",
+		shardStat(func(ss core.ShardStats) float64 { return float64(ss.GatherQueries) }))
+	r.GaugeFunc("ssdm_shard_scatters_total", "Scatter fan-outs issued by the coordinator.",
+		shardStat(func(ss core.ShardStats) float64 { return float64(ss.Scatters) }))
+	r.GaugeFunc("ssdm_shard_errors_total", "Per-shard request failures observed by the coordinator.",
+		shardStat(func(ss core.ShardStats) float64 { return float64(ss.Errors) }))
+	r.GaugeFunc("ssdm_shard_calls_total", "Requests the coordinator sent to shards (all shards summed).",
+		shardStat(func(ss core.ShardStats) float64 {
+			var n int64
+			for _, c := range ss.PerShard {
+				n += c.Calls
+			}
+			return float64(n)
+		}))
+	r.GaugeFunc("ssdm_shard_rows_total", "Rows and triples shards returned to the coordinator (all shards summed).",
+		shardStat(func(ss core.ShardStats) float64 {
+			var n int64
+			for _, c := range ss.PerShard {
+				n += c.Rows
+			}
+			return float64(n)
+		}))
 }
 
 // queryClass reports whether an op runs queries/updates — the requests
@@ -535,7 +569,7 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 		dict := s.DB.DictStats()
 		vec := s.DB.VecStats()
 		wal := s.DB.WALStats()
-		return &protocol.Response{OK: true, Stats: &protocol.Stats{
+		st := &protocol.Stats{
 			CacheHits:    cs.Hits,
 			CacheMisses:  cs.Misses,
 			CacheEntries: cs.Entries,
@@ -574,7 +608,20 @@ func (s *Server) handleOp(req *protocol.Request) (resp *protocol.Response) {
 			WALSyncedLSN:      wal.SyncedLSN,
 			WALRecoveredRecs:  wal.RecoveredRecords,
 			WALRecoveryNS:     wal.RecoveryNanos,
-		}}
+		}
+		if ss, ok := s.DB.ShardStats(); ok {
+			st.Shards = ss.Shards
+			st.ShardPushdown = ss.PushdownQueries
+			st.ShardGather = ss.GatherQueries
+			st.ShardScatters = ss.Scatters
+			st.ShardErrors = ss.Errors
+			for _, c := range ss.PerShard {
+				st.ShardBreakdown = append(st.ShardBreakdown, protocol.ShardInfo{
+					Name: c.Name, Calls: c.Calls, Errors: c.Errors, Rows: c.Rows,
+				})
+			}
+		}
+		return &protocol.Response{OK: true, Stats: st}
 	default:
 		return &protocol.Response{OK: false, Error: "unknown op " + req.Op, Code: protocol.CodeError}
 	}
@@ -605,6 +652,10 @@ func encodeTrace(tr *engine.Trace) *protocol.TraceInfo {
 		VecSortTopK:  tr.VecSortTopK,
 		ChunkFetches: tr.ChunkFetches,
 		ChunkWaitNS:  tr.ChunkWaitNanos,
+		ShardMode:    tr.ShardMode,
+		Shards:       tr.Shards,
+		ShardCalls:   tr.ShardCalls,
+		ShardRows:    tr.ShardRows,
 		Error:        tr.Error,
 		Plan:         tr.Plan,
 	}
@@ -629,6 +680,8 @@ func errorCode(err error) string {
 		return protocol.CodeInternal
 	case errors.Is(err, core.ErrDurability):
 		return protocol.CodeDurability
+	case errors.Is(err, core.ErrShardUnavailable):
+		return protocol.CodeShardUnavailable
 	default:
 		return protocol.CodeError
 	}

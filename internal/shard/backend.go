@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"scisparql/internal/array"
+	"scisparql/internal/spd"
+	"scisparql/internal/storage"
+)
+
+// PartitionedBackend is an ASEI back-end that stripes array chunks
+// round-robin across N inner back-ends: global chunk number no lives
+// on back-end no%N at local chunk number no/N. Reads fan out to the
+// involved back-ends concurrently, so the effective chunk bandwidth
+// scales with the stripe width when the inner back-ends pay
+// per-request latency (remote stores, spinning disks); whole-array
+// aggregates push down to every stripe and merge their AggStates.
+//
+// Striping metadata (shape, element type, per-stripe inner IDs) is
+// held in coordinator memory; the inner back-ends store plain 1-D
+// arrays cut with the same chunk size, so any ASEI implementation can
+// serve as a stripe without modification.
+type PartitionedBackend struct {
+	backends []storage.Backend
+
+	mu     sync.Mutex
+	arrays map[int64]*stripedArray
+	nextID int64
+}
+
+// stripedArray records how one logical array maps onto the stripes.
+type stripedArray struct {
+	etype      array.ElemType
+	shape      []int
+	chunkElems int
+	nchunks    int
+	inner      []int64 // per-back-end inner array ID; -1 = no chunks there
+}
+
+// NewPartitionedBackend stripes over the given inner back-ends.
+func NewPartitionedBackend(backends []storage.Backend) (*PartitionedBackend, error) {
+	if len(backends) == 0 {
+		return nil, ErrEmptyTopology
+	}
+	return &PartitionedBackend{backends: backends, arrays: make(map[int64]*stripedArray)}, nil
+}
+
+// Name implements storage.Backend.
+func (pb *PartitionedBackend) Name() string {
+	return fmt.Sprintf("partitioned(%d×%s)", len(pb.backends), pb.backends[0].Name())
+}
+
+// Store implements storage.Backend: the array is materialized, cut
+// into chunks, and each stripe's chunk subsequence is stored on its
+// inner back-end as a 1-D array with the same chunk size — chunk
+// boundaries are preserved exactly because every chunk except the
+// global last is full, and the last sorts last within its stripe.
+func (pb *PartitionedBackend) Store(a *array.Array, chunkElems int) (int64, error) {
+	if chunkElems <= 0 {
+		chunkElems = storage.ChunkElemsFor(storage.DefaultChunkBytes)
+	}
+	mat, err := a.Materialize()
+	if err != nil {
+		return 0, err
+	}
+	payload, err := array.EncodeResident(mat.Base)
+	if err != nil {
+		return 0, err
+	}
+	chunks := storage.SplitChunks(payload, chunkElems)
+	n := len(pb.backends)
+
+	sa := &stripedArray{
+		etype:      mat.Etype(),
+		shape:      append([]int(nil), mat.Shape...),
+		chunkElems: chunkElems,
+		nchunks:    len(chunks),
+		inner:      make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		var sub []byte
+		for no := i; no < len(chunks); no += n {
+			sub = append(sub, chunks[no]...)
+		}
+		if len(sub) == 0 {
+			sa.inner[i] = -1
+			continue
+		}
+		part, err := payloadArray(sub, sa.etype)
+		if err != nil {
+			return 0, err
+		}
+		id, err := pb.backends[i].Store(part, chunkElems)
+		if err != nil {
+			return 0, err
+		}
+		sa.inner[i] = id
+	}
+
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	pb.nextID++
+	id := pb.nextID
+	pb.arrays[id] = sa
+	return id, nil
+}
+
+// payloadArray decodes a raw element payload into a 1-D array.
+func payloadArray(payload []byte, etype array.ElemType) (*array.Array, error) {
+	n := len(payload) / array.ElemSize
+	if etype == array.Int {
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = array.DecodeElem(payload[i*array.ElemSize:(i+1)*array.ElemSize], etype).I
+		}
+		return array.FromInts(data, n)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = array.DecodeElem(payload[i*array.ElemSize:(i+1)*array.ElemSize], etype).F
+	}
+	return array.FromFloats(data, n)
+}
+
+func (pb *PartitionedBackend) get(id int64) (*stripedArray, error) {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	sa, ok := pb.arrays[id]
+	if !ok {
+		return nil, fmt.Errorf("shard: partitioned back-end has no array %d", id)
+	}
+	return sa, nil
+}
+
+// Open implements storage.Backend.
+func (pb *PartitionedBackend) Open(id int64) (*array.Array, error) {
+	sa, err := pb.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return array.NewProxied(array.NewProxy(pb, id, sa.chunkElems), sa.etype, sa.shape...)
+}
+
+// Delete implements storage.Backend.
+func (pb *PartitionedBackend) Delete(id int64) error {
+	sa, err := pb.get(id)
+	if err != nil {
+		return err
+	}
+	for i, innerID := range sa.inner {
+		if innerID < 0 {
+			continue
+		}
+		if err := pb.backends[i].Delete(innerID); err != nil {
+			return err
+		}
+	}
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	delete(pb.arrays, id)
+	return nil
+}
+
+// ReadChunks implements array.ChunkSource: global chunk numbers are
+// translated to per-stripe local runs and the involved back-ends are
+// read concurrently.
+func (pb *PartitionedBackend) ReadChunks(arrayID int64, runs []spd.Run) (map[int][]byte, error) {
+	sa, err := pb.get(arrayID)
+	if err != nil {
+		return nil, err
+	}
+	n := len(pb.backends)
+
+	// Group requested chunk numbers by owning stripe, locally numbered.
+	local := make([][]int, n)
+	for _, no := range spd.Expand(runs) {
+		if no < 0 || no >= sa.nchunks {
+			return nil, fmt.Errorf("shard: chunk %d out of range for array %d", no, arrayID)
+		}
+		local[no%n] = append(local[no%n], no/n)
+	}
+
+	out := make(map[int][]byte)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		if len(local[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := pb.backends[i].ReadChunks(sa.inner[i], singletonRuns(local[i]))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for localNo, data := range got {
+				out[localNo*n+i] = data
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// singletonRuns converts sorted local chunk numbers to runs,
+// compressing consecutive numbers into strided runs.
+func singletonRuns(nos []int) []spd.Run {
+	var out []spd.Run
+	for _, no := range nos {
+		if k := len(out) - 1; k >= 0 {
+			r := &out[k]
+			if r.Count == 1 && no > r.Start {
+				r.Stride = no - r.Start
+				r.Count = 2
+				continue
+			}
+			if r.Count > 1 && no == r.Start+r.Count*r.Stride {
+				r.Count++
+				continue
+			}
+		}
+		out = append(out, spd.Run{Start: no, Stride: 1, Count: 1})
+	}
+	return out
+}
+
+// AggregateWhole implements array.ChunkSource: the aggregate pushes
+// down to every stripe and the partial states merge. ok is false if
+// any stripe declines server-side aggregation.
+func (pb *PartitionedBackend) AggregateWhole(arrayID int64) (*array.AggState, bool, error) {
+	sa, err := pb.get(arrayID)
+	if err != nil {
+		return nil, false, err
+	}
+	type part struct {
+		st  *array.AggState
+		ok  bool
+		err error
+	}
+	parts := make([]part, len(pb.backends))
+	var wg sync.WaitGroup
+	for i := range pb.backends {
+		if sa.inner[i] < 0 {
+			parts[i] = part{st: array.NewAggState(), ok: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, ok, err := pb.backends[i].AggregateWhole(sa.inner[i])
+			parts[i] = part{st: st, ok: ok, err: err}
+		}(i)
+	}
+	wg.Wait()
+	total := array.NewAggState()
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, false, p.err
+		}
+		if !p.ok {
+			return nil, false, nil
+		}
+		total.Merge(p.st)
+	}
+	return total, true, nil
+}

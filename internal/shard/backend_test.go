@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"scisparql/internal/array"
+	"scisparql/internal/spd"
+	"scisparql/internal/storage"
+)
+
+func stripeSet(t *testing.T, n int) (*PartitionedBackend, []*storage.Memory) {
+	t.Helper()
+	inner := make([]*storage.Memory, n)
+	backends := make([]storage.Backend, n)
+	for i := range inner {
+		inner[i] = storage.NewMemory()
+		backends[i] = inner[i]
+	}
+	pb, err := NewPartitionedBackend(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, inner
+}
+
+func TestPartitionedBackendEmpty(t *testing.T) {
+	if _, err := NewPartitionedBackend(nil); !errors.Is(err, ErrEmptyTopology) {
+		t.Fatalf("empty stripe set = %v, want ErrEmptyTopology", err)
+	}
+}
+
+func TestPartitionedBackendRoundTrip(t *testing.T) {
+	pb, inner := stripeSet(t, 3)
+
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	a, err := array.FromFloats(vals, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkElems = 16
+	id, err := pb.Store(a, chunkElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every stripe received a share of the chunks.
+	for i, m := range inner {
+		if calls, _, _ := m.Stats(); calls != 0 {
+			t.Fatalf("stripe %d saw reads before Open", i)
+		}
+	}
+
+	// Opening and materializing reproduces the array bit-for-bit.
+	view, err := pb.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := view.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMat, err := a.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPayload, _ := array.EncodeResident(wantMat.Base)
+	gotPayload, _ := array.EncodeResident(mat.Base)
+	if !bytes.Equal(wantPayload, gotPayload) {
+		t.Fatal("striped round trip corrupted the payload")
+	}
+	if len(mat.Shape) != 2 || mat.Shape[0] != 10 || mat.Shape[1] != 100 {
+		t.Fatalf("shape %v, want [10 100]", mat.Shape)
+	}
+
+	// The read fanned out across stripes rather than hitting one.
+	active := 0
+	for _, m := range inner {
+		if calls, _, _ := m.Stats(); calls > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("only %d stripes served reads, want fan-out", active)
+	}
+}
+
+func TestPartitionedBackendReadChunks(t *testing.T) {
+	pb, _ := stripeSet(t, 4)
+	vals := make([]int64, 256)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	a, err := array.FromInts(vals, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkElems = 8 // 32 chunks over 4 stripes
+	id, err := pb.Store(a, chunkElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strided run crossing all stripes returns the right payloads
+	// under global numbering.
+	got, err := pb.ReadChunks(id, []spd.Run{{Start: 1, Stride: 3, Count: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("got %d chunks, want 9", len(got))
+	}
+	for no, data := range got {
+		if len(data) != chunkElems*array.ElemSize {
+			t.Fatalf("chunk %d is %d bytes", no, len(data))
+		}
+		first := array.DecodeElem(data, array.Int)
+		if first.I != int64(no*chunkElems*3) {
+			t.Fatalf("chunk %d starts with %d, want %d", no, first.I, no*chunkElems*3)
+		}
+	}
+	// Out-of-range chunks error rather than truncate.
+	if _, err := pb.ReadChunks(id, []spd.Run{{Start: 32, Stride: 1, Count: 1}}); err == nil {
+		t.Fatal("out-of-range chunk read succeeded")
+	}
+}
+
+func TestPartitionedBackendAggregateWhole(t *testing.T) {
+	pb, _ := stripeSet(t, 3)
+	vals := make([]float64, 501) // odd count: uneven final chunk
+	sum := 0.0
+	for i := range vals {
+		vals[i] = float64(i%97) - 11
+		sum += vals[i]
+	}
+	a, err := array.FromFloats(vals, 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := pb.Store(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok, err := pb.AggregateWhole(id)
+	if err != nil || !ok {
+		t.Fatalf("AggregateWhole: ok=%v err=%v", ok, err)
+	}
+	if st.Count != 501 {
+		t.Fatalf("count %d, want 501", st.Count)
+	}
+	if st.SumF != sum {
+		t.Fatalf("sum %v, want %v", st.SumF, sum)
+	}
+	if st.Min != -11 || st.Max != 85 {
+		t.Fatalf("min/max %v/%v, want -11/85", st.Min, st.Max)
+	}
+}
+
+func TestPartitionedBackendDelete(t *testing.T) {
+	pb, inner := stripeSet(t, 2)
+	a, err := array.FromInts([]int64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := pb.Store(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.Open(id); err == nil {
+		t.Fatal("opened a deleted array")
+	}
+	// Inner stripes were cleaned up too.
+	for i, m := range inner {
+		if _, err := m.Open(1); err == nil {
+			t.Fatalf("stripe %d still holds its sub-array", i)
+		}
+	}
+}

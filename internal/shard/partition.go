@@ -1,0 +1,61 @@
+// Package shard implements distributed execution for SSDM: one
+// logical dataset hash-partitioned across N shards (local instances
+// or remote peers reached over the wire protocol), queried through a
+// Coordinator that scatters work to all shards concurrently, merges
+// the streams, and pushes partial aggregation down to the shards
+// (docs/SHARDING.md, DESIGN.md "Distributed execution").
+//
+// Triples are partitioned by their subject term: every triple of a
+// subject lives on one shard, so star-shaped patterns — all patterns
+// sharing one subject — evaluate shard-locally and the coordinator
+// only unions or recombines the per-shard results. Everything else
+// falls back to gather execution: the coordinator scatters the
+// query's triple-pattern masks to all shards, merges the matching
+// triples into a scratch graph, and runs the full local engine over
+// it, so every SciSPARQL construct keeps working in distributed mode.
+package shard
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"scisparql/internal/rdf"
+)
+
+// ErrEmptyTopology reports a coordinator or partitioner constructed
+// over zero shards.
+var ErrEmptyTopology = errors.New("shard: topology has no shards")
+
+// Partitioner maps RDF subjects to shard indices by hashing the
+// subject's canonical key. The key (rdf.Term.Key) is stable across
+// processes and releases — unlike per-graph dictionary IDs — so every
+// coordinator over the same topology size routes identically.
+type Partitioner struct {
+	n int
+}
+
+// NewPartitioner creates a partitioner over n shards; n must be
+// positive.
+func NewPartitioner(n int) (*Partitioner, error) {
+	if n <= 0 {
+		return nil, ErrEmptyTopology
+	}
+	return &Partitioner{n: n}, nil
+}
+
+// Shards returns the topology size.
+func (p *Partitioner) Shards() int { return p.n }
+
+// Owner returns the shard index owning all triples of the given
+// subject.
+func (p *Partitioner) Owner(subject rdf.Term) int {
+	return int(KeyHash(subject) % uint64(p.n))
+}
+
+// KeyHash hashes a term's canonical key (FNV-1a, 64 bit). Exposed so
+// tests and tooling can reproduce the placement of a subject.
+func KeyHash(t rdf.Term) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Key()))
+	return h.Sum64()
+}

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"scisparql/internal/rdf"
+)
+
+func TestPartitionerEmptyTopology(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewPartitioner(n); !errors.Is(err, ErrEmptyTopology) {
+			t.Fatalf("NewPartitioner(%d) = %v, want ErrEmptyTopology", n, err)
+		}
+	}
+	if _, err := New(nil, nil); !errors.Is(err, ErrEmptyTopology) {
+		t.Fatalf("New with no shards = %v, want ErrEmptyTopology", err)
+	}
+}
+
+func TestPartitionerDeterministic(t *testing.T) {
+	p, err := NewPartitioner(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []rdf.Term{
+		rdf.IRI("http://ex/s1"),
+		rdf.Blank("b7"),
+		rdf.IRI("http://ex/s1"), // repeat: must agree with the first
+	}
+	if p.Owner(terms[0]) != p.Owner(terms[2]) {
+		t.Fatal("same subject hashed to different shards")
+	}
+	for _, tm := range terms {
+		o := p.Owner(tm)
+		if o < 0 || o >= 4 {
+			t.Fatalf("owner %d out of range", o)
+		}
+	}
+}
+
+// TestPartitionerSkew bounds the hash skew: over many distinct
+// subjects every shard's share must stay within ±25% of the mean —
+// a regression guard for the partitioning function, since a skewed
+// hash silently turns scale-out into a single hot shard.
+func TestPartitionerSkew(t *testing.T) {
+	const subjects, shards = 10000, 4
+	p, err := NewPartitioner(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < subjects; i++ {
+		counts[p.Owner(rdf.IRI(fmt.Sprintf("http://ex/subject-%d", i)))]++
+	}
+	mean := float64(subjects) / shards
+	for i, n := range counts {
+		if f := float64(n); f < 0.75*mean || f > 1.25*mean {
+			t.Fatalf("shard %d holds %d of %d subjects (mean %.0f): skew out of bounds %v",
+				i, n, subjects, mean, counts)
+		}
+	}
+}

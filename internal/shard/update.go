@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"scisparql/internal/engine"
+	"scisparql/internal/rdf"
+	"scisparql/internal/sparql"
+)
+
+// Update implements core.Distributor. INSERT DATA / DELETE DATA are
+// partitioned by subject and routed to the owning shards; CLEAR and
+// DEFINE statements broadcast; LOAD routes through the distributed
+// Turtle loader. Pattern-based DELETE/INSERT ... WHERE is not
+// supported in distributed mode (its WHERE can join across shards
+// while its mutation must stay transactional per shard) and fails
+// with ErrUnsupported.
+func (c *Coordinator) Update(ctx context.Context, st sparql.Statement, script string, index int, lim engine.Limits) (int, error) {
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
+	}
+	switch v := st.(type) {
+	case *sparql.InsertData:
+		return c.routeData(ctx, v.Triples, v.Graph, false, lim)
+	case *sparql.DeleteData:
+		return c.routeData(ctx, v.Triples, v.Graph, true, lim)
+	case *sparql.Clear:
+		text := "CLEAR DEFAULT"
+		if !v.Default {
+			text = "CLEAR GRAPH " + v.Graph.String()
+		}
+		return c.broadcastUpdate(ctx, text, lim)
+	case *sparql.DefineFunction, *sparql.DefineAggregate:
+		return c.broadcastDefine(ctx, st, script, index, lim)
+	case *sparql.Load:
+		src := strings.TrimPrefix(v.Source, "file://")
+		b, err := os.ReadFile(src)
+		if err != nil {
+			return 0, err
+		}
+		return 0, c.LoadTurtle(string(b), v.Graph)
+	default:
+		return 0, fmt.Errorf("%w: %T (use INSERT DATA / DELETE DATA)", ErrUnsupported, st)
+	}
+}
+
+// routeData partitions ground triples by subject and applies each
+// shard's slice as one INSERT DATA / DELETE DATA statement, all
+// shards concurrently.
+func (c *Coordinator) routeData(ctx context.Context, triples []sparql.TriplePattern, graph rdf.IRI, del bool, lim engine.Limits) (int, error) {
+	if graph != "" {
+		return 0, fmt.Errorf("%w: named-graph data (shards partition the default graph)", ErrUnsupported)
+	}
+	verb := "INSERT DATA"
+	if del {
+		verb = "DELETE DATA"
+	}
+
+	// INSERT DATA blank labels are statement-scoped: rewrite them to
+	// coordinator-unique labels so no two statements (or shards) can
+	// collide. DELETE DATA carries no blanks per the SPARQL grammar.
+	relabel := map[string]rdf.Blank{}
+	blank := func(t rdf.Term) rdf.Term {
+		b, ok := t.(rdf.Blank)
+		if !ok {
+			return t
+		}
+		nb, ok := relabel[string(b)]
+		if !ok {
+			nb = rdf.Blank(c.nextBlank())
+			relabel[string(b)] = nb
+		}
+		return nb
+	}
+
+	batches := make([][]string, len(c.shards))
+	for _, tp := range triples {
+		if tp.S.IsVar() || tp.O.IsVar() {
+			return 0, fmt.Errorf("%w: variables in ground data", ErrUnsupported)
+		}
+		p, ok := tp.Path.(sparql.PathIRI)
+		if !ok {
+			return 0, fmt.Errorf("%w: property path in ground data", ErrUnsupported)
+		}
+		s := blank(tp.S.Term)
+		o := blank(tp.O.Term)
+		i := c.part.Owner(s)
+		batches[i] = append(batches[i], s.String()+" "+p.IRI.String()+" "+o.String()+" .")
+	}
+
+	var total atomic.Int64
+	err := c.scatter(ctx, func(ctx context.Context, i int, sh Shard) error {
+		if len(batches[i]) == 0 {
+			return nil
+		}
+		c.perShard[i].calls.Add(1)
+		n, err := sh.Update(ctx, verb+" { "+strings.Join(batches[i], " ")+" }", lim)
+		if err != nil {
+			return err
+		}
+		total.Add(int64(n))
+		return nil
+	})
+	return int(total.Load()), err
+}
+
+// broadcastUpdate sends one statement text to every shard, returning
+// the summed affected count.
+func (c *Coordinator) broadcastUpdate(ctx context.Context, text string, lim engine.Limits) (int, error) {
+	var total atomic.Int64
+	err := c.scatter(ctx, func(ctx context.Context, i int, sh Shard) error {
+		c.perShard[i].calls.Add(1)
+		n, err := sh.Update(ctx, text, lim)
+		if err != nil {
+			return err
+		}
+		total.Add(int64(n))
+		return nil
+	})
+	return int(total.Load()), err
+}
+
+// broadcastDefine applies a DEFINE FUNCTION / DEFINE AGGREGATE on the
+// coordinator's own engine (gather evaluation resolves names there)
+// and broadcasts its text to every shard (pushdown evaluation
+// resolves names shard-side). The statement must arrive standalone:
+// inside a multi-statement script its text cannot be isolated for
+// broadcast.
+func (c *Coordinator) broadcastDefine(ctx context.Context, st sparql.Statement, script string, index int, lim engine.Limits) (int, error) {
+	if stmts, err := sparql.ParseAll(script); err != nil || len(stmts) != 1 || index != 0 {
+		return 0, fmt.Errorf("%w: DEFINE inside a multi-statement script (send it standalone)", ErrUnsupported)
+	}
+	staged, err := c.node.Engine.UpdateStagedLimits(ctx, st, lim, false)
+	if err != nil {
+		return 0, err
+	}
+	staged.Commit()
+	c.node.InvalidateQueryCache()
+	return c.broadcastUpdate(ctx, script, lim)
+}
